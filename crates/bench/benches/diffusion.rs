@@ -1,0 +1,58 @@
+//! Diffusion benchmarks: single stochastic campaigns and Monte-Carlo
+//! estimation at different sample counts (the accuracy/time trade-off behind
+//! the paper's `M = 100` choice).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use imdpp_bench::yelp_instance;
+use imdpp_diffusion::{simulate, Seed, SeedGroup, SpreadEstimator};
+use imdpp_graph::{ItemId, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_diffusion(c: &mut Criterion) {
+    let instance = yelp_instance(0.25, 200.0, 5);
+    let scenario = instance.scenario();
+    let seeds = SeedGroup::from_seeds(vec![
+        Seed::new(UserId(0), ItemId(0), 1),
+        Seed::new(UserId(1), ItemId(1), 2),
+        Seed::new(UserId(2), ItemId(2), 3),
+    ]);
+
+    c.bench_function("simulate_single_campaign_T5", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            simulate(black_box(scenario), black_box(&seeds), 5, &mut rng).adoption_count()
+        })
+    });
+
+    let frozen = scenario.with_dynamics(imdpp_diffusion::DynamicsConfig::frozen());
+    c.bench_function("simulate_single_campaign_T5_frozen_dynamics", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            simulate(black_box(&frozen), black_box(&seeds), 5, &mut rng).adoption_count()
+        })
+    });
+
+    let mut group = c.benchmark_group("monte_carlo_samples");
+    group.sample_size(10);
+    for samples in [10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &m| {
+            b.iter(|| {
+                SpreadEstimator::new(scenario, m, 3)
+                    .with_threads(1)
+                    .mean_spread(&seeds, 5)
+            })
+        });
+    }
+    group.finish();
+
+    let mut parallel = c.benchmark_group("monte_carlo_parallel");
+    parallel.sample_size(10);
+    parallel.bench_function("100_samples_all_threads", |b| {
+        b.iter(|| SpreadEstimator::new(scenario, 100, 3).mean_spread(&seeds, 5))
+    });
+    parallel.finish();
+}
+
+criterion_group!(benches, bench_diffusion);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end selection time of Dysim and the baselines on the 100-user
+//! Amazon-shaped instance — the relative comparison behind the execution-time
+//! figures (9(d), 9(g), 9(h)).  Absolute times differ from the paper's
+//! HP DL580 numbers; the ordering (PS fast, HAG slow, Dysim competitive) is
+//! the reproduced signal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imdpp_baselines::{Algorithm, BaselineConfig, Bgrd, Drhga, Hag, PathScore};
+use imdpp_bench::tiny_amazon_instance;
+use imdpp_core::{Dysim, DysimConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let instance = tiny_amazon_instance(100.0, 3);
+    let dysim_config = DysimConfig {
+        mc_samples: 8,
+        candidate_users: Some(16),
+        ..DysimConfig::default()
+    };
+    let baseline_config = BaselineConfig {
+        mc_samples: 8,
+        candidate_users: Some(16),
+        ..BaselineConfig::default()
+    };
+
+    let mut group = c.benchmark_group("selection_time_amazon_tiny");
+    group.sample_size(10);
+    group.bench_function("Dysim", |b| {
+        b.iter(|| Dysim::new(dysim_config.clone()).run(&instance).len())
+    });
+    group.bench_function("BGRD", |b| {
+        b.iter(|| Bgrd::new(baseline_config).select(&instance).len())
+    });
+    group.bench_function("HAG", |b| {
+        b.iter(|| Hag::new(baseline_config).select(&instance).len())
+    });
+    group.bench_function("PS", |b| {
+        b.iter(|| PathScore::new(baseline_config).select(&instance).len())
+    });
+    group.bench_function("DRHGA", |b| {
+        b.iter(|| Drhga::new(baseline_config).select(&instance).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

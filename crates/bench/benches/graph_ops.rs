@@ -1,0 +1,38 @@
+//! Substrate benchmarks: CSR construction, BFS, maximum-influence paths and
+//! MIOA regions on a preferential-attachment graph.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use imdpp_graph::generators::{preferential_attachment, weighted_cascade_strengths};
+use imdpp_graph::paths::{max_influence_paths, mioa_region, subset_hop_diameter};
+use imdpp_graph::traversal::bfs;
+use imdpp_graph::UserId;
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let raw = preferential_attachment(2_000, 5, 42);
+    let graph = weighted_cascade_strengths(&raw, 1.0, 0.2, 7);
+    let edges = graph.to_edge_list();
+
+    c.bench_function("csr_from_edges_2k_nodes", |b| {
+        b.iter(|| imdpp_graph::CsrGraph::from_edges(black_box(2_000), black_box(&edges)))
+    });
+
+    c.bench_function("bfs_full_2k_nodes", |b| {
+        b.iter(|| bfs(black_box(&graph), &[UserId(0)], None).reachable_count())
+    });
+
+    c.bench_function("max_influence_paths_2k_nodes", |b| {
+        b.iter(|| max_influence_paths(black_box(&graph), &[UserId(0)]).probability(UserId(1_999)))
+    });
+
+    c.bench_function("mioa_region_threshold_0.05", |b| {
+        b.iter(|| mioa_region(black_box(&graph), &[UserId(0), UserId(1)], 0.05).len())
+    });
+
+    let subset: Vec<UserId> = (0..200).map(UserId).collect();
+    c.bench_function("subset_hop_diameter_200_nodes", |b| {
+        b.iter(|| subset_hop_diameter(black_box(&graph), black_box(&subset)))
+    });
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! DESIGN.md §5.1: CELF-style lazy MCP nominee selection vs the plain greedy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imdpp_bench::tiny_amazon_instance;
+use imdpp_core::eval::Evaluator;
+use imdpp_core::nominees::{select_nominees, select_nominees_plain_greedy, NomineeSelectionConfig};
+
+fn bench_nominee_selection(c: &mut Criterion) {
+    let instance = tiny_amazon_instance(100.0, 2);
+    let universe = instance.nominee_universe(Some(24));
+    let config = NomineeSelectionConfig {
+        max_nominees: Some(4),
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("nominee_selection");
+    group.sample_size(10);
+    group.bench_function("celf_lazy", |b| {
+        b.iter(|| {
+            let evaluator = Evaluator::new(&instance, 8, 1);
+            select_nominees(&evaluator, &universe, &config).nominees.len()
+        })
+    });
+    group.bench_function("plain_greedy", |b| {
+        b.iter(|| {
+            let evaluator = Evaluator::new(&instance, 8, 1);
+            select_nominees_plain_greedy(&evaluator, &universe, &config)
+                .nominees
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nominee_selection);
+criterion_main!(benches);

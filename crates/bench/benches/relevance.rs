@@ -1,0 +1,55 @@
+//! Knowledge-graph benchmarks: meta-graph relevance computation and personal
+//! item-network queries (the shared-matrix design of DESIGN.md §5.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use imdpp_bench::yelp_instance;
+use imdpp_datasets::{generate, DatasetKind};
+use imdpp_graph::{ItemId, UserId};
+use imdpp_kg::{MetaGraph, RelevanceModel};
+
+fn bench_relevance(c: &mut Criterion) {
+    let dataset = generate(&DatasetKind::YelpSmall.config().scaled(0.5));
+    let kg = dataset.knowledge_graph.clone();
+
+    let mut compute_group = c.benchmark_group("relevance_model_compute");
+    compute_group.sample_size(20);
+    compute_group.bench_function("yelp_half_scale", |b| {
+        b.iter(|| RelevanceModel::compute(black_box(&kg), MetaGraph::default_set()).len())
+    });
+    compute_group.finish();
+
+    let instance = yelp_instance(0.5, 100.0, 2);
+    let perception = instance.scenario().initial_perception();
+    let items: Vec<ItemId> = instance.scenario().items().collect();
+
+    c.bench_function("personal_complementary_relevance_all_pairs", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for &x in &items {
+                for &y in &items {
+                    total += perception.complementary(UserId(0), x, y);
+                }
+            }
+            total
+        })
+    });
+
+    c.bench_function("personal_item_network_single_item", |b| {
+        b.iter(|| perception.personal_item_network(UserId(0), black_box(ItemId(0))).len())
+    });
+
+    let mut evolving = perception.clone();
+    c.bench_function("perception_update_on_adoption", |b| {
+        b.iter(|| {
+            evolving.update_on_adoption(
+                UserId(1),
+                &[ItemId(0)],
+                &[ItemId(0), ItemId(1), ItemId(2)],
+                0.2,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_relevance);
+criterion_main!(benches);

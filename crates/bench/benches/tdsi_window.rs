@@ -1,0 +1,47 @@
+//! DESIGN.md §5.3: the restricted two-slot timing window of TDSI vs the full
+//! `[t̂, T]` search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imdpp_bench::tiny_amazon_instance;
+use imdpp_core::eval::Evaluator;
+use imdpp_core::market::TargetMarket;
+use imdpp_core::tdsi::assign_timings;
+use imdpp_diffusion::SeedGroup;
+use imdpp_graph::{ItemId, UserId};
+
+fn bench_tdsi(c: &mut Criterion) {
+    let instance = tiny_amazon_instance(150.0, 8);
+    let users: Vec<UserId> = instance.scenario().users().collect();
+    let market = TargetMarket {
+        index: 0,
+        nominees: vec![
+            (UserId(0), ItemId(0)),
+            (UserId(1), ItemId(1)),
+            (UserId(2), ItemId(2)),
+        ],
+        users,
+        diameter: 4,
+    };
+    let pending = market.nominees.clone();
+
+    let mut group = c.benchmark_group("tdsi_timing_search");
+    group.sample_size(10);
+    group.bench_function("two_slot_window", |b| {
+        b.iter(|| {
+            let evaluator = Evaluator::new(&instance, 8, 5);
+            let mut sg = SeedGroup::new();
+            assign_timings(&evaluator, &market, pending.clone(), &mut sg, 8, 8, false).len()
+        })
+    });
+    group.bench_function("full_horizon_search", |b| {
+        b.iter(|| {
+            let evaluator = Evaluator::new(&instance, 8, 5);
+            let mut sg = SeedGroup::new();
+            assign_timings(&evaluator, &market, pending.clone(), &mut sg, 8, 8, true).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tdsi);
+criterion_main!(benches);

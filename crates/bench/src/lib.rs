@@ -1,0 +1,58 @@
+//! # imdpp-bench
+//!
+//! Shared fixtures for the Criterion benchmarks.  The benches themselves live
+//! in `benches/` and cover, per DESIGN.md §5:
+//!
+//! * `graph_ops` — CSR construction, BFS, maximum-influence paths (substrate
+//!   costs),
+//! * `relevance` — meta-graph instance counting and personal-relevance
+//!   queries,
+//! * `diffusion` — single simulations and Monte-Carlo estimation (the `M`
+//!   sensitivity of footnote 12),
+//! * `nominee_selection` — CELF-lazy vs plain greedy MCP selection,
+//! * `dysim_vs_baselines` — end-to-end selection time of Dysim and the
+//!   baselines (the relative comparison behind Figs. 9(d), 9(g), 9(h)),
+//! * `tdsi_window` — restricted two-slot timing search vs the full search.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use imdpp_core::{CostModel, ImdppInstance};
+use imdpp_datasets::{generate, DatasetKind};
+use imdpp_diffusion::scenario::toy_scenario;
+
+/// A small fully-wired instance (6 users, 4 items) for micro-benchmarks.
+pub fn toy_instance(budget: f64, promotions: u32) -> ImdppInstance {
+    let scenario = toy_scenario();
+    let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+    ImdppInstance::new(scenario, costs, budget, promotions).expect("valid toy instance")
+}
+
+/// The 100-user Amazon-shaped instance used by the selection benchmarks.
+pub fn tiny_amazon_instance(budget: f64, promotions: u32) -> ImdppInstance {
+    generate(&DatasetKind::AmazonTiny.config())
+        .instance
+        .with_budget(budget)
+        .with_promotions(promotions)
+}
+
+/// A medium synthetic Yelp-shaped instance for diffusion benchmarks
+/// (`scale` shrinks the preset; 0.25 ≈ 200 users).
+pub fn yelp_instance(scale: f64, budget: f64, promotions: u32) -> ImdppInstance {
+    generate(&DatasetKind::YelpSmall.config().scaled(scale))
+        .instance
+        .with_budget(budget)
+        .with_promotions(promotions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(toy_instance(2.0, 2).promotions(), 2);
+        assert_eq!(tiny_amazon_instance(100.0, 2).scenario().user_count(), 100);
+        assert!(yelp_instance(0.1, 100.0, 2).scenario().user_count() >= 20);
+    }
+}

@@ -1,0 +1,196 @@
+//! Adaptive IM with Dysim (Sec. V-D): seeds are committed one promotion at a
+//! time, re-planning after the outcome of every promotion is observed.
+//!
+//! The paper's adaptive variant re-runs TMI with a single nominee at a time
+//! and limits the TDSI window to `{t, t + 1}`.  This module implements a
+//! faithful sequential re-planning loop on top of the same building blocks:
+//!
+//! 1. simulate (one realisation of) the promotions committed so far,
+//! 2. re-select nominees with the remaining budget, conditioned on what has
+//!    already been adopted (previously adopted `(u, x)` pairs add nothing, so
+//!    their marginal gain collapses and they are never re-selected),
+//! 3. keep the nominees whose substantial influence prefers the *current*
+//!    promotion `t` over `t + 1`; defer the rest.
+//!
+//! For the last promotion `T` the remaining budget is spent greedily.
+
+use crate::dysim::DysimConfig;
+use crate::eval::Evaluator;
+use crate::market::TargetMarket;
+use crate::nominees::{select_nominees, NomineeSelectionConfig};
+use crate::problem::ImdppInstance;
+use crate::tdsi::substantial_influence;
+use imdpp_diffusion::{Seed, SeedGroup};
+
+/// Result of an adaptive Dysim run.
+#[derive(Clone, Debug, Default)]
+pub struct AdaptiveReport {
+    /// The committed seed group (union over all promotions).
+    pub seeds: SeedGroup,
+    /// Budget actually spent.
+    pub spent: f64,
+    /// Seeds committed per promotion (index 0 = promotion 1).
+    pub per_promotion: Vec<usize>,
+}
+
+/// Runs the adaptive variant of Dysim: budget is *not* pre-allocated to
+/// promotions; each promotion's seeds are decided after the previous
+/// promotions are (simulated as) observed.
+pub fn adaptive_dysim(instance: &ImdppInstance, config: &DysimConfig) -> AdaptiveReport {
+    let total_promotions = instance.promotions();
+    let mut committed = SeedGroup::new();
+    let mut spent = 0.0f64;
+    let mut per_promotion = Vec::with_capacity(total_promotions as usize);
+
+    // The whole population acts as the market for SI scoring.
+    let whole_market = TargetMarket {
+        index: 0,
+        nominees: Vec::new(),
+        users: instance.scenario().users().collect(),
+        diameter: imdpp_graph::paths::graph_hop_diameter(instance.scenario().social().graph())
+            .max(1),
+    };
+
+    for t in 1..=total_promotions {
+        let remaining_budget = instance.budget() - spent;
+        if remaining_budget <= 0.0 {
+            per_promotion.push(0);
+            continue;
+        }
+        // Re-plan with the remaining budget.
+        let stage_instance = instance.with_budget(remaining_budget);
+        let evaluator = Evaluator::new(&stage_instance, config.mc_samples, config.base_seed + t as u64);
+        let universe = stage_instance.nominee_universe(config.candidate_users);
+        // Drop nominees already committed at an earlier promotion.
+        let universe: Vec<_> = universe
+            .into_iter()
+            .filter(|&(u, x)| !committed.contains_nominee(u, x))
+            .collect();
+        let selection = select_nominees(
+            &evaluator,
+            &universe,
+            &NomineeSelectionConfig {
+                max_nominees: config.max_nominees,
+                stop_on_nonpositive_gain: true,
+            },
+        );
+
+        let mut committed_this_round = 0usize;
+        if t == total_promotions {
+            // Final promotion: spend whatever remains greedily at timing T.
+            for &(u, x) in &selection.nominees {
+                let cost = instance.cost(u, x);
+                if cost <= instance.budget() - spent {
+                    committed.insert(Seed::new(u, x, t));
+                    spent += cost;
+                    committed_this_round += 1;
+                }
+            }
+        } else {
+            // Keep only the nominees that prefer the current promotion over
+            // the next one under substantial influence.
+            let eval_full = Evaluator::new(instance, config.mc_samples, config.base_seed + t as u64);
+            let baseline_spread = eval_full.spread_in(&committed, &whole_market.users);
+            let baseline_likelihood =
+                eval_full.future_likelihood_in(&committed, &whole_market.users);
+            for &(u, x) in &selection.nominees {
+                let cost = instance.cost(u, x);
+                if cost > instance.budget() - spent {
+                    continue;
+                }
+                let now = substantial_influence(
+                    &eval_full,
+                    &whole_market,
+                    &committed,
+                    Seed::new(u, x, t),
+                    total_promotions,
+                    baseline_spread,
+                    baseline_likelihood,
+                );
+                let later = substantial_influence(
+                    &eval_full,
+                    &whole_market,
+                    &committed,
+                    Seed::new(u, x, t + 1),
+                    total_promotions,
+                    baseline_spread,
+                    baseline_likelihood,
+                );
+                if now.substantial_influence >= later.substantial_influence {
+                    committed.insert(Seed::new(u, x, t));
+                    spent += cost;
+                    committed_this_round += 1;
+                }
+            }
+        }
+        per_promotion.push(committed_this_round);
+    }
+
+    AdaptiveReport {
+        seeds: committed,
+        spent,
+        per_promotion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::CostModel;
+    use imdpp_diffusion::scenario::toy_scenario;
+
+    fn instance(budget: f64, promotions: u32) -> ImdppInstance {
+        let scenario = toy_scenario();
+        let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+        ImdppInstance::new(scenario, costs, budget, promotions).unwrap()
+    }
+
+    #[test]
+    fn adaptive_respects_the_budget_without_preallocation() {
+        let inst = instance(3.0, 3);
+        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        assert!(report.spent <= inst.budget() + 1e-9);
+        assert!(inst.is_feasible(&report.seeds));
+        assert_eq!(report.per_promotion.len(), 3);
+    }
+
+    #[test]
+    fn adaptive_commits_at_least_one_seed_when_affordable() {
+        let inst = instance(2.0, 2);
+        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        assert!(!report.seeds.is_empty());
+    }
+
+    #[test]
+    fn adaptive_never_commits_the_same_nominee_twice() {
+        let inst = instance(4.0, 3);
+        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        let mut nominees: Vec<_> = report
+            .seeds
+            .seeds()
+            .iter()
+            .map(|s| (s.user, s.item))
+            .collect();
+        let before = nominees.len();
+        nominees.sort_unstable();
+        nominees.dedup();
+        assert_eq!(nominees.len(), before);
+    }
+
+    #[test]
+    fn adaptive_seed_timings_are_within_horizon() {
+        let inst = instance(4.0, 2);
+        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        for s in report.seeds.seeds() {
+            assert!(s.promotion >= 1 && s.promotion <= 2);
+        }
+    }
+
+    #[test]
+    fn zero_budget_leftover_stops_committing() {
+        let inst = instance(1.0, 3);
+        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        assert!(report.seeds.len() <= 1);
+        assert!(report.spent <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,394 @@
+//! The Dysim driver (Algorithm 1): TMI → DRE → TDSI, with ablation switches
+//! and the guard solutions used by the Theorem 5 analysis.
+
+use crate::dre::{best_item_by_reachability, ItemImpactModel};
+use crate::eval::Evaluator;
+use crate::market::{group_markets, identify_markets, TargetMarket, TmiConfig};
+use crate::nominees::{select_nominees, Nominee, NomineeSelectionConfig};
+use crate::ordering::{order_group, MarketOrdering};
+use crate::problem::ImdppInstance;
+use crate::tdsi::assign_timings;
+use imdpp_diffusion::{Seed, SeedGroup};
+use imdpp_graph::ItemId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a Dysim run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DysimConfig {
+    /// Monte-Carlo samples used by every spread / likelihood estimation
+    /// during seed selection (the paper uses `M = 100`; smaller values trade
+    /// accuracy for speed).
+    pub mc_samples: usize,
+    /// Base random seed of the Monte-Carlo estimator (results are
+    /// deterministic for a fixed seed).
+    pub base_seed: u64,
+    /// Only the that-many highest-out-degree users are considered as seed
+    /// candidates (`None` = all users).
+    pub candidate_users: Option<usize>,
+    /// Hard cap on the number of nominees selected by TMI (`None` =
+    /// budget-limited only).
+    pub max_nominees: Option<usize>,
+    /// MIOA maximum-influence-path threshold for target-market expansion.
+    pub mioa_threshold: f64,
+    /// Overlap threshold `θ` above which two markets join the same group.
+    pub market_overlap_threshold: usize,
+    /// Metric used to order the markets of a group.
+    pub ordering: MarketOrdering,
+    /// Ablation switch: when false, all nominees form a single target market
+    /// ("Dysim w/o TM" in Fig. 10).
+    pub use_target_markets: bool,
+    /// Ablation switch: when false, items within a market are promoted in an
+    /// arbitrary (catalogue) order instead of by dynamic reachability
+    /// ("Dysim w/o IP" in Fig. 10).
+    pub use_item_priority: bool,
+    /// When true, the final solution is compared against the two guard
+    /// solutions of Theorem 5 (all nominees in the first promotion; the best
+    /// single seed) and the best of the three is returned.
+    pub use_guard_solutions: bool,
+    /// When true TDSI searches every timing in `[t̂, T]` instead of the
+    /// two-slot window (ablation of the window restriction).
+    pub full_timing_search: bool,
+    /// Cap on the users sampled when averaging relevance within a market.
+    pub impact_user_cap: usize,
+}
+
+impl Default for DysimConfig {
+    fn default() -> Self {
+        DysimConfig {
+            mc_samples: 30,
+            base_seed: 0xD751,
+            candidate_users: Some(64),
+            max_nominees: None,
+            mioa_threshold: 0.1,
+            market_overlap_threshold: 1,
+            ordering: MarketOrdering::AntagonisticExtent,
+            use_target_markets: true,
+            use_item_priority: true,
+            use_guard_solutions: true,
+            full_timing_search: false,
+            impact_user_cap: 64,
+        }
+    }
+}
+
+impl DysimConfig {
+    /// A cheaper configuration for unit tests and small instances.
+    pub fn fast() -> Self {
+        DysimConfig {
+            mc_samples: 8,
+            candidate_users: Some(16),
+            ..Self::default()
+        }
+    }
+
+    /// The "Dysim w/o TM" ablation of Fig. 10.
+    pub fn without_target_markets(mut self) -> Self {
+        self.use_target_markets = false;
+        self
+    }
+
+    /// The "Dysim w/o IP" ablation of Fig. 10.
+    pub fn without_item_priority(mut self) -> Self {
+        self.use_item_priority = false;
+        self
+    }
+}
+
+/// Diagnostics collected during a Dysim run.
+#[derive(Clone, Debug, Default)]
+pub struct DysimReport {
+    /// The selected seed group.
+    pub seeds: SeedGroup,
+    /// The nominees selected by TMI (before timing assignment).
+    pub nominees: Vec<Nominee>,
+    /// The identified target markets.
+    pub markets: Vec<TargetMarket>,
+    /// The groups of overlapping markets (indices into `markets`).
+    pub groups: Vec<Vec<usize>>,
+    /// Total hiring cost of the returned seed group.
+    pub total_cost: f64,
+    /// Whether a guard solution replaced the market-based solution.
+    pub guard_solution_used: bool,
+}
+
+/// The Dysim algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct Dysim {
+    config: DysimConfig,
+}
+
+impl Dysim {
+    /// Creates a Dysim runner with the given configuration.
+    pub fn new(config: DysimConfig) -> Self {
+        Dysim { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DysimConfig {
+        &self.config
+    }
+
+    /// Runs Dysim on an instance and returns the selected seed group.
+    pub fn run(&self, instance: &ImdppInstance) -> SeedGroup {
+        self.run_with_report(instance).seeds
+    }
+
+    /// Runs Dysim and returns the seed group together with diagnostics.
+    pub fn run_with_report(&self, instance: &ImdppInstance) -> DysimReport {
+        let cfg = &self.config;
+        let evaluator = Evaluator::new(instance, cfg.mc_samples, cfg.base_seed);
+
+        // ---- TMI: nominee selection ------------------------------------------
+        let universe = instance.nominee_universe(cfg.candidate_users);
+        let selection = select_nominees(
+            &evaluator,
+            &universe,
+            &NomineeSelectionConfig {
+                max_nominees: cfg.max_nominees,
+                stop_on_nonpositive_gain: true,
+            },
+        );
+        let nominees = selection.nominees.clone();
+        if nominees.is_empty() {
+            return DysimReport::default();
+        }
+
+        // ---- TMI: target markets ----------------------------------------------
+        let tmi_config = TmiConfig {
+            mioa_threshold: cfg.mioa_threshold,
+            overlap_threshold: cfg.market_overlap_threshold,
+            ..TmiConfig::default()
+        };
+        let markets: Vec<TargetMarket> = if cfg.use_target_markets {
+            identify_markets(instance, &nominees, &tmi_config)
+        } else {
+            // Ablation: one market holding every nominee and every user it can
+            // reach.
+            vec![crate::market::identify_market(
+                instance,
+                0,
+                nominees.clone(),
+                &tmi_config,
+            )]
+        };
+        let groups = group_markets(&markets, cfg.market_overlap_threshold);
+
+        // ---- Per group: DRE + TDSI ---------------------------------------------
+        let total_promotions = instance.promotions();
+        let mut all_seeds = SeedGroup::new();
+        for group in &groups {
+            let ordered = order_group(
+                instance,
+                &evaluator,
+                &markets,
+                group,
+                cfg.ordering,
+                cfg.base_seed,
+            );
+            let total_group_nominees: usize =
+                ordered.iter().map(|&i| markets[i].nominees.len()).sum();
+            let mut group_seeds = SeedGroup::new();
+            let mut cumulative_duration = 0u32;
+            for &market_idx in &ordered {
+                let market = &markets[market_idx];
+                // Promotional duration T_τ ∝ the market's nominee share.
+                let share = market.nominees.len() as f64 / total_group_nominees.max(1) as f64;
+                let duration =
+                    ((share * total_promotions as f64).floor() as u32).max(1);
+                cumulative_duration = (cumulative_duration + duration).min(total_promotions);
+
+                // DRE: expected perceptions after the group's seeds so far.
+                let expected = evaluator.expected_perception(&group_seeds, &market.users);
+                let impact = ItemImpactModel::new(&expected, &market.users, cfg.impact_user_cap);
+
+                let mut pending_items: Vec<ItemId> = market.items();
+                let mut promoted_items: Vec<ItemId> = group_seeds.items();
+                while !pending_items.is_empty() {
+                    let next_item = if cfg.use_item_priority {
+                        best_item_by_reachability(
+                            &impact,
+                            instance.scenario().catalog(),
+                            market,
+                            &pending_items,
+                            &promoted_items,
+                        )
+                        .expect("pending_items is non-empty")
+                    } else {
+                        pending_items[0]
+                    };
+                    pending_items.retain(|&x| x != next_item);
+
+                    let pending_nominees: Vec<Nominee> = market
+                        .nominees
+                        .iter()
+                        .copied()
+                        .filter(|&(u, x)| {
+                            x == next_item && !group_seeds.contains_nominee(u, x)
+                        })
+                        .collect();
+                    if pending_nominees.is_empty() {
+                        continue;
+                    }
+                    assign_timings(
+                        &evaluator,
+                        market,
+                        pending_nominees,
+                        &mut group_seeds,
+                        cumulative_duration,
+                        total_promotions,
+                        cfg.full_timing_search,
+                    );
+                    promoted_items.push(next_item);
+                }
+            }
+            for seed in group_seeds.seeds() {
+                all_seeds.insert(*seed);
+            }
+        }
+
+        // ---- Guard solutions (Theorem 5's auxiliary solution N̄) ----------------
+        let mut guard_solution_used = false;
+        if cfg.use_guard_solutions {
+            let final_eval = Evaluator::new(instance, cfg.mc_samples, cfg.base_seed ^ 0x5EED);
+            let mut best = all_seeds.clone();
+            let mut best_value = final_eval.spread(&best);
+
+            // All nominees placed in the first promotion.
+            let nominees_first: SeedGroup = nominees
+                .iter()
+                .map(|&(u, x)| Seed::new(u, x, 1))
+                .collect();
+            if instance.is_feasible(&nominees_first) {
+                let v = final_eval.spread(&nominees_first);
+                if v > best_value {
+                    best = nominees_first;
+                    best_value = v;
+                    guard_solution_used = true;
+                }
+            }
+
+            // The best single affordable seed among the nominees.
+            for &(u, x) in &nominees {
+                let single = SeedGroup::from_seeds(vec![Seed::new(u, x, 1)]);
+                if !instance.is_feasible(&single) {
+                    continue;
+                }
+                let v = final_eval.spread(&single);
+                if v > best_value {
+                    best = single;
+                    best_value = v;
+                    guard_solution_used = true;
+                }
+            }
+            all_seeds = best;
+        }
+
+        let total_cost = instance.total_cost(&all_seeds);
+        DysimReport {
+            seeds: all_seeds,
+            nominees,
+            markets,
+            groups,
+            total_cost,
+            guard_solution_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::CostModel;
+    use imdpp_diffusion::scenario::toy_scenario;
+
+    fn instance(budget: f64, promotions: u32) -> ImdppInstance {
+        let scenario = toy_scenario();
+        let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+        ImdppInstance::new(scenario, costs, budget, promotions).unwrap()
+    }
+
+    #[test]
+    fn dysim_returns_a_feasible_nonempty_solution() {
+        let inst = instance(3.0, 3);
+        let report = Dysim::new(DysimConfig::fast()).run_with_report(&inst);
+        assert!(!report.seeds.is_empty());
+        assert!(inst.is_feasible(&report.seeds));
+        assert!(report.total_cost <= inst.budget() + 1e-9);
+        assert!(!report.nominees.is_empty());
+        assert!(!report.markets.is_empty());
+    }
+
+    #[test]
+    fn dysim_seeds_are_within_promotion_horizon() {
+        let inst = instance(4.0, 2);
+        let seeds = Dysim::new(DysimConfig::fast()).run(&inst);
+        for s in seeds.seeds() {
+            assert!(s.promotion >= 1 && s.promotion <= 2);
+        }
+    }
+
+    #[test]
+    fn dysim_spread_beats_a_random_single_seed() {
+        let inst = instance(3.0, 2);
+        let seeds = Dysim::new(DysimConfig::fast()).run(&inst);
+        let ev = Evaluator::new(&inst, 64, 77);
+        let dysim_spread = ev.spread(&seeds);
+        // A weak baseline: seeding the isolated user 5 with the cheapest item.
+        let weak = SeedGroup::from_seeds(vec![Seed::new(imdpp_graph::UserId(5), ItemId(3), 1)]);
+        let weak_spread = ev.spread(&weak);
+        assert!(
+            dysim_spread > weak_spread,
+            "dysim {dysim_spread} vs weak {weak_spread}"
+        );
+    }
+
+    #[test]
+    fn ablations_produce_feasible_solutions() {
+        let inst = instance(3.0, 3);
+        let no_tm = Dysim::new(DysimConfig::fast().without_target_markets()).run(&inst);
+        let no_ip = Dysim::new(DysimConfig::fast().without_item_priority()).run(&inst);
+        assert!(inst.is_feasible(&no_tm));
+        assert!(inst.is_feasible(&no_ip));
+        assert!(!no_tm.is_empty());
+        assert!(!no_ip.is_empty());
+    }
+
+    #[test]
+    fn dysim_is_deterministic_for_a_fixed_seed() {
+        let inst = instance(3.0, 2);
+        let a = Dysim::new(DysimConfig::fast()).run(&inst);
+        let b = Dysim::new(DysimConfig::fast()).run(&inst);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_budget_never_reduces_the_number_of_seeds() {
+        let small = Dysim::new(DysimConfig::fast()).run(&instance(1.0, 2));
+        let large = Dysim::new(DysimConfig::fast()).run(&instance(4.0, 2));
+        assert!(large.len() >= small.len());
+    }
+
+    #[test]
+    fn every_ordering_metric_runs_end_to_end() {
+        let inst = instance(3.0, 2);
+        for ordering in MarketOrdering::all() {
+            let cfg = DysimConfig {
+                ordering,
+                ..DysimConfig::fast()
+            };
+            let seeds = Dysim::new(cfg).run(&inst);
+            assert!(inst.is_feasible(&seeds), "{}", ordering.name());
+        }
+    }
+
+    #[test]
+    fn zero_viable_nominees_gives_empty_solution() {
+        // Budget below every cost: universe is empty.
+        let scenario = toy_scenario();
+        let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 10.0);
+        let inst = ImdppInstance::new(scenario, costs, 5.0, 2).unwrap();
+        let report = Dysim::new(DysimConfig::fast()).run_with_report(&inst);
+        assert!(report.seeds.is_empty());
+        assert!(report.nominees.is_empty());
+    }
+}

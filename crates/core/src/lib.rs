@@ -1,0 +1,55 @@
+//! # imdpp-core
+//!
+//! The IMDPP problem (Influence Maximization based on Dynamic Personal
+//! Perception) and the **Dysim** approximation algorithm of the ICDE 2021
+//! paper, together with the submodular-maximization toolkit behind its
+//! approximation guarantees.
+//!
+//! Crate layout:
+//!
+//! * [`problem`] — the IMDPP instance: scenario + seeding costs + budget +
+//!   number of promotions (Definition 2),
+//! * [`eval`] — Monte-Carlo evaluation of the importance-aware influence
+//!   `σ(S)` and of the auxiliary quantities Dysim needs (`σ_τ`, `π_τ`,
+//!   expected perceptions),
+//! * [`nominees`] — MCP nominee selection (Procedure 2) with CELF-style lazy
+//!   evaluation,
+//! * [`market`] — target-market identification: nominee clustering, MIOA
+//!   expansion, θ-overlap grouping (TMI),
+//! * [`ordering`] — market-ordering metrics AE / PF / SZ / RMS / RD
+//!   (Sec. VI-D),
+//! * [`dre`] — dynamic reachability (proactive / reactive impact, Eqs. 1, 9,
+//!   10),
+//! * [`tdsi`] — substantial influence and promotional-timing search
+//!   (Eqs. 2, 11–13),
+//! * [`dysim`] — the full Dysim driver (Algorithm 1) with ablation switches,
+//! * [`adaptive`] — the adaptive-IM variant of Sec. V-D,
+//! * [`submodular`] — greedy / CELF / double-greedy USM / 1/12-SMK machinery
+//!   (Theorems 2–4),
+//! * [`theory`] — constructions used by the hardness and
+//!   (non-)monotonicity arguments (Fig. 7, Theorem 1), exercised by tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adaptive;
+pub mod dre;
+pub mod dysim;
+pub mod eval;
+pub mod market;
+pub mod nominees;
+pub mod ordering;
+pub mod problem;
+pub mod submodular;
+pub mod tdsi;
+pub mod theory;
+
+pub use dysim::{Dysim, DysimConfig};
+pub use eval::Evaluator;
+pub use market::TargetMarket;
+pub use nominees::Nominee;
+pub use ordering::MarketOrdering;
+pub use problem::{CostModel, ImdppInstance};
+
+pub use imdpp_diffusion::{Seed, SeedGroup};
+pub use imdpp_graph::{ItemId, UserId};

@@ -1,0 +1,413 @@
+//! Target Market Identification (TMI): clustering nominees, expanding each
+//! cluster into a target market via maximum-influence paths, and grouping
+//! overlapping markets.
+//!
+//! A target market `τ` is a cluster of nominees promoting *complementary*
+//! items to *socially close* users, together with the set of users those
+//! nominees can effectively influence (identified MIOA-style, Sec. IV-B of
+//! the paper).
+
+use crate::nominees::Nominee;
+use crate::problem::ImdppInstance;
+use imdpp_graph::clustering::label_propagation;
+use imdpp_graph::paths::{mioa_region, subset_hop_diameter};
+use imdpp_graph::traversal::bfs_undirected;
+use imdpp_graph::{ItemId, UserId};
+use imdpp_kg::{PersonalPerception, RelationKind};
+
+/// A target market: a cluster of nominees plus the users they can reach.
+#[derive(Clone, Debug)]
+pub struct TargetMarket {
+    /// Index of the market within its TMI run.
+    pub index: usize,
+    /// The nominees assigned to this market.
+    pub nominees: Vec<Nominee>,
+    /// The users of the market (nominee users plus their MIOA influence
+    /// region).
+    pub users: Vec<UserId>,
+    /// Hop diameter `d_τ` of the market's user set (≥ 1 for non-empty
+    /// markets), which bounds the item-impact propagation depth in DRE.
+    pub diameter: u32,
+}
+
+impl TargetMarket {
+    /// The distinct items promoted by the market's nominees.
+    pub fn items(&self) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = self.nominees.iter().map(|(_, x)| *x).collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+
+    /// The distinct users among the market's nominees.
+    pub fn nominee_users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.nominees.iter().map(|(u, _)| *u).collect();
+        users.sort_unstable();
+        users.dedup();
+        users
+    }
+
+    /// Number of users the two markets have in common.
+    pub fn common_users(&self, other: &TargetMarket) -> usize {
+        let set: std::collections::HashSet<u32> = self.users.iter().map(|u| u.0).collect();
+        other.users.iter().filter(|u| set.contains(&u.0)).count()
+    }
+}
+
+/// Configuration of the TMI clustering / expansion steps.
+#[derive(Clone, Copy, Debug)]
+pub struct TmiConfig {
+    /// Maximum-influence-path probability threshold used by the MIOA
+    /// expansion of a market's user set.
+    pub mioa_threshold: f64,
+    /// Number of hops considered "socially close" when measuring the social
+    /// proximity of two nominees.
+    pub proximity_hops: u32,
+    /// Number of label-propagation rounds used for nominee clustering.
+    pub clustering_rounds: usize,
+    /// Seed of the clustering (kept deterministic across runs).
+    pub clustering_seed: u64,
+    /// Threshold `θ` on the number of common users above which two target
+    /// markets belong to the same group `G`.
+    pub overlap_threshold: usize,
+    /// Cap on the number of users sampled when averaging relevance over the
+    /// population (keeps TMI cheap on large synthetic datasets).
+    pub relevance_user_sample: usize,
+}
+
+impl Default for TmiConfig {
+    fn default() -> Self {
+        TmiConfig {
+            mioa_threshold: 0.1,
+            proximity_hops: 3,
+            clustering_rounds: 10,
+            clustering_seed: 0xD15C0,
+            overlap_threshold: 1,
+            relevance_user_sample: 64,
+        }
+    }
+}
+
+/// Average relevance `r̄(x, y)` of a kind over (a sample of) the population.
+pub fn average_relevance_over_population(
+    perception: &PersonalPerception,
+    sample_cap: usize,
+    x: ItemId,
+    y: ItemId,
+    kind: RelationKind,
+) -> f64 {
+    let n = perception.user_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let step = (n / sample_cap.max(1)).max(1);
+    let users = (0..n).step_by(step).map(UserId::from_index);
+    perception.average_relevance(users, x, y, kind)
+}
+
+/// Clusters the selected nominees into prospective target markets.
+///
+/// The similarity between two nominees combines the social proximity of
+/// their users (within `proximity_hops`) and the complementary-minus-
+/// substitutable relevance of their items, as prescribed by TMI:
+///
+/// ```text
+/// sim((u1,x1),(u2,x2)) = proximity(u1,u2) · (1 + r̄C(x1,x2) − r̄S(x1,x2)) / 2
+/// ```
+pub fn cluster_nominees(
+    instance: &ImdppInstance,
+    nominees: &[Nominee],
+    config: &TmiConfig,
+) -> Vec<Vec<Nominee>> {
+    if nominees.is_empty() {
+        return Vec::new();
+    }
+    let scenario = instance.scenario();
+    let perception = scenario.initial_perception();
+    let graph = scenario.social().graph();
+
+    // Social hop distances between nominee users (undirected, limited hops).
+    let nominee_users: Vec<UserId> = nominees.iter().map(|(u, _)| *u).collect();
+    let mut distances: Vec<Vec<Option<u32>>> = Vec::with_capacity(nominees.len());
+    for &u in &nominee_users {
+        let d = bfs_undirected(graph, &[u], Some(config.proximity_hops));
+        distances.push(nominee_users.iter().map(|v| d.distance(*v)).collect());
+    }
+
+    let similarity = |i: usize, j: usize| -> f64 {
+        let proximity = match distances[i][j] {
+            Some(d) => 1.0 / (1.0 + d as f64),
+            None => return 0.0,
+        };
+        let (_, xi) = nominees[i];
+        let (_, xj) = nominees[j];
+        let relation = if xi == xj {
+            0.0
+        } else {
+            average_relevance_over_population(
+                perception,
+                config.relevance_user_sample,
+                xi,
+                xj,
+                RelationKind::Complementary,
+            ) - average_relevance_over_population(
+                perception,
+                config.relevance_user_sample,
+                xi,
+                xj,
+                RelationKind::Substitutable,
+            )
+        };
+        // Map the relation difference from [-1, 1] to [0, 1] and damp the
+        // proximity with it; substitutable pairs end up with low similarity.
+        (proximity * (1.0 + relation) / 2.0).max(0.0)
+    };
+
+    let clustering = label_propagation(
+        nominees.len(),
+        similarity,
+        config.clustering_rounds,
+        config.clustering_seed,
+    );
+    clustering
+        .clusters()
+        .into_iter()
+        .filter(|members| !members.is_empty())
+        .map(|members| members.into_iter().map(|i| nominees[i]).collect())
+        .collect()
+}
+
+/// Expands a nominee cluster into a target market by collecting every user
+/// reachable from the cluster's users with maximum-influence-path probability
+/// at least `mioa_threshold`.
+pub fn identify_market(
+    instance: &ImdppInstance,
+    index: usize,
+    cluster: Vec<Nominee>,
+    config: &TmiConfig,
+) -> TargetMarket {
+    let graph = instance.scenario().social().graph();
+    let sources: Vec<UserId> = {
+        let mut s: Vec<UserId> = cluster.iter().map(|(u, _)| *u).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let mut users = mioa_region(graph, &sources, config.mioa_threshold);
+    // The nominee users always belong to their own market.
+    for &u in &sources {
+        if !users.contains(&u) {
+            users.push(u);
+        }
+    }
+    users.sort_unstable();
+    users.dedup();
+    let diameter = subset_hop_diameter(graph, &users);
+    TargetMarket {
+        index,
+        nominees: cluster,
+        users,
+        diameter,
+    }
+}
+
+/// Runs the clustering + expansion pipeline and returns all target markets.
+pub fn identify_markets(
+    instance: &ImdppInstance,
+    nominees: &[Nominee],
+    config: &TmiConfig,
+) -> Vec<TargetMarket> {
+    cluster_nominees(instance, nominees, config)
+        .into_iter()
+        .enumerate()
+        .map(|(i, cluster)| identify_market(instance, i, cluster, config))
+        .collect()
+}
+
+/// Groups target markets that share more than `overlap_threshold` common
+/// users (the groups `G` of Algorithm 1).  Returns groups of indices into
+/// `markets`; singleton markets form their own group.
+pub fn group_markets(markets: &[TargetMarket], overlap_threshold: usize) -> Vec<Vec<usize>> {
+    let n = markets.len();
+    // Union-find over markets.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if markets[i].common_users(&markets[j]) > overlap_threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::CostModel;
+    use imdpp_diffusion::scenario::toy_scenario;
+
+    fn instance() -> ImdppInstance {
+        let scenario = toy_scenario();
+        let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+        ImdppInstance::new(scenario, costs, 4.0, 3).unwrap()
+    }
+
+    #[test]
+    fn clustering_keeps_every_nominee() {
+        let inst = instance();
+        let nominees = vec![
+            (UserId(0), ItemId(0)),
+            (UserId(1), ItemId(1)),
+            (UserId(5), ItemId(2)),
+        ];
+        let clusters = cluster_nominees(&inst, &nominees, &TmiConfig::default());
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 3);
+        assert!(!clusters.is_empty());
+    }
+
+    #[test]
+    fn socially_close_complementary_nominees_cluster_together() {
+        let inst = instance();
+        // Users 0 and 1 are adjacent; iPhone (0) and AirPods (1) are
+        // complementary.  User 5 is more than one hop away from both, so with
+        // a one-hop proximity horizon it cannot join their cluster.
+        let nominees = vec![
+            (UserId(0), ItemId(0)),
+            (UserId(1), ItemId(1)),
+            (UserId(5), ItemId(0)),
+        ];
+        let cfg = TmiConfig {
+            proximity_hops: 1,
+            ..TmiConfig::default()
+        };
+        let clusters = cluster_nominees(&inst, &nominees, &cfg);
+        // Find the cluster containing (u0, iPhone): it must also contain (u1, AirPods).
+        let c0 = clusters
+            .iter()
+            .find(|c| c.contains(&(UserId(0), ItemId(0))))
+            .unwrap();
+        assert!(c0.contains(&(UserId(1), ItemId(1))));
+        assert!(!c0.contains(&(UserId(5), ItemId(0))));
+    }
+
+    #[test]
+    fn empty_nominee_list_produces_no_clusters() {
+        let inst = instance();
+        assert!(cluster_nominees(&inst, &[], &TmiConfig::default()).is_empty());
+        assert!(identify_markets(&inst, &[], &TmiConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn market_expansion_includes_reachable_users() {
+        let inst = instance();
+        let market = identify_market(
+            &inst,
+            0,
+            vec![(UserId(0), ItemId(0))],
+            &TmiConfig {
+                mioa_threshold: 0.2,
+                ..TmiConfig::default()
+            },
+        );
+        // User 0 reaches 1 (0.6) and 2 (0.5) and 3 via 1 (0.3) etc.
+        assert!(market.users.contains(&UserId(0)));
+        assert!(market.users.contains(&UserId(1)));
+        assert!(market.users.contains(&UserId(2)));
+        assert!(market.diameter >= 1);
+        assert_eq!(market.items(), vec![ItemId(0)]);
+        assert_eq!(market.nominee_users(), vec![UserId(0)]);
+    }
+
+    #[test]
+    fn high_threshold_market_shrinks_to_nominee_users() {
+        let inst = instance();
+        let market = identify_market(
+            &inst,
+            0,
+            vec![(UserId(5), ItemId(1))],
+            &TmiConfig {
+                mioa_threshold: 0.99,
+                ..TmiConfig::default()
+            },
+        );
+        assert_eq!(market.users, vec![UserId(5)]);
+        assert_eq!(market.diameter, 1);
+    }
+
+    #[test]
+    fn common_users_counts_intersection() {
+        let inst = instance();
+        let cfg = TmiConfig {
+            mioa_threshold: 0.2,
+            ..TmiConfig::default()
+        };
+        let m1 = identify_market(&inst, 0, vec![(UserId(0), ItemId(0))], &cfg);
+        let m2 = identify_market(&inst, 1, vec![(UserId(2), ItemId(1))], &cfg);
+        assert!(m1.common_users(&m2) >= 1);
+    }
+
+    #[test]
+    fn grouping_merges_overlapping_markets() {
+        let inst = instance();
+        let cfg = TmiConfig {
+            mioa_threshold: 0.2,
+            overlap_threshold: 0,
+            ..TmiConfig::default()
+        };
+        let m1 = identify_market(&inst, 0, vec![(UserId(0), ItemId(0))], &cfg);
+        let m2 = identify_market(&inst, 1, vec![(UserId(2), ItemId(1))], &cfg);
+        let m3 = identify_market(&inst, 2, vec![(UserId(5), ItemId(2))], &cfg);
+        let groups = group_markets(&[m1, m2, m3], 0);
+        // Markets 0 and 1 overlap (both reach user 4/5 region or each other);
+        // market 2 (user 5, no out-edges) stays alone unless overlapping.
+        let group_of_0 = groups.iter().find(|g| g.contains(&0)).unwrap();
+        assert!(group_of_0.contains(&1));
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn grouping_with_huge_threshold_keeps_markets_separate() {
+        let inst = instance();
+        let cfg = TmiConfig {
+            mioa_threshold: 0.2,
+            ..TmiConfig::default()
+        };
+        let m1 = identify_market(&inst, 0, vec![(UserId(0), ItemId(0))], &cfg);
+        let m2 = identify_market(&inst, 1, vec![(UserId(2), ItemId(1))], &cfg);
+        let groups = group_markets(&[m1, m2], 1000);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn average_relevance_over_population_matches_single_user_when_uniform() {
+        let inst = instance();
+        let p = inst.scenario().initial_perception();
+        let avg = average_relevance_over_population(
+            p,
+            8,
+            ItemId(0),
+            ItemId(1),
+            RelationKind::Complementary,
+        );
+        let single = p.complementary(UserId(0), ItemId(0), ItemId(1));
+        assert!((avg - single).abs() < 1e-12);
+    }
+}

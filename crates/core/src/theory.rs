@@ -1,0 +1,274 @@
+//! Constructions used by the paper's theoretical arguments, exercised by the
+//! test suite:
+//!
+//! * the set-cover gadget of the inapproximability proof (Theorem 1),
+//! * an instance demonstrating that the importance-aware influence function
+//!   is **not** monotone increasing across promotions (the phenomenon behind
+//!   Fig. 7 / Lemma 1's second half): seeding a worthless substitutable item
+//!   early depresses the preference for a valuable item later,
+//! * empirical submodularity / monotonicity checks for the restricted
+//!   (static, single-promotion) problem of Lemma 1.
+
+use crate::problem::{CostModel, ImdppInstance};
+use imdpp_diffusion::{DynamicsConfig, Scenario, Seed, SeedGroup};
+use imdpp_graph::{ItemId, SocialGraph, UserId};
+use imdpp_kg::{
+    hin::KnowledgeGraphBuilder, EdgeType, ItemCatalog, MetaGraph, NodeType, RelevanceModel,
+};
+use std::sync::Arc;
+
+/// A set-cover instance: `universe_size` elements and a family of sets given
+/// as element-index lists.
+#[derive(Clone, Debug)]
+pub struct SetCoverInstance {
+    /// Number of elements in the ground set `U`.
+    pub universe_size: usize,
+    /// The sets of the family `S`, each a list of element indices.
+    pub sets: Vec<Vec<usize>>,
+    /// The cover size `k` asked about by the decision problem.
+    pub k: usize,
+}
+
+/// The IMDPP gadget built from a set-cover instance (a simplified version of
+/// the Theorem 1 construction, without the `|U|^c` path blow-up):
+/// set nodes point at the element nodes they cover; seeding the set nodes of
+/// a cover makes every element node adopt the promoted item.
+#[derive(Clone, Debug)]
+pub struct SetCoverGadget {
+    /// The IMDPP instance.
+    pub instance: ImdppInstance,
+    /// The user node of each set (index aligned with `SetCoverInstance::sets`).
+    pub set_users: Vec<UserId>,
+    /// The user node of each element.
+    pub element_users: Vec<UserId>,
+    /// The single promoted item.
+    pub item: ItemId,
+}
+
+/// Builds the set-cover gadget: one user per set, one user per element, a
+/// directed full-strength edge from a set user to every element it covers, a
+/// single item with importance 1 that everybody fully prefers, unit seeding
+/// costs for set users and prohibitive costs for element users, and budget
+/// `k`.
+pub fn set_cover_gadget(sc: &SetCoverInstance) -> SetCoverGadget {
+    let set_count = sc.sets.len();
+    let user_count = set_count + sc.universe_size;
+    let set_users: Vec<UserId> = (0..set_count).map(UserId::from_index).collect();
+    let element_users: Vec<UserId> = (set_count..user_count).map(UserId::from_index).collect();
+
+    let mut edges = Vec::new();
+    for (s_idx, covered) in sc.sets.iter().enumerate() {
+        for &e in covered {
+            assert!(e < sc.universe_size, "element index out of range");
+            edges.push((set_users[s_idx], element_users[e], 1.0));
+        }
+    }
+    let social = SocialGraph::from_influence_edges(user_count, edges, true);
+
+    // One item, trivially connected KG (no relevant pairs needed).
+    let mut kg = KnowledgeGraphBuilder::new();
+    let item_node = kg.add_node(NodeType::Item, "covered-item");
+    let feature = kg.add_node(NodeType::Feature, "feature");
+    kg.add_fact(item_node, feature, EdgeType::Supports);
+    let kg = kg.build();
+    let relevance = Arc::new(RelevanceModel::compute(&kg, MetaGraph::default_set()));
+    let catalog = ItemCatalog::uniform(1);
+
+    let scenario = Scenario::builder()
+        .social(social)
+        .catalog(catalog)
+        .relevance(relevance)
+        .uniform_base_preference(1.0)
+        .dynamics(DynamicsConfig::frozen())
+        .build()
+        .expect("gadget scenario must be valid");
+
+    let mut costs = CostModel::uniform(user_count, 1, 1.0);
+    for &e in &element_users {
+        costs.set_cost(e, ItemId(0), 1_000.0);
+    }
+    let instance = ImdppInstance::new(scenario, costs, sc.k as f64, 1)
+        .expect("gadget instance must be valid");
+    SetCoverGadget {
+        instance,
+        set_users,
+        element_users,
+        item: ItemId(0),
+    }
+}
+
+impl SetCoverGadget {
+    /// The seed group corresponding to choosing the given sets as a cover.
+    pub fn seeds_for_cover(&self, chosen_sets: &[usize]) -> SeedGroup {
+        chosen_sets
+            .iter()
+            .map(|&s| Seed::new(self.set_users[s], self.item, 1))
+            .collect()
+    }
+
+    /// Number of element users covered (adopting) under a deterministic
+    /// evaluation of the gadget (all probabilities are 1, so one simulation
+    /// suffices).
+    pub fn covered_elements(&self, seeds: &SeedGroup) -> usize {
+        use imdpp_diffusion::simulate;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = simulate(self.instance.scenario(), seeds, 1, &mut rng);
+        self.element_users
+            .iter()
+            .filter(|&&e| out.state().has_adopted(e, self.item))
+            .count()
+    }
+}
+
+/// Builds an instance on which the importance-aware influence function is not
+/// monotone across promotions: a worthless item `A` that is a perfect
+/// substitute of the valuable item `B`.
+///
+/// * Users: `s → v` with influence 1.0.
+/// * Items: `A` (importance 0), `B` (importance 1), in the same category
+///   (substitutable matrix score 1, perceived relevance 0.2 under the
+///   initial weighting), no complementary relation.
+/// * Everybody's base preference is 1.0; `preference_loss` is 2.5, so an
+///   adopted substitute costs 0.5 preference.
+///
+/// Seeding only `(s, B, 2)` yields σ = 2 (both users adopt `B`);
+/// additionally seeding `(s, A, 1)` makes `v` adopt the worthless `A` first,
+/// which halves `v`'s preference for `B`, dropping σ to ≈ 1.5.
+pub fn non_monotone_instance() -> (ImdppInstance, SeedGroup, SeedGroup) {
+    let mut kg = KnowledgeGraphBuilder::new();
+    let a = kg.add_node(NodeType::Item, "A");
+    let b = kg.add_node(NodeType::Item, "B");
+    let cat = kg.add_node(NodeType::Category, "same-need");
+    kg.add_fact(a, cat, EdgeType::BelongsTo);
+    kg.add_fact(b, cat, EdgeType::BelongsTo);
+    let kg = kg.build();
+    let relevance = Arc::new(RelevanceModel::compute(&kg, MetaGraph::default_set()));
+
+    let social = SocialGraph::from_influence_edges(
+        2,
+        vec![(UserId(0), UserId(1), 1.0)],
+        true,
+    );
+    let catalog = ItemCatalog::from_importances(vec![0.0, 1.0]);
+    let dynamics = DynamicsConfig {
+        preference_loss: 2.5,
+        preference_gain: 0.0,
+        extra_adoption_scale: 0.0,
+        influence_gain: 0.0,
+        ..DynamicsConfig::default()
+    };
+    let scenario = Scenario::builder()
+        .social(social)
+        .catalog(catalog)
+        .relevance(relevance)
+        .uniform_base_preference(1.0)
+        .dynamics(dynamics)
+        .build()
+        .expect("non-monotone scenario must be valid");
+    let costs = CostModel::uniform(2, 2, 1.0);
+    let instance = ImdppInstance::new(scenario, costs, 10.0, 2).expect("valid instance");
+
+    let small = SeedGroup::from_seeds(vec![Seed::new(UserId(0), ItemId(1), 2)]);
+    let large = SeedGroup::from_seeds(vec![
+        Seed::new(UserId(0), ItemId(0), 1),
+        Seed::new(UserId(0), ItemId(1), 2),
+    ]);
+    (instance, small, large)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::submodular::{check_submodularity_on, SetFunction};
+
+    #[test]
+    fn gadget_cover_reaches_every_element() {
+        let sc = SetCoverInstance {
+            universe_size: 4,
+            sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+            k: 2,
+        };
+        let gadget = set_cover_gadget(&sc);
+        // {0, 2} is a cover of size 2.
+        let cover = gadget.seeds_for_cover(&[0, 2]);
+        assert!(gadget.instance.is_feasible(&cover));
+        assert_eq!(gadget.covered_elements(&cover), 4);
+        // {0} alone covers only two elements.
+        let partial = gadget.seeds_for_cover(&[0]);
+        assert_eq!(gadget.covered_elements(&partial), 2);
+    }
+
+    #[test]
+    fn gadget_budget_prevents_seeding_elements_directly() {
+        let sc = SetCoverInstance {
+            universe_size: 2,
+            sets: vec![vec![0], vec![1]],
+            k: 1,
+        };
+        let gadget = set_cover_gadget(&sc);
+        let direct = SeedGroup::from_seeds(vec![Seed::new(gadget.element_users[0], gadget.item, 1)]);
+        assert!(!gadget.instance.is_feasible(&direct));
+    }
+
+    #[test]
+    fn multi_promotion_sigma_is_not_monotone() {
+        let (instance, small, large) = non_monotone_instance();
+        let ev = Evaluator::new(&instance, 400, 11);
+        let sigma_small = ev.spread(&small);
+        let sigma_large = ev.spread(&large);
+        // σ({(s,B,2)}) ≈ 2.0; adding (s,A,1) drops it to ≈ 1.5.
+        assert!(sigma_small > 1.9, "sigma_small = {sigma_small}");
+        assert!(
+            sigma_large < sigma_small - 0.2,
+            "expected non-monotone drop: {sigma_large} vs {sigma_small}"
+        );
+    }
+
+    /// Adapter exposing the restricted (static, single-promotion) spread as a
+    /// set function over a fixed candidate nominee list.
+    struct StaticSpread<'a> {
+        evaluator: Evaluator<'a>,
+        candidates: Vec<(UserId, ItemId)>,
+    }
+
+    impl SetFunction for StaticSpread<'_> {
+        fn ground_size(&self) -> usize {
+            self.candidates.len()
+        }
+        fn eval(&mut self, subset: &[usize]) -> f64 {
+            let nominees: Vec<(UserId, ItemId)> =
+                subset.iter().map(|&i| self.candidates[i]).collect();
+            self.evaluator.static_first_promotion_spread(&nominees)
+        }
+    }
+
+    #[test]
+    fn restricted_sigma_is_empirically_monotone_and_submodular() {
+        let scenario = imdpp_diffusion::scenario::toy_scenario();
+        let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+        let instance = ImdppInstance::new(scenario, costs, 10.0, 1).unwrap();
+        let evaluator = Evaluator::new(&instance, 200, 5);
+        let mut f = StaticSpread {
+            evaluator,
+            candidates: vec![
+                (UserId(0), ItemId(0)),
+                (UserId(1), ItemId(0)),
+                (UserId(2), ItemId(1)),
+            ],
+        };
+        // Monotone: adding an element never reduces the value (within noise).
+        let empty = f.eval(&[]);
+        let one = f.eval(&[0]);
+        let two = f.eval(&[0, 1]);
+        let three = f.eval(&[0, 1, 2]);
+        assert!(empty <= one + 0.05);
+        assert!(one <= two + 0.05);
+        assert!(two <= three + 0.05);
+        // Submodular on a lattice of small subsets (with Monte-Carlo tolerance).
+        let subsets = vec![vec![], vec![0], vec![0, 1]];
+        assert!(check_submodularity_on(&mut f, &subsets, 0.15));
+    }
+}

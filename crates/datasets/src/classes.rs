@@ -1,0 +1,281 @@
+//! The course-promotion classes of the empirical study (Table III, Fig. 12).
+//!
+//! Each class is a small, dense friendship graph of computer-science
+//! students; 30 elective courses form the item catalogue, with a curriculum
+//! knowledge graph of course keywords, related compulsory courses (features)
+//! and research fields (categories).  Class sizes and edge counts follow
+//! Table III; the friendship graphs are dense small-world graphs tuned to
+//! reach the reported edge counts.
+
+use imdpp_core::{CostModel, ImdppInstance};
+use imdpp_diffusion::Scenario;
+use imdpp_graph::{SocialGraph, UserId};
+use imdpp_kg::hin::KnowledgeGraphBuilder;
+use imdpp_kg::{EdgeType, ItemCatalog, KnowledgeGraph, MetaGraph, NodeType, RelevanceModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Specification of one recruited class (a row of Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassSpec {
+    /// Class identifier ('A'–'E').
+    pub id: char,
+    /// Number of students.
+    pub users: usize,
+    /// Number of directed friendship edges reported in Table III.
+    pub edges: usize,
+    /// Random seed for this class.
+    pub seed: u64,
+}
+
+impl ClassSpec {
+    /// The five classes of Table III.
+    pub fn all() -> [ClassSpec; 5] {
+        [
+            ClassSpec { id: 'A', users: 33, edges: 293, seed: 0xA },
+            ClassSpec { id: 'B', users: 26, edges: 420, seed: 0xB },
+            ClassSpec { id: 'C', users: 22, edges: 387, seed: 0xC },
+            ClassSpec { id: 'D', users: 20, edges: 227, seed: 0xD },
+            ClassSpec { id: 'E', users: 20, edges: 308, seed: 0xE },
+        ]
+    }
+}
+
+/// Number of elective courses promoted in the empirical study.
+pub const COURSE_COUNT: usize = 30;
+
+/// The curriculum knowledge graph shared by all classes: 30 courses with
+/// keywords, related compulsory courses and research fields.
+pub fn course_knowledge_graph(seed: u64) -> (KnowledgeGraph, ItemCatalog) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = KnowledgeGraphBuilder::new();
+    let course_names = [
+        "artificial intelligence",
+        "objective-oriented programming",
+        "big data",
+        "deep learning",
+        "natural language processing",
+        "cloud computing",
+        "IoT",
+        "software design for cloud computing",
+        "python",
+        "C++",
+        "computer vision",
+        "databases",
+        "operating systems",
+        "compilers",
+        "computer networks",
+        "distributed systems",
+        "information retrieval",
+        "data mining",
+        "reinforcement learning",
+        "computer graphics",
+        "cryptography",
+        "network security",
+        "parallel programming",
+        "embedded systems",
+        "web programming",
+        "mobile app development",
+        "numerical methods",
+        "algorithm design",
+        "software testing",
+        "human-computer interaction",
+    ];
+    assert_eq!(course_names.len(), COURSE_COUNT);
+    let courses: Vec<_> = course_names
+        .iter()
+        .map(|n| b.add_node(NodeType::Item, *n))
+        .collect();
+    // Research fields (categories): substitutable evidence within a field.
+    let fields = [
+        "machine learning",
+        "systems",
+        "programming languages",
+        "security",
+        "data management",
+        "applications",
+    ];
+    let field_nodes: Vec<_> = fields
+        .iter()
+        .map(|f| b.add_node(NodeType::Category, *f))
+        .collect();
+    // Compulsory prerequisite courses (features): complementary evidence.
+    let prereqs = [
+        "calculus",
+        "linear algebra",
+        "probability",
+        "intro to programming",
+        "data structures",
+        "discrete math",
+        "computer architecture",
+        "statistics",
+    ];
+    let prereq_nodes: Vec<_> = prereqs
+        .iter()
+        .map(|p| b.add_node(NodeType::Feature, *p))
+        .collect();
+    // Keywords extracted from syllabuses: substitutable evidence.
+    let keywords = [
+        "neural networks", "optimization", "SQL", "concurrency", "virtualization",
+        "sensors", "agile", "object orientation", "scripting", "pointers",
+        "graphs", "caching", "protocols", "testing", "usability",
+    ];
+    let keyword_nodes: Vec<_> = keywords
+        .iter()
+        .map(|k| b.add_node(NodeType::Keyword, *k))
+        .collect();
+
+    for (i, &course) in courses.iter().enumerate() {
+        // One research field each (grouped so that related courses share it).
+        let field = field_nodes[i % field_nodes.len()];
+        b.add_fact(course, field, EdgeType::BelongsTo);
+        // Two or three prerequisites.
+        for _ in 0..rng.gen_range(2..=3) {
+            let p = prereq_nodes[rng.gen_range(0..prereq_nodes.len())];
+            b.add_fact(course, p, EdgeType::Supports);
+        }
+        // One or two keywords.
+        for _ in 0..rng.gen_range(1..=2) {
+            let k = keyword_nodes[rng.gen_range(0..keyword_nodes.len())];
+            b.add_fact(course, k, EdgeType::TaggedWith);
+        }
+    }
+    // A few explicit curriculum links (e.g. AI -> deep learning -> NLP).
+    let related_pairs = [
+        (0usize, 3usize),
+        (3, 4),
+        (3, 10),
+        (2, 5),
+        (5, 7),
+        (5, 6),
+        (8, 2),
+        (11, 17),
+        (14, 15),
+        (27, 17),
+    ];
+    for &(a, c) in &related_pairs {
+        b.add_fact(courses[a], courses[c], EdgeType::RelatedTo);
+    }
+    let kg = b.build();
+    // All courses are equally valuable to the campaign (the study maximises
+    // the number of selected courses).
+    let catalog = ItemCatalog::with_names(
+        vec![1.0; COURSE_COUNT],
+        course_names.iter().map(|s| s.to_string()).collect(),
+    );
+    (kg, catalog)
+}
+
+/// Generates the IMDPP instance of one class: dense friendship graph with the
+/// Table III edge count, the shared course KG, and the paper's cost model
+/// (out-degree over initial preference).  Budget and `T` default to the
+/// study's `b = 50`, `T = 3`.
+pub fn generate_class(spec: &ClassSpec) -> ImdppInstance {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n = spec.users;
+    // Sample directed edges uniformly until the Table III edge count is hit.
+    let max_edges = n * (n - 1);
+    let target = spec.edges.min(max_edges);
+    let mut chosen = std::collections::HashSet::new();
+    while chosen.len() < target {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            chosen.insert((a as u32, b as u32));
+        }
+    }
+    // The class graphs are dense (average degree ≈ 10–18), so individual
+    // influence strengths and initial preferences are kept small enough that
+    // a cascade stays sub-critical; otherwise every algorithm saturates the
+    // class and the Fig. 12 comparison becomes meaningless.
+    let edges: Vec<(UserId, UserId, f64)> = chosen
+        .into_iter()
+        .map(|(a, b)| (UserId(a), UserId(b), rng.gen_range(0.02..0.12)))
+        .collect();
+    let social = SocialGraph::from_influence_edges(n, edges, true);
+
+    let (kg, catalog) = course_knowledge_graph(spec.seed ^ 0xC0FFEE);
+    let relevance = Arc::new(RelevanceModel::compute(&kg, MetaGraph::default_set()));
+    let mut base_preferences = Vec::with_capacity(n * COURSE_COUNT);
+    for _ in 0..n * COURSE_COUNT {
+        base_preferences.push(rng.gen_range(0.05..0.5));
+    }
+    let scenario = Scenario::builder()
+        .social(social)
+        .catalog(catalog)
+        .relevance(relevance)
+        .base_preferences(base_preferences)
+        .build()
+        .expect("class scenario must be valid");
+    let costs = CostModel::degree_over_preference(&scenario, 0.1);
+    ImdppInstance::new(scenario, costs, 50.0, 3).expect("class instance must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdpp_kg::stats::KgStats;
+
+    #[test]
+    fn table_three_sizes_are_reproduced() {
+        for spec in ClassSpec::all() {
+            let inst = generate_class(&spec);
+            assert_eq!(inst.scenario().user_count(), spec.users, "class {}", spec.id);
+            assert_eq!(
+                inst.scenario().social().edge_count(),
+                spec.edges,
+                "class {}",
+                spec.id
+            );
+            assert_eq!(inst.scenario().item_count(), COURSE_COUNT);
+            assert_eq!(inst.budget(), 50.0);
+            assert_eq!(inst.promotions(), 3);
+        }
+    }
+
+    #[test]
+    fn course_kg_covers_all_relationship_evidence() {
+        let (kg, catalog) = course_knowledge_graph(1);
+        assert_eq!(catalog.item_count(), COURSE_COUNT);
+        let stats = KgStats::of(&kg);
+        assert_eq!(stats.item_count, COURSE_COUNT);
+        assert!(stats.node_type_count >= 4);
+        assert!(stats.fact_count > COURSE_COUNT * 3);
+        // AI and deep learning are complementary via the explicit curriculum link.
+        let model = RelevanceModel::compute(&kg, MetaGraph::default_set());
+        let r = model.base_relevance(
+            imdpp_graph::ItemId(0),
+            imdpp_graph::ItemId(3),
+            imdpp_kg::RelationKind::Complementary,
+        );
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn classes_are_deterministic() {
+        let a = generate_class(&ClassSpec::all()[0]);
+        let b = generate_class(&ClassSpec::all()[0]);
+        assert_eq!(a.scenario().social().edge_count(), b.scenario().social().edge_count());
+        assert_eq!(
+            a.cost(UserId(0), imdpp_graph::ItemId(0)),
+            b.cost(UserId(0), imdpp_graph::ItemId(0))
+        );
+    }
+
+    #[test]
+    fn python_and_cpp_are_substitutable_in_some_degree() {
+        // The study observes python (8) and C++ (9) being treated as
+        // substitutable; they share the "programming languages"-style field
+        // grouping whenever i % fields aligns, and at minimum they must not be
+        // strongly complementary.
+        let (kg, _) = course_knowledge_graph(1);
+        let model = RelevanceModel::compute(&kg, MetaGraph::default_set());
+        let comp = model.base_relevance(
+            imdpp_graph::ItemId(8),
+            imdpp_graph::ItemId(9),
+            imdpp_kg::RelationKind::Complementary,
+        );
+        assert!(comp < 0.6);
+    }
+}

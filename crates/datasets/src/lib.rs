@@ -1,0 +1,34 @@
+//! # imdpp-datasets
+//!
+//! Synthetic stand-ins for the datasets of the paper's evaluation.
+//!
+//! The paper evaluates on crawls of Douban, Gowalla, Yelp and Amazon
+//! (+Pokec friendships) — corpora that are not redistributable — and on five
+//! recruited course-promotion classes.  This crate generates synthetic
+//! datasets that reproduce the *shape* of those corpora at laptop scale
+//! (heavy-tailed friendship degrees, the node/edge type mix of each KG, the
+//! average influence strengths and item-importance levels of Table II, the
+//! class sizes of Table III), which is what the relative behaviour of the
+//! algorithms depends on.  DESIGN.md §3 documents the substitution.
+//!
+//! * [`config`] — declarative dataset description,
+//! * [`generator`] — config → fully wired [`imdpp_core::ImdppInstance`],
+//! * [`catalog`] — presets for the four Table II datasets (plus the 100-user
+//!   "Amazon-small" sample used against OPT in Fig. 8),
+//! * [`classes`] — the course-promotion classes A–E of Table III / Fig. 12,
+//! * [`stats`] — Table II style statistics of a generated dataset.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod classes;
+pub mod config;
+pub mod generator;
+pub mod stats;
+
+pub use catalog::DatasetKind;
+pub use classes::{generate_class, ClassSpec};
+pub use config::DatasetConfig;
+pub use generator::generate;
+pub use stats::DatasetStats;

@@ -1,0 +1,47 @@
+//! # imdpp-diffusion
+//!
+//! The dynamic-personal-perception diffusion process of the IMDPP paper and
+//! the Monte-Carlo machinery used to estimate the importance-aware influence
+//! spread `σ(S)`.
+//!
+//! The diffusion process (Sec. III of the paper) runs a campaign of `T`
+//! promotions.  Within each promotion, influence propagates step by step:
+//! a user `u` promoted an item `x` by a friend `u'` adopts it with
+//! probability `P_act(u', u) · P_pref(u, x)`, may additionally adopt relevant
+//! items through item associations (`P_ext`), and — after every step — the
+//! perceptions, preferences and influence strengths of users with new
+//! adoptions are updated, producing the ripple effect the paper describes.
+//!
+//! Crate layout:
+//!
+//! * [`seeds`] — seeds `(u, x, t)` and seed groups,
+//! * [`models`] — triggering-model variants (IC / LT),
+//! * [`dynamics`] — the four dynamic factors (relevance measurement,
+//!   preference estimation, influence learning, item associations),
+//! * [`scenario`] — the immutable world shared by all simulations,
+//! * [`state`] — per-simulation mutable state (adoptions + perception),
+//! * [`process`] — one stochastic realisation of the campaign,
+//! * [`montecarlo`] — parallel spread estimation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dynamics;
+pub mod models;
+pub mod montecarlo;
+pub mod process;
+pub mod ris;
+pub mod scenario;
+pub mod seeds;
+pub mod state;
+
+pub use dynamics::DynamicsConfig;
+pub use models::DiffusionModel;
+pub use montecarlo::{SpreadEstimate, SpreadEstimator};
+pub use process::{simulate, SimulationOutcome};
+pub use ris::RrSets;
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use seeds::{Seed, SeedGroup};
+pub use state::DiffusionState;
+
+pub use imdpp_graph::{ItemId, UserId};

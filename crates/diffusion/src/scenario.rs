@@ -1,0 +1,416 @@
+//! The immutable "world" shared by every simulation and every algorithm:
+//! social network, item catalogue, relevance model, initial perceptions,
+//! base preferences and the dynamics / model configuration.
+
+use crate::dynamics::DynamicsConfig;
+use crate::models::DiffusionModel;
+use imdpp_graph::{ItemId, SocialGraph, UserId};
+use imdpp_kg::{ItemCatalog, PersonalPerception, RelevanceModel};
+use std::sync::Arc;
+
+/// The immutable IMDPP world: everything needed to run the diffusion process
+/// except the seed group itself.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    social: SocialGraph,
+    catalog: ItemCatalog,
+    relevance: Arc<RelevanceModel>,
+    initial_perception: PersonalPerception,
+    /// Flat `user_count × item_count` matrix of initial preferences
+    /// `P_pref(u, x, 0)`.
+    base_preferences: Vec<f64>,
+    dynamics: DynamicsConfig,
+    model: DiffusionModel,
+}
+
+impl Scenario {
+    /// Starts building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The social network.
+    #[inline]
+    pub fn social(&self) -> &SocialGraph {
+        &self.social
+    }
+
+    /// The item catalogue.
+    #[inline]
+    pub fn catalog(&self) -> &ItemCatalog {
+        &self.catalog
+    }
+
+    /// The shared relevance model (meta-graphs + matrices).
+    #[inline]
+    pub fn relevance(&self) -> &Arc<RelevanceModel> {
+        &self.relevance
+    }
+
+    /// The initial (ζ = 0) personal perceptions.
+    #[inline]
+    pub fn initial_perception(&self) -> &PersonalPerception {
+        &self.initial_perception
+    }
+
+    /// The dynamics configuration.
+    #[inline]
+    pub fn dynamics(&self) -> &DynamicsConfig {
+        &self.dynamics
+    }
+
+    /// The triggering model.
+    #[inline]
+    pub fn model(&self) -> DiffusionModel {
+        self.model
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn user_count(&self) -> usize {
+        self.social.user_count()
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn item_count(&self) -> usize {
+        self.catalog.item_count()
+    }
+
+    /// The initial preference `P_pref(u, x, 0)`.
+    #[inline]
+    pub fn base_preference(&self, u: UserId, x: ItemId) -> f64 {
+        self.base_preferences[u.index() * self.catalog.item_count() + x.index()]
+    }
+
+    /// Iterator over all users.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.social.users()
+    }
+
+    /// Iterator over all items.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.catalog.items()
+    }
+
+    /// Returns a scenario identical to this one but with a different
+    /// dynamics configuration (used by the static-vs-dynamic ablations).
+    pub fn with_dynamics(&self, dynamics: DynamicsConfig) -> Scenario {
+        let mut s = self.clone();
+        s.dynamics = dynamics;
+        s
+    }
+
+    /// Returns a scenario identical to this one but with a different
+    /// triggering model.
+    pub fn with_model(&self, model: DiffusionModel) -> Scenario {
+        let mut s = self.clone();
+        s.model = model;
+        s
+    }
+
+    /// Returns a scenario restricted to the first `k` meta-graphs (the
+    /// Fig. 13 sensitivity study); initial weightings are reset to the
+    /// uniform value of the first user's first weighting.
+    pub fn with_metagraph_count(&self, k: usize) -> Scenario {
+        let truncated = Arc::new(self.relevance.truncated(k));
+        let initial_weight = if self.initial_perception.metagraph_count() > 0 {
+            self.initial_perception.weight_vector(UserId(0))[0]
+        } else {
+            0.2
+        };
+        let perception = PersonalPerception::uniform(
+            truncated.clone(),
+            self.user_count(),
+            initial_weight.clamp(imdpp_kg::personal::MIN_WEIGHT, 1.0),
+        );
+        let mut s = self.clone();
+        s.relevance = truncated;
+        s.initial_perception = perception;
+        s
+    }
+}
+
+/// Builder for [`Scenario`] with validation of dimensions and ranges.
+#[derive(Default)]
+pub struct ScenarioBuilder {
+    social: Option<SocialGraph>,
+    catalog: Option<ItemCatalog>,
+    relevance: Option<Arc<RelevanceModel>>,
+    initial_perception: Option<PersonalPerception>,
+    base_preferences: Option<Vec<f64>>,
+    uniform_base_preference: Option<f64>,
+    initial_weight: f64,
+    dynamics: DynamicsConfig,
+    model: DiffusionModel,
+}
+
+impl ScenarioBuilder {
+    /// Sets the social network (required).
+    pub fn social(mut self, social: SocialGraph) -> Self {
+        self.social = Some(social);
+        self
+    }
+
+    /// Sets the item catalogue (required).
+    pub fn catalog(mut self, catalog: ItemCatalog) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// Sets the relevance model (required).
+    pub fn relevance(mut self, relevance: Arc<RelevanceModel>) -> Self {
+        self.relevance = Some(relevance);
+        self
+    }
+
+    /// Sets explicit initial perceptions; when omitted, uniform weightings of
+    /// [`Self::initial_weight`] are used.
+    pub fn initial_perception(mut self, perception: PersonalPerception) -> Self {
+        self.initial_perception = Some(perception);
+        self
+    }
+
+    /// Sets the uniform initial meta-graph weighting (default 0.2).
+    pub fn initial_weight(mut self, w: f64) -> Self {
+        self.initial_weight = w;
+        self
+    }
+
+    /// Sets the full `user_count × item_count` initial preference matrix.
+    pub fn base_preferences(mut self, prefs: Vec<f64>) -> Self {
+        self.base_preferences = Some(prefs);
+        self
+    }
+
+    /// Sets a single initial preference value for every `(user, item)` pair.
+    pub fn uniform_base_preference(mut self, p: f64) -> Self {
+        self.uniform_base_preference = Some(p);
+        self
+    }
+
+    /// Sets the dynamics configuration (default: [`DynamicsConfig::default`]).
+    pub fn dynamics(mut self, dynamics: DynamicsConfig) -> Self {
+        self.dynamics = dynamics;
+        self
+    }
+
+    /// Sets the triggering model (default: Independent Cascade).
+    pub fn model(mut self, model: DiffusionModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Validates and builds the scenario.
+    ///
+    /// # Errors
+    /// Returns a human-readable message when a required component is missing
+    /// or dimensions / ranges are inconsistent.
+    pub fn build(self) -> Result<Scenario, String> {
+        let social = self.social.ok_or("social graph is required")?;
+        let catalog = self.catalog.ok_or("item catalog is required")?;
+        let relevance = self.relevance.ok_or("relevance model is required")?;
+        if relevance.item_count() != catalog.item_count() {
+            return Err(format!(
+                "relevance model covers {} items but the catalog has {}",
+                relevance.item_count(),
+                catalog.item_count()
+            ));
+        }
+        self.dynamics.validate()?;
+        let user_count = social.user_count();
+        let item_count = catalog.item_count();
+        let initial_weight = if self.initial_weight > 0.0 {
+            self.initial_weight
+        } else {
+            0.2
+        };
+        let perception = match self.initial_perception {
+            Some(p) => {
+                if p.user_count() != user_count {
+                    return Err(format!(
+                        "perception covers {} users but the social graph has {}",
+                        p.user_count(),
+                        user_count
+                    ));
+                }
+                if p.metagraph_count() != relevance.len() {
+                    return Err("perception and relevance model disagree on meta-graph count"
+                        .to_string());
+                }
+                p
+            }
+            None => PersonalPerception::uniform(relevance.clone(), user_count, initial_weight),
+        };
+        let base_preferences = match (self.base_preferences, self.uniform_base_preference) {
+            (Some(prefs), _) => {
+                if prefs.len() != user_count * item_count {
+                    return Err(format!(
+                        "base preference matrix has {} entries, expected {}",
+                        prefs.len(),
+                        user_count * item_count
+                    ));
+                }
+                if prefs.iter().any(|p| !(0.0..=1.0).contains(p)) {
+                    return Err("base preferences must lie in [0, 1]".to_string());
+                }
+                prefs
+            }
+            (None, Some(p)) => {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err("uniform base preference must lie in [0, 1]".to_string());
+                }
+                vec![p; user_count * item_count]
+            }
+            (None, None) => vec![0.5; user_count * item_count],
+        };
+        Ok(Scenario {
+            social,
+            catalog,
+            relevance,
+            initial_perception: perception,
+            base_preferences,
+            dynamics: self.dynamics,
+            model: self.model,
+        })
+    }
+}
+
+/// Builds a small, fully wired scenario around the Fig. 1 knowledge graph and
+/// a tiny social network.  Used pervasively by unit tests, doc examples and
+/// the quickstart example.
+pub fn toy_scenario() -> Scenario {
+    use imdpp_kg::hin::figure1_knowledge_graph;
+    use imdpp_kg::MetaGraph;
+
+    let kg = figure1_knowledge_graph();
+    let relevance = Arc::new(RelevanceModel::compute(&kg, MetaGraph::default_set()));
+    // A 6-user social network shaped like Fig. 2 / Fig. 5: a small community
+    // around Alice (0), Bob (1), Cindy (2) plus a periphery.
+    let social = SocialGraph::from_influence_edges(
+        6,
+        vec![
+            (UserId(0), UserId(1), 0.6), // Alice -> Bob
+            (UserId(2), UserId(1), 0.4), // Cindy -> Bob
+            (UserId(0), UserId(2), 0.5),
+            (UserId(1), UserId(3), 0.5),
+            (UserId(2), UserId(4), 0.5),
+            (UserId(3), UserId(5), 0.5),
+            (UserId(4), UserId(5), 0.3),
+        ],
+        true,
+    );
+    let catalog = ItemCatalog::with_names(
+        vec![1.0, 0.5, 0.8, 0.3],
+        vec![
+            "iPhone".to_string(),
+            "AirPods".to_string(),
+            "wireless charger".to_string(),
+            "charging cable".to_string(),
+        ],
+    );
+    Scenario::builder()
+        .social(social)
+        .catalog(catalog)
+        .relevance(relevance)
+        .uniform_base_preference(0.4)
+        .build()
+        .expect("toy scenario must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdpp_kg::MetaGraph;
+
+    #[test]
+    fn toy_scenario_is_consistent() {
+        let s = toy_scenario();
+        assert_eq!(s.user_count(), 6);
+        assert_eq!(s.item_count(), 4);
+        assert_eq!(s.base_preference(UserId(0), ItemId(0)), 0.4);
+        assert_eq!(s.catalog().importance(ItemId(0)), 1.0);
+        assert_eq!(s.model(), DiffusionModel::IndependentCascade);
+    }
+
+    #[test]
+    fn builder_rejects_missing_components() {
+        let err = Scenario::builder().build().unwrap_err();
+        assert!(err.contains("social"));
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_preference_matrix() {
+        let s = toy_scenario();
+        let err = Scenario::builder()
+            .social(s.social().clone())
+            .catalog(s.catalog().clone())
+            .relevance(s.relevance().clone())
+            .base_preferences(vec![0.5; 3])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("entries"));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_preferences() {
+        let s = toy_scenario();
+        let err = Scenario::builder()
+            .social(s.social().clone())
+            .catalog(s.catalog().clone())
+            .relevance(s.relevance().clone())
+            .uniform_base_preference(1.5)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("[0, 1]"));
+    }
+
+    #[test]
+    fn builder_rejects_item_count_mismatch() {
+        let s = toy_scenario();
+        let err = Scenario::builder()
+            .social(s.social().clone())
+            .catalog(ItemCatalog::uniform(2))
+            .relevance(s.relevance().clone())
+            .build()
+            .unwrap_err();
+        assert!(err.contains("items"));
+    }
+
+    #[test]
+    fn with_metagraph_count_truncates_model() {
+        let s = toy_scenario();
+        let s2 = s.with_metagraph_count(2);
+        assert_eq!(s2.relevance().len(), 2);
+        assert_eq!(s2.initial_perception().metagraph_count(), 2);
+        // Original untouched.
+        assert_eq!(s.relevance().len(), MetaGraph::default_set().len());
+    }
+
+    #[test]
+    fn with_dynamics_and_model_replace_configuration() {
+        let s = toy_scenario();
+        let frozen = s.with_dynamics(DynamicsConfig::frozen());
+        assert!(frozen.dynamics().frozen);
+        assert!(!s.dynamics().frozen);
+        let lt = s.with_model(DiffusionModel::LinearThreshold);
+        assert_eq!(lt.model(), DiffusionModel::LinearThreshold);
+    }
+
+    #[test]
+    fn explicit_preference_matrix_is_used() {
+        let s = toy_scenario();
+        let n = s.user_count() * s.item_count();
+        let mut prefs = vec![0.1; n];
+        prefs[0] = 0.9; // (user 0, item 0)
+        let s2 = Scenario::builder()
+            .social(s.social().clone())
+            .catalog(s.catalog().clone())
+            .relevance(s.relevance().clone())
+            .base_preferences(prefs)
+            .build()
+            .unwrap();
+        assert_eq!(s2.base_preference(UserId(0), ItemId(0)), 0.9);
+        assert_eq!(s2.base_preference(UserId(1), ItemId(0)), 0.1);
+    }
+}

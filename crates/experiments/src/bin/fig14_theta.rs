@@ -1,0 +1,62 @@
+//! Fig. 14: sensitivity of Dysim to the target-market overlap threshold θ
+//! in TMI (b = 1000, T = 20 in the paper; θ is expressed here as a fraction
+//! of the user count because the synthetic datasets are scaled down).
+//!
+//! Usage: `cargo run --release -p imdpp-experiments --bin fig14_theta [--quick]`
+
+use imdpp_core::{Dysim, DysimConfig};
+use imdpp_datasets::{generate, DatasetKind};
+use imdpp_experiments::{evaluate_spread, write_csv, HarnessConfig, Table};
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = HarnessConfig::from_env();
+    let datasets: Vec<DatasetKind> = if quick {
+        vec![DatasetKind::YelpSmall]
+    } else {
+        DatasetKind::large().to_vec()
+    };
+    // θ as fractions of the user count, mirroring the paper's sweep over
+    // absolute user counts per dataset.
+    let theta_fractions = [0.005, 0.01, 0.02, 0.05];
+
+    let mut table = Table::new(
+        "Fig. 14 — sensitivity to the overlap threshold θ (b=1000, T=20)",
+        &["dataset", "theta", "sigma", "seeds", "seconds"],
+    );
+
+    for kind in datasets {
+        let dataset = generate(&kind.config().scaled(config.scale));
+        let users = dataset.instance.scenario().user_count();
+        let instance = dataset.instance.with_budget(1000.0).with_promotions(20);
+        for &fraction in &theta_fractions {
+            let theta = ((users as f64 * fraction).round() as usize).max(1);
+            let dysim_config = DysimConfig {
+                market_overlap_threshold: theta,
+                ..config.dysim_config()
+            };
+            let start = Instant::now();
+            let seeds = Dysim::new(dysim_config).run(&instance);
+            let seconds = start.elapsed().as_secs_f64();
+            let sigma = evaluate_spread(&instance, &seeds, &config);
+            println!(
+                "{} theta={theta} sigma={:.1} ({} seeds, {:.1}s)",
+                kind.name(), sigma, seeds.len(), seconds
+            );
+            table.push_row(vec![
+                kind.name().to_string(),
+                theta.to_string(),
+                format!("{sigma:.3}"),
+                seeds.len().to_string(),
+                format!("{seconds:.3}"),
+            ]);
+        }
+    }
+
+    print!("{}", table.render());
+    match write_csv(&table, &config.out_dir, "fig14_theta") {
+        Ok(path) => println!("csv written to {path}"),
+        Err(e) => eprintln!("could not write csv: {e}"),
+    }
+}

@@ -1,0 +1,271 @@
+//! Algorithm registry, timing and evaluation shared by the experiment
+//! binaries.
+
+use imdpp_baselines::{Algorithm, BaselineConfig, Bgrd, Drhga, Hag, Opt, PathScore};
+use imdpp_core::{Dysim, DysimConfig, Evaluator, ImdppInstance, MarketOrdering, SeedGroup};
+use std::time::Instant;
+
+/// Environment-driven configuration of an experiment run.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Dataset scale factor (multiplies user / item counts).
+    pub scale: f64,
+    /// Monte-Carlo samples for the final, reported spread.
+    pub eval_samples: usize,
+    /// Monte-Carlo samples used inside the selection algorithms.
+    pub select_samples: usize,
+    /// Candidate-user cap used by every algorithm.
+    pub candidate_users: Option<usize>,
+    /// Output directory for CSV files.
+    pub out_dir: String,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            scale: 1.0,
+            eval_samples: 100,
+            select_samples: 20,
+            candidate_users: Some(48),
+            out_dir: "results".to_string(),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Reads the configuration from the `IMDPP_*` environment variables.
+    pub fn from_env() -> Self {
+        let mut cfg = HarnessConfig::default();
+        if let Ok(v) = std::env::var("IMDPP_SCALE") {
+            if let Ok(f) = v.parse::<f64>() {
+                cfg.scale = f.max(0.01);
+            }
+        }
+        if let Ok(v) = std::env::var("IMDPP_MC") {
+            if let Ok(n) = v.parse::<usize>() {
+                cfg.eval_samples = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("IMDPP_SELECT_MC") {
+            if let Ok(n) = v.parse::<usize>() {
+                cfg.select_samples = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("IMDPP_CANDIDATES") {
+            if let Ok(n) = v.parse::<usize>() {
+                cfg.candidate_users = Some(n.max(1));
+            }
+        }
+        if let Ok(v) = std::env::var("IMDPP_OUT") {
+            cfg.out_dir = v;
+        }
+        cfg
+    }
+
+    /// The Dysim configuration corresponding to this harness configuration.
+    pub fn dysim_config(&self) -> DysimConfig {
+        DysimConfig {
+            mc_samples: self.select_samples,
+            candidate_users: self.candidate_users,
+            ..DysimConfig::default()
+        }
+    }
+
+    /// The baseline configuration corresponding to this harness configuration.
+    pub fn baseline_config(&self) -> BaselineConfig {
+        BaselineConfig {
+            mc_samples: self.select_samples,
+            candidate_users: self.candidate_users,
+            ..BaselineConfig::default()
+        }
+    }
+}
+
+/// The algorithms compared throughout the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Dysim (this paper).
+    Dysim,
+    /// Dysim without target markets (ablation, Fig. 10).
+    DysimNoTm,
+    /// Dysim without item priority (ablation, Fig. 10).
+    DysimNoIp,
+    /// BGRD baseline.
+    Bgrd,
+    /// HAG baseline.
+    Hag,
+    /// PS baseline.
+    Ps,
+    /// DRHGA baseline.
+    Drhga,
+    /// Brute-force optimum (small instances only).
+    Opt,
+}
+
+impl AlgorithmKind {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Dysim => "Dysim",
+            AlgorithmKind::DysimNoTm => "Dysim w/o TM",
+            AlgorithmKind::DysimNoIp => "Dysim w/o IP",
+            AlgorithmKind::Bgrd => "BGRD",
+            AlgorithmKind::Hag => "HAG",
+            AlgorithmKind::Ps => "PS",
+            AlgorithmKind::Drhga => "DRHGA",
+            AlgorithmKind::Opt => "OPT",
+        }
+    }
+}
+
+/// The main comparison set of Figs. 9 (Dysim + the four baselines).
+pub fn algorithms() -> [AlgorithmKind; 5] {
+    [
+        AlgorithmKind::Dysim,
+        AlgorithmKind::Bgrd,
+        AlgorithmKind::Hag,
+        AlgorithmKind::Ps,
+        AlgorithmKind::Drhga,
+    ]
+}
+
+/// One algorithm run on one instance.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Which algorithm ran.
+    pub algorithm: &'static str,
+    /// The selected seeds.
+    pub seeds: SeedGroup,
+    /// The evaluated importance-aware influence spread σ(S).
+    pub spread: f64,
+    /// Selection wall-clock time in seconds (spread evaluation excluded).
+    pub seconds: f64,
+}
+
+/// Runs one algorithm on an instance and evaluates the resulting seed group
+/// with the harness's evaluation sample count.
+pub fn run_algorithm(
+    kind: AlgorithmKind,
+    instance: &ImdppInstance,
+    config: &HarnessConfig,
+) -> RunResult {
+    let start = Instant::now();
+    let seeds = match kind {
+        AlgorithmKind::Dysim => Dysim::new(config.dysim_config()).run(instance),
+        AlgorithmKind::DysimNoTm => {
+            Dysim::new(config.dysim_config().without_target_markets()).run(instance)
+        }
+        AlgorithmKind::DysimNoIp => {
+            Dysim::new(config.dysim_config().without_item_priority()).run(instance)
+        }
+        AlgorithmKind::Bgrd => Bgrd::new(config.baseline_config()).select(instance),
+        AlgorithmKind::Hag => Hag::new(config.baseline_config()).select(instance),
+        AlgorithmKind::Ps => PathScore::new(config.baseline_config()).select(instance),
+        AlgorithmKind::Drhga => Drhga::new(config.baseline_config()).select(instance),
+        AlgorithmKind::Opt => Opt::new(config.baseline_config(), 4, 12).select(instance),
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    let spread = evaluate_spread(instance, &seeds, config);
+    RunResult {
+        algorithm: kind.name(),
+        seeds,
+        spread,
+        seconds,
+    }
+}
+
+/// Evaluates a seed group with the harness's final evaluation sample count.
+pub fn evaluate_spread(
+    instance: &ImdppInstance,
+    seeds: &SeedGroup,
+    config: &HarnessConfig,
+) -> f64 {
+    Evaluator::new(instance, config.eval_samples, 0xE7A1).spread(seeds)
+}
+
+/// Runs Dysim with a specific market ordering (the Fig. 11 comparison).
+pub fn run_dysim_with_ordering(
+    instance: &ImdppInstance,
+    config: &HarnessConfig,
+    ordering: MarketOrdering,
+) -> RunResult {
+    let start = Instant::now();
+    let dysim_config = DysimConfig {
+        ordering,
+        ..config.dysim_config()
+    };
+    let seeds = Dysim::new(dysim_config).run(instance);
+    let seconds = start.elapsed().as_secs_f64();
+    let spread = evaluate_spread(instance, &seeds, config);
+    RunResult {
+        algorithm: ordering.name(),
+        seeds,
+        spread,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdpp_core::CostModel;
+    use imdpp_diffusion::scenario::toy_scenario;
+
+    fn tiny_instance() -> ImdppInstance {
+        let scenario = toy_scenario();
+        let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+        ImdppInstance::new(scenario, costs, 2.0, 2).unwrap()
+    }
+
+    fn tiny_config() -> HarnessConfig {
+        HarnessConfig {
+            scale: 1.0,
+            eval_samples: 16,
+            select_samples: 4,
+            candidate_users: Some(8),
+            out_dir: "/tmp/imdpp-test-results".to_string(),
+        }
+    }
+
+    #[test]
+    fn every_algorithm_kind_runs_on_the_toy_instance() {
+        let inst = tiny_instance();
+        let cfg = tiny_config();
+        for kind in [
+            AlgorithmKind::Dysim,
+            AlgorithmKind::DysimNoTm,
+            AlgorithmKind::DysimNoIp,
+            AlgorithmKind::Bgrd,
+            AlgorithmKind::Hag,
+            AlgorithmKind::Ps,
+            AlgorithmKind::Drhga,
+        ] {
+            let result = run_algorithm(kind, &inst, &cfg);
+            assert!(inst.is_feasible(&result.seeds), "{}", kind.name());
+            assert!(result.spread >= 0.0);
+            assert!(result.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn harness_config_from_env_defaults() {
+        let cfg = HarnessConfig::from_env();
+        assert!(cfg.scale > 0.0);
+        assert!(cfg.eval_samples >= 1);
+    }
+
+    #[test]
+    fn algorithm_names_match_the_paper() {
+        let names: Vec<&str> = algorithms().iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["Dysim", "BGRD", "HAG", "PS", "DRHGA"]);
+    }
+
+    #[test]
+    fn ordering_runs_produce_feasible_seeds() {
+        let inst = tiny_instance();
+        let cfg = tiny_config();
+        let result = run_dysim_with_ordering(&inst, &cfg, MarketOrdering::Profitability);
+        assert!(inst.is_feasible(&result.seeds));
+        assert_eq!(result.algorithm, "PF");
+    }
+}

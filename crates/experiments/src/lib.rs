@@ -1,0 +1,27 @@
+//! # imdpp-experiments
+//!
+//! Shared harness code for the experiment binaries that regenerate every
+//! table and figure of the paper's evaluation section (Sec. VI).
+//!
+//! Every binary accepts the environment variables
+//!
+//! * `IMDPP_SCALE`  — multiplies the dataset sizes (default `1.0`; use e.g.
+//!   `0.2` for a quick smoke run),
+//! * `IMDPP_MC`     — Monte-Carlo samples used by the *final* spread
+//!   evaluation (default 100, as in the paper),
+//! * `IMDPP_SELECT_MC` — Monte-Carlo samples used *inside* the selection
+//!   algorithms (default 20),
+//! * `IMDPP_OUT`    — directory for CSV output (default `results/`).
+//!
+//! and prints the same rows / series the corresponding paper figure reports.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+pub mod output;
+
+pub use harness::{
+    algorithms, evaluate_spread, run_algorithm, AlgorithmKind, HarnessConfig, RunResult,
+};
+pub use output::{write_csv, Table};

@@ -1,0 +1,196 @@
+//! Incremental construction of [`CsrGraph`]s from edge lists.
+
+use crate::csr::{CsrGraph, WeightedEdge};
+use crate::ids::UserId;
+use std::collections::HashMap;
+
+/// How duplicate `(src, dst)` edges are merged by the builder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DuplicatePolicy {
+    /// Keep the first weight seen.
+    KeepFirst,
+    /// Keep the last weight seen.
+    KeepLast,
+    /// Keep the maximum weight.
+    KeepMax,
+    /// Sum the weights (clamped to 1.0 for probability graphs by the caller).
+    Sum,
+}
+
+/// Builder accumulating weighted directed edges before freezing them into a
+/// [`CsrGraph`].
+///
+/// The builder validates endpoints, grows the node count on demand and merges
+/// duplicate edges according to a [`DuplicatePolicy`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: HashMap<(u32, u32), f64>,
+    policy: DuplicatePolicy,
+    insertion_order: Vec<(u32, u32)>,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl GraphBuilder {
+    /// Creates a builder over `node_count` nodes (more nodes can be added by
+    /// inserting edges with larger endpoints or calling [`Self::ensure_node`]).
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder {
+            node_count,
+            edges: HashMap::new(),
+            policy: DuplicatePolicy::KeepLast,
+            insertion_order: Vec::new(),
+        }
+    }
+
+    /// Sets the duplicate-edge merge policy.
+    pub fn with_duplicate_policy(mut self, policy: DuplicatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Ensures the node `u` exists (extending the node count if needed).
+    pub fn ensure_node(&mut self, u: UserId) {
+        if u.index() >= self.node_count {
+            self.node_count = u.index() + 1;
+        }
+    }
+
+    /// Number of nodes seen so far.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of distinct edges accumulated so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge `src -> dst` with the given weight.
+    pub fn add_edge(&mut self, src: UserId, dst: UserId, weight: f64) -> &mut Self {
+        assert!(weight.is_finite(), "edge weight must be finite");
+        self.ensure_node(src);
+        self.ensure_node(dst);
+        let key = (src.0, dst.0);
+        match self.edges.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let old = *e.get();
+                let new = match self.policy {
+                    DuplicatePolicy::KeepFirst => old,
+                    DuplicatePolicy::KeepLast => weight,
+                    DuplicatePolicy::KeepMax => old.max(weight),
+                    DuplicatePolicy::Sum => old + weight,
+                };
+                e.insert(new);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(weight);
+                self.insertion_order.push(key);
+            }
+        }
+        self
+    }
+
+    /// Adds an undirected edge as a pair of directed edges with the same weight.
+    pub fn add_undirected_edge(&mut self, a: UserId, b: UserId, weight: f64) -> &mut Self {
+        self.add_edge(a, b, weight);
+        self.add_edge(b, a, weight);
+        self
+    }
+
+    /// Freezes the builder into a [`CsrGraph`].
+    ///
+    /// Edges are emitted in insertion order, which makes the result
+    /// deterministic for a deterministic insertion sequence.
+    pub fn build(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for &(s, d) in &self.insertion_order {
+            let w = self.edges[&(s, d)];
+            edges.push(WeightedEdge {
+                src: UserId(s),
+                dst: UserId(d),
+                weight: w,
+            });
+        }
+        CsrGraph::from_edges(self.node_count, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(UserId(0), UserId(1), 0.3);
+        b.add_edge(UserId(1), UserId(2), 0.6);
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_weight(UserId(0), UserId(1)), Some(0.3));
+    }
+
+    #[test]
+    fn grows_node_count_from_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(UserId(5), UserId(1), 0.1);
+        assert_eq!(b.node_count(), 6);
+    }
+
+    #[test]
+    fn keep_last_policy_overwrites() {
+        let mut b = GraphBuilder::new(2).with_duplicate_policy(DuplicatePolicy::KeepLast);
+        b.add_edge(UserId(0), UserId(1), 0.2);
+        b.add_edge(UserId(0), UserId(1), 0.9);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(UserId(0), UserId(1)), Some(0.9));
+    }
+
+    #[test]
+    fn keep_first_policy_ignores_later() {
+        let mut b = GraphBuilder::new(2).with_duplicate_policy(DuplicatePolicy::KeepFirst);
+        b.add_edge(UserId(0), UserId(1), 0.2);
+        b.add_edge(UserId(0), UserId(1), 0.9);
+        assert_eq!(b.build().edge_weight(UserId(0), UserId(1)), Some(0.2));
+    }
+
+    #[test]
+    fn keep_max_policy_takes_maximum() {
+        let mut b = GraphBuilder::new(2).with_duplicate_policy(DuplicatePolicy::KeepMax);
+        b.add_edge(UserId(0), UserId(1), 0.9);
+        b.add_edge(UserId(0), UserId(1), 0.2);
+        assert_eq!(b.build().edge_weight(UserId(0), UserId(1)), Some(0.9));
+    }
+
+    #[test]
+    fn sum_policy_accumulates() {
+        let mut b = GraphBuilder::new(2).with_duplicate_policy(DuplicatePolicy::Sum);
+        b.add_edge(UserId(0), UserId(1), 0.25);
+        b.add_edge(UserId(0), UserId(1), 0.5);
+        let w = b.build().edge_weight(UserId(0), UserId(1)).unwrap();
+        assert!((w - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undirected_edge_creates_both_directions() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected_edge(UserId(0), UserId(1), 0.4);
+        let g = b.build();
+        assert_eq!(g.edge_weight(UserId(0), UserId(1)), Some(0.4));
+        assert_eq!(g.edge_weight(UserId(1), UserId(0)), Some(0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(UserId(0), UserId(1), f64::NAN);
+    }
+}

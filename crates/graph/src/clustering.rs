@@ -1,0 +1,249 @@
+//! Clustering utilities used by Dysim's Target Market Identification phase.
+//!
+//! The paper clusters nominees with POT [53] / FGCC [54]; both play the same
+//! role: group nominees whose *users are socially close* and whose *items are
+//! more complementary than substitutable*.  This module provides two generic
+//! clustering algorithms over an arbitrary similarity function so that TMI
+//! can plug in its social-distance + relevance similarity:
+//!
+//! * [`label_propagation`] — community detection over a weighted similarity
+//!   graph (POT stand-in),
+//! * [`agglomerative`] — average-linkage agglomerative clustering with a
+//!   similarity threshold (FGCC stand-in).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A clustering of `n` elements: `assignment[i]` is the cluster index of
+/// element `i`, clusters are numbered `0..cluster_count`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster index per element.
+    pub assignment: Vec<usize>,
+    /// Number of clusters.
+    pub cluster_count: usize,
+}
+
+impl Clustering {
+    /// Builds a clustering from raw (possibly non-contiguous) labels by
+    /// renumbering them densely in order of first appearance.
+    pub fn from_labels(labels: &[usize]) -> Self {
+        let mut remap = std::collections::HashMap::new();
+        let mut assignment = Vec::with_capacity(labels.len());
+        for &l in labels {
+            let next = remap.len();
+            let id = *remap.entry(l).or_insert(next);
+            assignment.push(id);
+        }
+        Clustering {
+            assignment,
+            cluster_count: remap.len(),
+        }
+    }
+
+    /// Members of each cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.cluster_count];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            out[c].push(i);
+        }
+        out
+    }
+
+    /// Number of elements clustered.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True if no elements were clustered.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+}
+
+/// Label-propagation clustering over a similarity function.
+///
+/// Elements `0..n` start in singleton communities; in each round (processed
+/// in a seeded random order) every element adopts the label with the largest
+/// total similarity among elements whose similarity to it is positive.  The
+/// process stops when no label changes or after `max_rounds`.
+pub fn label_propagation(
+    n: usize,
+    mut similarity: impl FnMut(usize, usize) -> f64,
+    max_rounds: usize,
+    seed: u64,
+) -> Clustering {
+    let mut labels: Vec<usize> = (0..n).collect();
+    if n == 0 {
+        return Clustering {
+            assignment: Vec::new(),
+            cluster_count: 0,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..max_rounds {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &i in &order {
+            // Accumulate similarity mass per label among positive-similarity peers.
+            let mut mass: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let s = similarity(i, j);
+                if s > 0.0 {
+                    *mass.entry(labels[j]).or_insert(0.0) += s;
+                }
+            }
+            if let Some((&best, _)) = mass
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+            {
+                if best != labels[i] {
+                    labels[i] = best;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Clustering::from_labels(&labels)
+}
+
+/// Average-linkage agglomerative clustering: repeatedly merges the pair of
+/// clusters with the highest average pairwise similarity, while that average
+/// stays at or above `threshold`.
+pub fn agglomerative(
+    n: usize,
+    mut similarity: impl FnMut(usize, usize) -> f64,
+    threshold: f64,
+) -> Clustering {
+    if n == 0 {
+        return Clustering {
+            assignment: Vec::new(),
+            cluster_count: 0,
+        };
+    }
+    // Materialise the symmetric similarity matrix once.
+    let mut sim = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = similarity(i, j);
+            sim[i * n + j] = s;
+            sim[j * n + i] = s;
+        }
+    }
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let mut total = 0.0;
+                for &i in &clusters[a] {
+                    for &j in &clusters[b] {
+                        total += sim[i * n + j];
+                    }
+                }
+                let avg = total / (clusters[a].len() * clusters[b].len()) as f64;
+                if avg >= threshold && best.map_or(true, |(_, _, bavg)| avg > bavg) {
+                    best = Some((a, b, avg));
+                }
+            }
+        }
+        match best {
+            Some((a, b, _)) => {
+                let merged = clusters.remove(b);
+                clusters[a].extend(merged);
+            }
+            None => break,
+        }
+    }
+    let mut labels = vec![0usize; n];
+    for (c, members) in clusters.iter().enumerate() {
+        for &m in members {
+            labels[m] = c;
+        }
+    }
+    Clustering::from_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two obvious blobs: elements 0..3 similar to each other, 3..6 similar to
+    /// each other, no cross similarity.
+    fn two_blob_similarity(i: usize, j: usize) -> f64 {
+        let blob = |x: usize| if x < 3 { 0 } else { 1 };
+        if blob(i) == blob(j) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn label_propagation_finds_two_blobs() {
+        let c = label_propagation(6, two_blob_similarity, 20, 42);
+        assert_eq!(c.cluster_count, 2);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[0], c.assignment[2]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+    }
+
+    #[test]
+    fn label_propagation_on_empty_input() {
+        let c = label_propagation(0, |_, _| 1.0, 5, 1);
+        assert!(c.is_empty());
+        assert_eq!(c.cluster_count, 0);
+    }
+
+    #[test]
+    fn label_propagation_isolates_dissimilar_elements() {
+        // No positive similarity at all: everyone keeps their own label.
+        let c = label_propagation(4, |_, _| 0.0, 10, 7);
+        assert_eq!(c.cluster_count, 4);
+    }
+
+    #[test]
+    fn agglomerative_finds_two_blobs() {
+        let c = agglomerative(6, two_blob_similarity, 0.5);
+        assert_eq!(c.cluster_count, 2);
+        let clusters = c.clusters();
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn agglomerative_threshold_prevents_merging() {
+        let c = agglomerative(4, |_, _| 0.2, 0.5);
+        assert_eq!(c.cluster_count, 4);
+    }
+
+    #[test]
+    fn agglomerative_single_element() {
+        let c = agglomerative(1, |_, _| 1.0, 0.0);
+        assert_eq!(c.cluster_count, 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn from_labels_renumbers_densely() {
+        let c = Clustering::from_labels(&[7, 7, 3, 9, 3]);
+        assert_eq!(c.cluster_count, 3);
+        assert_eq!(c.assignment, vec![0, 0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn clusters_partition_all_elements() {
+        let c = label_propagation(6, two_blob_similarity, 20, 3);
+        let total: usize = c.clusters().iter().map(|m| m.len()).sum();
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate re-exporting the IMDPP reproduction suite.
+//!
+//! See the individual crates for details:
+//! - [`imdpp_graph`]: social-graph substrate
+//! - [`imdpp_kg`]: knowledge graph, meta-graphs, personal item networks
+//! - [`imdpp_diffusion`]: dynamic-perception diffusion process and Monte-Carlo engine
+//! - [`imdpp_core`]: the IMDPP problem and the Dysim algorithm
+//! - [`imdpp_baselines`]: OPT, BGRD, HAG, PS, DRHGA and classic IM baselines
+//! - [`imdpp_datasets`]: synthetic dataset generators
+
+pub use imdpp_baselines as baselines;
+pub use imdpp_core as core;
+pub use imdpp_datasets as datasets;
+pub use imdpp_diffusion as diffusion;
+pub use imdpp_graph as graph;
+pub use imdpp_kg as kg;

@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) on the diffusion substrate: probabilities
+//! stay in range, adoptions are unique, the static single-promotion spread is
+//! monotone in the seed set, and Monte-Carlo estimation is deterministic.
+
+use imdpp_suite::diffusion::{
+    simulate, DynamicsConfig, Scenario, Seed, SeedGroup, SpreadEstimator,
+};
+use imdpp_suite::graph::{ItemId, SocialGraph, UserId};
+use imdpp_suite::kg::hin::figure1_knowledge_graph;
+use imdpp_suite::kg::{ItemCatalog, MetaGraph, RelevanceModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Builds a random scenario over the Fig. 1 item catalogue with `n` users and
+/// the given directed edges.
+fn build_scenario(n: usize, edges: Vec<(u32, u32, f64)>, frozen: bool) -> Scenario {
+    let relevance = Arc::new(RelevanceModel::compute(
+        &figure1_knowledge_graph(),
+        MetaGraph::default_set(),
+    ));
+    let social = SocialGraph::from_influence_edges(
+        n,
+        edges
+            .into_iter()
+            .map(|(a, b, w)| (UserId(a % n as u32), UserId(b % n as u32), w))
+            .filter(|(a, b, _)| a != b),
+        true,
+    );
+    let dynamics = if frozen {
+        DynamicsConfig::frozen()
+    } else {
+        DynamicsConfig::default()
+    };
+    Scenario::builder()
+        .social(social)
+        .catalog(ItemCatalog::uniform(4))
+        .relevance(relevance)
+        .uniform_base_preference(0.5)
+        .dynamics(dynamics)
+        .build()
+        .expect("generated scenario must be valid")
+}
+
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    proptest::collection::vec(
+        (0..n as u32, 0..n as u32, 0.05f64..0.9f64),
+        0..(n * 3),
+    )
+}
+
+fn arb_seeds(n: usize, promotions: u32) -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    proptest::collection::vec((0..n as u32, 0u32..4, 1..=promotions), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adoptions_are_unique_and_bounded(
+        edges in arb_edges(12),
+        seeds in arb_seeds(12, 3),
+        sim_seed in 0u64..1000,
+    ) {
+        let scenario = build_scenario(12, edges, false);
+        let group = SeedGroup::from_seeds(
+            seeds.iter().map(|&(u, x, t)| Seed::new(UserId(u), ItemId(x), t)).collect(),
+        );
+        let mut rng = StdRng::seed_from_u64(sim_seed);
+        let out = simulate(&scenario, &group, 3, &mut rng);
+        // No (user, item) pair is adopted twice.
+        let mut seen = std::collections::HashSet::new();
+        for r in out.records() {
+            prop_assert!(seen.insert((r.user.0, r.item.0)));
+            prop_assert!(r.promotion >= 1 && r.promotion <= 3);
+        }
+        // Adoption count cannot exceed |users| × |items|.
+        prop_assert!(out.adoption_count() <= 12 * 4);
+        // The spread equals importance-weighted record count (importance 1 here).
+        prop_assert!((out.weighted_spread(&scenario) - out.adoption_count() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_probabilities_stay_in_range(
+        edges in arb_edges(10),
+        seeds in arb_seeds(10, 2),
+        sim_seed in 0u64..1000,
+    ) {
+        let scenario = build_scenario(10, edges, false);
+        let group = SeedGroup::from_seeds(
+            seeds.iter().map(|&(u, x, t)| Seed::new(UserId(u), ItemId(x), t)).collect(),
+        );
+        let mut rng = StdRng::seed_from_u64(sim_seed);
+        let out = simulate(&scenario, &group, 2, &mut rng);
+        let state = out.state();
+        for u in scenario.users() {
+            for x in scenario.items() {
+                let p = state.preference(&scenario, u, x);
+                prop_assert!((0.0..=1.0).contains(&p), "preference {p}");
+            }
+            for (v, _) in scenario.social().influenced_by(u) {
+                let s = state.influence(&scenario, u, v);
+                prop_assert!((0.0..=1.0).contains(&s), "influence {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_single_promotion_spread_is_monotone_in_the_seed_set(
+        edges in arb_edges(10),
+        extra_user in 0u32..10,
+        extra_item in 0u32..4,
+    ) {
+        let scenario = build_scenario(10, edges, true);
+        let base = SeedGroup::from_seeds(vec![Seed::new(UserId(0), ItemId(0), 1)]);
+        let bigger = base.with(Seed::new(UserId(extra_user), ItemId(extra_item), 1));
+        let est = SpreadEstimator::new(&scenario, 24, 7).with_threads(1);
+        let small = est.mean_spread(&base, 1);
+        let large = est.mean_spread(&bigger, 1);
+        // Lemma 1: under static probabilities in a single promotion the
+        // importance-aware influence is monotone (up to shared-sample noise,
+        // which the common RNG streams keep tiny).
+        prop_assert!(large + 1e-6 >= small, "monotonicity violated: {small} -> {large}");
+    }
+
+    #[test]
+    fn monte_carlo_estimates_are_deterministic(
+        edges in arb_edges(8),
+        seeds in arb_seeds(8, 2),
+    ) {
+        let scenario = build_scenario(8, edges, false);
+        let group = SeedGroup::from_seeds(
+            seeds.iter().map(|&(u, x, t)| Seed::new(UserId(u), ItemId(x), t)).collect(),
+        );
+        let a = SpreadEstimator::new(&scenario, 10, 99).with_threads(1).mean_spread(&group, 2);
+        let b = SpreadEstimator::new(&scenario, 10, 99).with_threads(2).mean_spread(&group, 2);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+}

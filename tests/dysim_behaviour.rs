@@ -1,0 +1,184 @@
+//! Behavioural integration tests of Dysim on instances where the paper's
+//! design arguments have a checkable consequence: antagonism between
+//! substitutable items, the benefit of multiple promotions for complementary
+//! chains, and the guard solutions of Theorem 5.
+
+use imdpp_suite::core::{CostModel, Dysim, DysimConfig, Evaluator, ImdppInstance, SeedGroup};
+use imdpp_suite::diffusion::{DynamicsConfig, Scenario};
+use imdpp_suite::graph::{ItemId, SocialGraph, UserId};
+use imdpp_suite::kg::hin::KnowledgeGraphBuilder;
+use imdpp_suite::kg::{EdgeType, ItemCatalog, MetaGraph, NodeType, RelevanceModel};
+use std::sync::Arc;
+
+/// Two communities of users; items 0/1 are strong substitutes (same
+/// category), items 2/3 are strong complements (shared features + direct
+/// link).  Every user can be seeded at unit cost.
+fn substitutes_and_complements_instance() -> ImdppInstance {
+    let mut kg = KnowledgeGraphBuilder::new();
+    let a = kg.add_node(NodeType::Item, "camera-a");
+    let b = kg.add_node(NodeType::Item, "camera-b");
+    let phone = kg.add_node(NodeType::Item, "phone");
+    let pods = kg.add_node(NodeType::Item, "earbuds");
+    let cat = kg.add_node(NodeType::Category, "cameras");
+    let feat = kg.add_node(NodeType::Feature, "bluetooth");
+    kg.add_fact(a, cat, EdgeType::BelongsTo);
+    kg.add_fact(b, cat, EdgeType::BelongsTo);
+    kg.add_fact(phone, feat, EdgeType::Supports);
+    kg.add_fact(pods, feat, EdgeType::Supports);
+    kg.add_fact(phone, pods, EdgeType::RelatedTo);
+    let kg = kg.build();
+    let relevance = Arc::new(RelevanceModel::compute(&kg, MetaGraph::default_set()));
+
+    // Two chains of four users each, bridged in the middle.
+    let mut edges = Vec::new();
+    for base in [0u32, 4u32] {
+        for i in 0..3u32 {
+            edges.push((UserId(base + i), UserId(base + i + 1), 0.6));
+        }
+    }
+    edges.push((UserId(1), UserId(5), 0.4));
+    let social = SocialGraph::from_influence_edges(8, edges, true);
+    let catalog = ItemCatalog::with_names(
+        vec![1.0, 1.0, 1.0, 0.8],
+        vec![
+            "camera-a".to_string(),
+            "camera-b".to_string(),
+            "phone".to_string(),
+            "earbuds".to_string(),
+        ],
+    );
+    let scenario = Scenario::builder()
+        .social(social)
+        .catalog(catalog)
+        .relevance(relevance)
+        .uniform_base_preference(0.5)
+        .dynamics(DynamicsConfig::default())
+        .build()
+        .unwrap();
+    let costs = CostModel::uniform(8, 4, 1.0);
+    ImdppInstance::new(scenario, costs, 4.0, 3).unwrap()
+}
+
+fn fast() -> DysimConfig {
+    DysimConfig {
+        mc_samples: 12,
+        candidate_users: Some(8),
+        ..DysimConfig::default()
+    }
+}
+
+#[test]
+fn antagonistic_extent_separates_substitute_markets() {
+    use imdpp_suite::core::market::TargetMarket;
+    use imdpp_suite::core::ordering::antagonistic_extent;
+    let instance = substitutes_and_complements_instance();
+    // Market 0 promotes camera-a, market 1 promotes camera-b (substitutes),
+    // market 2 promotes the phone (complementary to the earbuds only).
+    let markets = vec![
+        TargetMarket {
+            index: 0,
+            nominees: vec![(UserId(0), ItemId(0))],
+            users: vec![UserId(0), UserId(1)],
+            diameter: 1,
+        },
+        TargetMarket {
+            index: 1,
+            nominees: vec![(UserId(4), ItemId(1))],
+            users: vec![UserId(4), UserId(5)],
+            diameter: 1,
+        },
+        TargetMarket {
+            index: 2,
+            nominees: vec![(UserId(2), ItemId(2))],
+            users: vec![UserId(2), UserId(3)],
+            diameter: 1,
+        },
+    ];
+    let group = vec![0, 1, 2];
+    let ae_camera = antagonistic_extent(&instance, &markets, &group, 0);
+    let ae_phone = antagonistic_extent(&instance, &markets, &group, 2);
+    // The camera market conflicts with the other camera market; the phone
+    // market conflicts with nobody, so AE must rank it first.
+    assert!(ae_camera > 0.0, "camera market should have positive AE");
+    assert_eq!(ae_phone, 0.0, "phone market should have zero AE");
+}
+
+#[test]
+fn dysim_beats_a_substitute_heavy_manual_plan() {
+    let instance = substitutes_and_complements_instance();
+    let dysim = Dysim::new(fast()).run(&instance);
+    // A deliberately bad plan: spend the whole budget promoting the two
+    // substitutable cameras to the same pair of users in promotion 1.
+    let bad = SeedGroup::from_seeds(vec![
+        imdpp_suite::core::Seed::new(UserId(0), ItemId(0), 1),
+        imdpp_suite::core::Seed::new(UserId(0), ItemId(1), 1),
+        imdpp_suite::core::Seed::new(UserId(4), ItemId(0), 1),
+        imdpp_suite::core::Seed::new(UserId(4), ItemId(1), 1),
+    ]);
+    let ev = Evaluator::new(&instance, 96, 71);
+    let dysim_spread = ev.spread(&dysim);
+    let bad_spread = ev.spread(&bad);
+    assert!(
+        dysim_spread + 0.3 >= bad_spread,
+        "Dysim ({dysim_spread:.2}) should not lose to the substitute-heavy plan ({bad_spread:.2})"
+    );
+}
+
+#[test]
+fn complementary_chain_benefits_from_a_second_promotion() {
+    // Seeding the phone first and the earbuds later must not be worse than
+    // promoting both at once: the phone adoption raises the earbuds
+    // preference (cross elasticity), which the later promotion exploits.
+    let instance = substitutes_and_complements_instance();
+    let ev = Evaluator::new(&instance, 200, 5);
+    let together = SeedGroup::from_seeds(vec![
+        imdpp_suite::core::Seed::new(UserId(0), ItemId(2), 1),
+        imdpp_suite::core::Seed::new(UserId(0), ItemId(3), 1),
+    ]);
+    let staged = SeedGroup::from_seeds(vec![
+        imdpp_suite::core::Seed::new(UserId(0), ItemId(2), 1),
+        imdpp_suite::core::Seed::new(UserId(0), ItemId(3), 2),
+    ]);
+    let sigma_together = ev.spread(&together);
+    let sigma_staged = ev.spread(&staged);
+    assert!(
+        sigma_staged + 0.4 >= sigma_together,
+        "staged complementary promotion ({sigma_staged:.2}) collapsed vs simultaneous ({sigma_together:.2})"
+    );
+}
+
+#[test]
+fn guard_solutions_never_make_the_result_worse() {
+    let instance = substitutes_and_complements_instance();
+    let with_guard = Dysim::new(fast()).run(&instance);
+    let without_guard = Dysim::new(DysimConfig {
+        use_guard_solutions: false,
+        ..fast()
+    })
+    .run(&instance);
+    let ev = Evaluator::new(&instance, 96, 13);
+    let guarded = ev.spread(&with_guard);
+    let unguarded = ev.spread(&without_guard);
+    assert!(
+        guarded + 0.3 >= unguarded,
+        "guard solutions reduced the spread: {unguarded:.2} -> {guarded:.2}"
+    );
+}
+
+#[test]
+fn full_timing_search_matches_windowed_dysim_on_a_small_instance() {
+    let instance = substitutes_and_complements_instance();
+    let windowed = Dysim::new(fast()).run(&instance);
+    let full = Dysim::new(DysimConfig {
+        full_timing_search: true,
+        ..fast()
+    })
+    .run(&instance);
+    let ev = Evaluator::new(&instance, 96, 29);
+    let sigma_windowed = ev.spread(&windowed);
+    let sigma_full = ev.spread(&full);
+    assert!(
+        sigma_windowed + 0.4 >= sigma_full,
+        "two-slot window lost too much: {sigma_windowed:.2} vs full search {sigma_full:.2}"
+    );
+}
