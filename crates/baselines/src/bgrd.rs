@@ -95,7 +95,7 @@ impl Algorithm for Bgrd {
                 let value = evaluator.spread(&Self::bundle_seeds(&with));
                 let gain = value - current;
                 let ratio = gain / cost;
-                if best.as_ref().map_or(true, |(_, _, _, _, r)| ratio > *r) {
+                if best.as_ref().is_none_or(|(_, _, _, _, r)| ratio > *r) {
                     best = Some((u, bundle, cost, gain, ratio));
                 }
             }

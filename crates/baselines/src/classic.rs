@@ -59,7 +59,7 @@ pub fn greedy_single_item(
                 continue;
             }
             let gain = evaluator.spread(&selected.with(Seed::new(u, item, 1))) - current;
-            if best.map_or(true, |(_, g)| gain > g) {
+            if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((u, gain));
             }
         }

@@ -31,7 +31,7 @@ pub fn cr_greedy_timing(
         for t in 1..=promotions {
             let value = evaluator.spread(&assigned.with(Seed::new(u, x, t)));
             let gain = value - current;
-            if best.map_or(true, |(_, g)| gain > g) {
+            if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((t, gain));
             }
         }

@@ -65,7 +65,7 @@ impl Algorithm for Drhga {
                     let value = evaluator.spread(&group.with(Seed::new(u, x, 1)));
                     let gain = value - current;
                     let ratio = gain / cost;
-                    if best.map_or(true, |(_, _, r)| ratio > r) {
+                    if best.is_none_or(|(_, _, r)| ratio > r) {
                         best = Some((u, gain, ratio));
                     }
                 }

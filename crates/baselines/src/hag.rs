@@ -60,7 +60,7 @@ impl Algorithm for Hag {
                 }
                 let value = evaluator.spread(&group.with(Seed::new(u, x, 1)));
                 let gain = value - current;
-                if best.map_or(true, |(_, g)| gain > g) {
+                if best.is_none_or(|(_, g)| gain > g) {
                     best = Some(((u, x), gain));
                 }
             }

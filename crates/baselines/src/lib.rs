@@ -15,7 +15,9 @@
 //! * [`crgreedy`] — the CR-Greedy \[39\] timing wrapper used to extend the
 //!   single-promotion baselines to `T` promotions,
 //! * [`classic`] — classic IM (greedy / CELF / degree / random) on a single
-//!   item, used as building blocks and sanity baselines.
+//!   item, used as building blocks and sanity baselines,
+//! * [`ris`] — TIM/IMM-flavoured selection driven by the `imdpp-sketch`
+//!   reverse-reachable oracle instead of forward Monte-Carlo.
 //!
 //! All baselines are re-implementations from the behavioural descriptions in
 //! the paper (the original systems are not publicly available); DESIGN.md §3
@@ -34,6 +36,7 @@ pub mod drhga;
 pub mod hag;
 pub mod opt;
 pub mod ps;
+pub mod ris;
 
 pub use bgrd::Bgrd;
 pub use common::{Algorithm, BaselineConfig};
@@ -42,3 +45,4 @@ pub use drhga::Drhga;
 pub use hag::Hag;
 pub use opt::Opt;
 pub use ps::PathScore;
+pub use ris::{build_sketch_oracle, sketch_greedy_single_item, sketch_select_nominees};

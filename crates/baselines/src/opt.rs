@@ -59,6 +59,7 @@ impl Opt {
         pairs
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn search(
         &self,
         instance: &ImdppInstance,
@@ -88,7 +89,15 @@ impl Opt {
             }
             for t in 1..=instance.promotions() {
                 current.push(Seed::new(u, x, t));
-                self.search(instance, evaluator, candidates, idx + 1, current, spent + cost, best);
+                self.search(
+                    instance,
+                    evaluator,
+                    candidates,
+                    idx + 1,
+                    current,
+                    spent + cost,
+                    best,
+                );
                 current.pop();
             }
         }
@@ -105,7 +114,15 @@ impl Algorithm for Opt {
         let candidates = self.candidates(instance);
         let mut best = (SeedGroup::new(), 0.0);
         let mut current = Vec::new();
-        self.search(instance, &evaluator, &candidates, 0, &mut current, 0.0, &mut best);
+        self.search(
+            instance,
+            &evaluator,
+            &candidates,
+            0,
+            &mut current,
+            0.0,
+            &mut best,
+        );
         best.0
     }
 }
@@ -146,8 +163,15 @@ mod tests {
     #[test]
     fn opt_is_at_least_as_good_as_dysim_on_tiny_instances() {
         let inst = instance(2.0, 2);
-        let opt_seeds = Opt::new(BaselineConfig { mc_samples: 32, ..BaselineConfig::fast() }, 2, 10)
-            .select(&inst);
+        let opt_seeds = Opt::new(
+            BaselineConfig {
+                mc_samples: 32,
+                ..BaselineConfig::fast()
+            },
+            2,
+            10,
+        )
+        .select(&inst);
         let dysim_seeds = Dysim::new(DysimConfig::fast()).run(&inst);
         let ev = Evaluator::new(&inst, 128, 99);
         let opt_spread = ev.spread(&opt_seeds);

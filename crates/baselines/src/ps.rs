@@ -92,7 +92,7 @@ impl Algorithm for PathScore {
                     .map(|v| reach[v.index()] * covered[v.index()] * scenario.base_preference(v, x))
                     .sum();
                 let score = base - discount * scenario.catalog().importance(x);
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((idx, score));
                 }
             }

@@ -18,7 +18,9 @@ fn bench_nominee_selection(c: &mut Criterion) {
     group.bench_function("celf_lazy", |b| {
         b.iter(|| {
             let evaluator = Evaluator::new(&instance, 8, 1);
-            select_nominees(&evaluator, &universe, &config).nominees.len()
+            select_nominees(&evaluator, &universe, &config)
+                .nominees
+                .len()
         })
     });
     group.bench_function("plain_greedy", |b| {

@@ -35,7 +35,11 @@ fn bench_relevance(c: &mut Criterion) {
     });
 
     c.bench_function("personal_item_network_single_item", |b| {
-        b.iter(|| perception.personal_item_network(UserId(0), black_box(ItemId(0))).len())
+        b.iter(|| {
+            perception
+                .personal_item_network(UserId(0), black_box(ItemId(0)))
+                .len()
+        })
     });
 
     let mut evolving = perception.clone();

@@ -59,7 +59,11 @@ pub fn adaptive_dysim(instance: &ImdppInstance, config: &DysimConfig) -> Adaptiv
         }
         // Re-plan with the remaining budget.
         let stage_instance = instance.with_budget(remaining_budget);
-        let evaluator = Evaluator::new(&stage_instance, config.mc_samples, config.base_seed + t as u64);
+        let evaluator = Evaluator::new(
+            &stage_instance,
+            config.mc_samples,
+            config.base_seed + t as u64,
+        );
         let universe = stage_instance.nominee_universe(config.candidate_users);
         // Drop nominees already committed at an earlier promotion.
         let universe: Vec<_> = universe
@@ -89,7 +93,8 @@ pub fn adaptive_dysim(instance: &ImdppInstance, config: &DysimConfig) -> Adaptiv
         } else {
             // Keep only the nominees that prefer the current promotion over
             // the next one under substantial influence.
-            let eval_full = Evaluator::new(instance, config.mc_samples, config.base_seed + t as u64);
+            let eval_full =
+                Evaluator::new(instance, config.mc_samples, config.base_seed + t as u64);
             let baseline_spread = eval_full.spread_in(&committed, &whole_market.users);
             let baseline_likelihood =
                 eval_full.future_likelihood_in(&committed, &whole_market.users);

@@ -201,7 +201,8 @@ impl ItemImpactModel {
             }
             // Direct contribution only from items that have been promoted.
             if promoted.contains(&z.0) {
-                total += self.complementary_likelihood(z, current) * self.complementary(z, current)
+                total += self.complementary_likelihood(z, current)
+                    * self.complementary(z, current)
                     * w_x
                     - self.substitutable_likelihood(z, current)
                         * self.substitutable(z, current)
@@ -221,8 +222,7 @@ impl ItemImpactModel {
         promoted: &[ItemId],
         depth: u32,
     ) -> f64 {
-        self.proactive_impact(catalog, x, depth)
-            + self.reactive_impact(catalog, x, promoted, depth)
+        self.proactive_impact(catalog, x, depth) + self.reactive_impact(catalog, x, promoted, depth)
     }
 }
 

@@ -193,8 +193,7 @@ impl Dysim {
                 let market = &markets[market_idx];
                 // Promotional duration T_τ ∝ the market's nominee share.
                 let share = market.nominees.len() as f64 / total_group_nominees.max(1) as f64;
-                let duration =
-                    ((share * total_promotions as f64).floor() as u32).max(1);
+                let duration = ((share * total_promotions as f64).floor() as u32).max(1);
                 cumulative_duration = (cumulative_duration + duration).min(total_promotions);
 
                 // DRE: expected perceptions after the group's seeds so far.
@@ -222,9 +221,7 @@ impl Dysim {
                         .nominees
                         .iter()
                         .copied()
-                        .filter(|&(u, x)| {
-                            x == next_item && !group_seeds.contains_nominee(u, x)
-                        })
+                        .filter(|&(u, x)| x == next_item && !group_seeds.contains_nominee(u, x))
                         .collect();
                     if pending_nominees.is_empty() {
                         continue;
@@ -254,10 +251,8 @@ impl Dysim {
             let mut best_value = final_eval.spread(&best);
 
             // All nominees placed in the first promotion.
-            let nominees_first: SeedGroup = nominees
-                .iter()
-                .map(|&(u, x)| Seed::new(u, x, 1))
-                .collect();
+            let nominees_first: SeedGroup =
+                nominees.iter().map(|&(u, x)| Seed::new(u, x, 1)).collect();
             if instance.is_feasible(&nominees_first) {
                 let v = final_eval.spread(&nominees_first);
                 if v > best_value {

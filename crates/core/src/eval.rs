@@ -11,6 +11,7 @@
 //! * the expected post-campaign perceptions used by dynamic reachability.
 
 use crate::nominees::Nominee;
+use crate::oracle::SpreadOracle;
 use crate::problem::ImdppInstance;
 use imdpp_diffusion::{simulate, DynamicsConfig, Scenario, Seed, SeedGroup, SpreadEstimator};
 use imdpp_graph::UserId;
@@ -100,10 +101,7 @@ impl<'a> Evaluator<'a> {
         if nominees.is_empty() {
             return 0.0;
         }
-        let seeds: SeedGroup = nominees
-            .iter()
-            .map(|&(u, x)| Seed::new(u, x, 1))
-            .collect();
+        let seeds: SeedGroup = nominees.iter().map(|&(u, x)| Seed::new(u, x, 1)).collect();
         SpreadEstimator::new(&self.frozen_scenario, self.samples, self.base_seed)
             .mean_spread(&seeds, 1)
     }
@@ -142,6 +140,18 @@ impl<'a> Evaluator<'a> {
             }
         }
         perception
+    }
+}
+
+impl SpreadOracle for Evaluator<'_> {
+    /// Forward Monte-Carlo estimation of `f(N)` (the paper's reference
+    /// estimator): a frozen-dynamics simulation per sample.
+    fn static_spread(&self, nominees: &[Nominee]) -> f64 {
+        self.static_first_promotion_spread(nominees)
+    }
+
+    fn name(&self) -> &'static str {
+        "monte-carlo"
     }
 }
 
@@ -198,10 +208,8 @@ mod tests {
         assert!(f >= 1.0);
         // With two nominees the static objective cannot decrease (monotone
         // under static probabilities, Lemma 1).
-        let f2 = ev.static_first_promotion_spread(&[
-            (UserId(0), ItemId(0)),
-            (UserId(2), ItemId(0)),
-        ]);
+        let f2 =
+            ev.static_first_promotion_spread(&[(UserId(0), ItemId(0)), (UserId(2), ItemId(0))]);
         assert!(f2 + 1e-9 >= f);
     }
 
@@ -231,6 +239,11 @@ mod tests {
         }
         // Users not in the averaged set keep their initial weights.
         let w5 = p.weight_vector(UserId(5)).to_vec();
-        assert_eq!(w5, inst.scenario().initial_perception().weight_vector(UserId(5)));
+        assert_eq!(
+            w5,
+            inst.scenario()
+                .initial_perception()
+                .weight_vector(UserId(5))
+        );
     }
 }

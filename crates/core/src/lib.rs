@@ -13,7 +13,9 @@
 //!   `σ(S)` and of the auxiliary quantities Dysim needs (`σ_τ`, `π_τ`,
 //!   expected perceptions),
 //! * [`nominees`] — MCP nominee selection (Procedure 2) with CELF-style lazy
-//!   evaluation,
+//!   evaluation, generic over the estimator via [`oracle::SpreadOracle`],
+//! * [`oracle`] — the [`SpreadOracle`] trait that lets callers pick between
+//!   forward Monte-Carlo and RR-sketch estimation (`imdpp-sketch`),
 //! * [`market`] — target-market identification: nominee clustering, MIOA
 //!   expansion, θ-overlap grouping (TMI),
 //! * [`ordering`] — market-ordering metrics AE / PF / SZ / RMS / RD
@@ -38,6 +40,7 @@ pub mod dysim;
 pub mod eval;
 pub mod market;
 pub mod nominees;
+pub mod oracle;
 pub mod ordering;
 pub mod problem;
 pub mod submodular;
@@ -48,6 +51,7 @@ pub use dysim::{Dysim, DysimConfig};
 pub use eval::Evaluator;
 pub use market::TargetMarket;
 pub use nominees::Nominee;
+pub use oracle::SpreadOracle;
 pub use ordering::MarketOrdering;
 pub use problem::{CostModel, ImdppInstance};
 

@@ -16,6 +16,8 @@
 //! drastically reduces the number of spread estimations.
 
 use crate::eval::Evaluator;
+use crate::oracle::SpreadOracle;
+use crate::problem::ImdppInstance;
 use imdpp_graph::{ItemId, UserId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -85,7 +87,8 @@ pub struct NomineeSelection {
     pub evaluations: usize,
 }
 
-/// Runs MCP nominee selection over the given universe.
+/// Runs MCP nominee selection over the given universe with the forward
+/// Monte-Carlo estimator (the paper's reference configuration).
 ///
 /// `universe` is typically [`crate::problem::ImdppInstance::nominee_universe`].
 pub fn select_nominees(
@@ -93,7 +96,18 @@ pub fn select_nominees(
     universe: &[Nominee],
     config: &NomineeSelectionConfig,
 ) -> NomineeSelection {
-    let instance = evaluator.instance();
+    select_nominees_with_oracle(evaluator.instance(), evaluator, universe, config)
+}
+
+/// Runs MCP nominee selection with an arbitrary [`SpreadOracle`] estimating
+/// the static objective `f(N)` — forward Monte-Carlo
+/// ([`crate::eval::Evaluator`]) or the RR-sketch oracle of `imdpp-sketch`.
+pub fn select_nominees_with_oracle(
+    instance: &ImdppInstance,
+    oracle: &dyn SpreadOracle,
+    universe: &[Nominee],
+    config: &NomineeSelectionConfig,
+) -> NomineeSelection {
     let budget = instance.budget();
     let mut selected: Vec<Nominee> = Vec::new();
     let mut spent = 0.0f64;
@@ -107,7 +121,7 @@ pub fn select_nominees(
         if cost > budget {
             continue;
         }
-        let gain = evaluator.static_first_promotion_spread(&[(u, x)]);
+        let gain = oracle.static_spread(&[(u, x)]);
         evaluations += 1;
         heap.push(HeapEntry {
             ratio: gain / cost,
@@ -141,7 +155,7 @@ pub fn select_nominees(
             // Stale: re-evaluate the marginal gain against the current set.
             let mut with = selected.clone();
             with.push((u, x));
-            let value_with = evaluator.static_first_promotion_spread(&with);
+            let value_with = oracle.static_spread(&with);
             evaluations += 1;
             let gain = value_with - current_value;
             heap.push(HeapEntry {
@@ -157,7 +171,7 @@ pub fn select_nominees(
     let objective = if selected.is_empty() {
         0.0
     } else {
-        evaluator.static_first_promotion_spread(&selected)
+        oracle.static_spread(&selected)
     };
     NomineeSelection {
         nominees: selected,
@@ -175,7 +189,16 @@ pub fn select_nominees_plain_greedy(
     universe: &[Nominee],
     config: &NomineeSelectionConfig,
 ) -> NomineeSelection {
-    let instance = evaluator.instance();
+    select_nominees_plain_greedy_with_oracle(evaluator.instance(), evaluator, universe, config)
+}
+
+/// Plain greedy MCP selection with an arbitrary [`SpreadOracle`].
+pub fn select_nominees_plain_greedy_with_oracle(
+    instance: &ImdppInstance,
+    oracle: &dyn SpreadOracle,
+    universe: &[Nominee],
+    config: &NomineeSelectionConfig,
+) -> NomineeSelection {
     let budget = instance.budget();
     let mut remaining: Vec<Nominee> = universe
         .iter()
@@ -201,10 +224,10 @@ pub fn select_nominees_plain_greedy(
             }
             let mut with = selected.clone();
             with.push((u, x));
-            let gain = evaluator.static_first_promotion_spread(&with) - current_value;
+            let gain = oracle.static_spread(&with) - current_value;
             evaluations += 1;
             let ratio = gain / cost;
-            if best.map_or(true, |(_, _, r)| ratio > r) {
+            if best.is_none_or(|(_, _, r)| ratio > r) {
                 best = Some((i, gain, ratio));
             }
         }
@@ -224,7 +247,7 @@ pub fn select_nominees_plain_greedy(
     let objective = if selected.is_empty() {
         0.0
     } else {
-        evaluator.static_first_promotion_spread(&selected)
+        oracle.static_spread(&selected)
     };
     NomineeSelection {
         nominees: selected,

@@ -1,0 +1,74 @@
+//! The [`SpreadOracle`] estimation interface.
+//!
+//! Nominee selection (Procedure 2) and the RIS-flavoured baselines only ever
+//! query one quantity: the *static first-promotion spread* `f(N)` of a
+//! nominee set under frozen dynamics (the conditions of Lemma 1 that make
+//! `f` monotone and submodular).  This trait abstracts over how `f` is
+//! estimated so callers can choose the estimator:
+//!
+//! * **forward Monte-Carlo** ([`crate::eval::Evaluator`]) — the paper's
+//!   reference estimator; unbiased for any dynamics but pays a full
+//!   simulation per query,
+//! * **reverse-reachable sketching** (`imdpp-sketch`'s `SketchOracle`) —
+//!   amortizes sampling across queries by maintaining a pool of RR sets per
+//!   item; orders of magnitude cheaper per query and incrementally
+//!   maintainable when perceptions drift between promotions.
+//!
+//! See `docs/ARCHITECTURE.md` for guidance on picking an implementation.
+
+use crate::nominees::Nominee;
+
+/// An estimator of the static first-promotion spread `f(N)`.
+///
+/// Implementations must target the same quantity:
+/// the expected importance-weighted number of adoptions when every nominee
+/// `(u, x)` is seeded in promotion 1 with `P_pref`, `P_act`, `P_ext` frozen
+/// at their initial values.  Estimates should be deterministic for a fixed
+/// construction seed so that greedy selections are reproducible.
+pub trait SpreadOracle {
+    /// Estimates `f(nominees)`.  Must return `0.0` for the empty set.
+    fn static_spread(&self, nominees: &[Nominee]) -> f64;
+
+    /// Estimates the marginal gain `f(base ∪ {candidate}) − f(base)`.
+    ///
+    /// The default recomputes both sides; sketch-backed implementations can
+    /// answer from coverage counters without re-estimating `base`.
+    fn marginal_gain(&self, base: &[Nominee], candidate: Nominee) -> f64 {
+        let mut with = base.to_vec();
+        with.push(candidate);
+        self.static_spread(&with) - self.static_spread(base)
+    }
+
+    /// A short human-readable name for logs and benchmark labels.
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdpp_graph::{ItemId, UserId};
+
+    /// A toy oracle: f(N) = number of distinct users in N.
+    struct DistinctUsers;
+
+    impl SpreadOracle for DistinctUsers {
+        fn static_spread(&self, nominees: &[Nominee]) -> f64 {
+            let mut users: Vec<u32> = nominees.iter().map(|(u, _)| u.0).collect();
+            users.sort_unstable();
+            users.dedup();
+            users.len() as f64
+        }
+    }
+
+    #[test]
+    fn default_marginal_gain_is_a_difference() {
+        let oracle = DistinctUsers;
+        let base = [(UserId(0), ItemId(0)), (UserId(1), ItemId(0))];
+        assert_eq!(oracle.marginal_gain(&base, (UserId(0), ItemId(1))), 0.0);
+        assert_eq!(oracle.marginal_gain(&base, (UserId(2), ItemId(0))), 1.0);
+        assert_eq!(oracle.static_spread(&[]), 0.0);
+        assert_eq!(oracle.name(), "oracle");
+    }
+}

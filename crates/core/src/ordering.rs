@@ -235,7 +235,10 @@ mod tests {
     fn ordering_names_and_all() {
         assert_eq!(MarketOrdering::AntagonisticExtent.name(), "AE");
         assert_eq!(MarketOrdering::all().len(), 5);
-        assert_eq!(MarketOrdering::default(), MarketOrdering::AntagonisticExtent);
+        assert_eq!(
+            MarketOrdering::default(),
+            MarketOrdering::AntagonisticExtent
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ impl CostModel {
 
     /// Explicit cost matrix in row-major `(user, item)` order.
     pub fn from_matrix(costs: Vec<f64>, user_count: usize, item_count: usize) -> Self {
-        assert_eq!(costs.len(), user_count * item_count, "cost matrix size mismatch");
+        assert_eq!(
+            costs.len(),
+            user_count * item_count,
+            "cost matrix size mismatch"
+        );
         assert!(
             costs.iter().all(|c| c.is_finite() && *c > 0.0),
             "all costs must be positive and finite"
@@ -111,7 +115,8 @@ impl ImdppInstance {
         budget: f64,
         promotions: u32,
     ) -> Result<Self, String> {
-        if costs.user_count() != scenario.user_count() || costs.item_count() != scenario.item_count()
+        if costs.user_count() != scenario.user_count()
+            || costs.item_count() != scenario.item_count()
         {
             return Err(format!(
                 "cost model covers {}×{} pairs but the scenario has {}×{}",
@@ -316,8 +321,7 @@ mod tests {
     fn nominee_universe_candidate_cap_keeps_high_degree_users() {
         let inst = instance();
         let universe = inst.nominee_universe(Some(2));
-        let users: std::collections::HashSet<u32> =
-            universe.iter().map(|(u, _)| u.0).collect();
+        let users: std::collections::HashSet<u32> = universe.iter().map(|(u, _)| u.0).collect();
         assert_eq!(users.len(), 2);
         // User 5 has out-degree 0 and must not be among the top-2.
         assert!(!users.contains(&5));

@@ -78,7 +78,7 @@ pub fn greedy_mcp(
             evaluations += 1;
             let gain = value - current;
             let ratio = gain / cost;
-            if best.map_or(true, |(_, _, r)| ratio > r) {
+            if best.is_none_or(|(_, _, r)| ratio > r) {
                 best = Some((pos, gain, ratio));
             }
         }
@@ -181,7 +181,7 @@ pub fn smk_one_twelfth(f: &mut impl SetFunction, budget: f64) -> MaximizationRes
         }
         let v = f.eval(&[e]);
         evaluations += 1;
-        if best_single.map_or(true, |(_, bv)| v > bv) {
+        if best_single.is_none_or(|(_, bv)| v > bv) {
             best_single = Some((e, v));
         }
     }

@@ -87,8 +87,8 @@ pub fn set_cover_gadget(sc: &SetCoverInstance) -> SetCoverGadget {
     for &e in &element_users {
         costs.set_cost(e, ItemId(0), 1_000.0);
     }
-    let instance = ImdppInstance::new(scenario, costs, sc.k as f64, 1)
-        .expect("gadget instance must be valid");
+    let instance =
+        ImdppInstance::new(scenario, costs, sc.k as f64, 1).expect("gadget instance must be valid");
     SetCoverGadget {
         instance,
         set_users,
@@ -146,11 +146,7 @@ pub fn non_monotone_instance() -> (ImdppInstance, SeedGroup, SeedGroup) {
     let kg = kg.build();
     let relevance = Arc::new(RelevanceModel::compute(&kg, MetaGraph::default_set()));
 
-    let social = SocialGraph::from_influence_edges(
-        2,
-        vec![(UserId(0), UserId(1), 1.0)],
-        true,
-    );
+    let social = SocialGraph::from_influence_edges(2, vec![(UserId(0), UserId(1), 1.0)], true);
     let catalog = ItemCatalog::from_importances(vec![0.0, 1.0]);
     let dynamics = DynamicsConfig {
         preference_loss: 2.5,
@@ -209,7 +205,8 @@ mod tests {
             k: 1,
         };
         let gadget = set_cover_gadget(&sc);
-        let direct = SeedGroup::from_seeds(vec![Seed::new(gadget.element_users[0], gadget.item, 1)]);
+        let direct =
+            SeedGroup::from_seeds(vec![Seed::new(gadget.element_users[0], gadget.item, 1)]);
         assert!(!gadget.instance.is_feasible(&direct));
     }
 

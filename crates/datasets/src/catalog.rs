@@ -74,7 +74,10 @@ impl DatasetKind {
                 directed_friendships: false,
                 social_model: SocialModel::PreferentialAttachment { links_per_node: 8 },
                 avg_influence_strength: 0.011,
-                importance: ImportanceDistribution::LogNormal { mu: 0.55, sigma: 0.6 },
+                importance: ImportanceDistribution::LogNormal {
+                    mu: 0.55,
+                    sigma: 0.6,
+                },
                 kg_features: 0,
                 kg_brands: 0,
                 kg_categories: 12,
@@ -114,7 +117,10 @@ impl DatasetKind {
                 directed_friendships: false,
                 social_model: SocialModel::PreferentialAttachment { links_per_node: 5 },
                 avg_influence_strength: 0.121,
-                importance: ImportanceDistribution::LogNormal { mu: 0.3, sigma: 0.5 },
+                importance: ImportanceDistribution::LogNormal {
+                    mu: 0.3,
+                    sigma: 0.5,
+                },
                 kg_features: 25,
                 kg_brands: 10,
                 kg_categories: 8,
@@ -134,7 +140,10 @@ impl DatasetKind {
                 directed_friendships: true,
                 social_model: SocialModel::PreferentialAttachment { links_per_node: 6 },
                 avg_influence_strength: 0.050,
-                importance: ImportanceDistribution::LogNormal { mu: 0.4, sigma: 0.6 },
+                importance: ImportanceDistribution::LogNormal {
+                    mu: 0.4,
+                    sigma: 0.6,
+                },
                 kg_features: 30,
                 kg_brands: 12,
                 kg_categories: 10,
@@ -154,7 +163,10 @@ impl DatasetKind {
                 directed_friendships: true,
                 social_model: SocialModel::PreferentialAttachment { links_per_node: 3 },
                 avg_influence_strength: 0.2,
-                importance: ImportanceDistribution::LogNormal { mu: 0.4, sigma: 0.5 },
+                importance: ImportanceDistribution::LogNormal {
+                    mu: 0.4,
+                    sigma: 0.5,
+                },
                 kg_features: 8,
                 kg_brands: 3,
                 kg_categories: 3,

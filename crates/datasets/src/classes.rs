@@ -33,11 +33,36 @@ impl ClassSpec {
     /// The five classes of Table III.
     pub fn all() -> [ClassSpec; 5] {
         [
-            ClassSpec { id: 'A', users: 33, edges: 293, seed: 0xA },
-            ClassSpec { id: 'B', users: 26, edges: 420, seed: 0xB },
-            ClassSpec { id: 'C', users: 22, edges: 387, seed: 0xC },
-            ClassSpec { id: 'D', users: 20, edges: 227, seed: 0xD },
-            ClassSpec { id: 'E', users: 20, edges: 308, seed: 0xE },
+            ClassSpec {
+                id: 'A',
+                users: 33,
+                edges: 293,
+                seed: 0xA,
+            },
+            ClassSpec {
+                id: 'B',
+                users: 26,
+                edges: 420,
+                seed: 0xB,
+            },
+            ClassSpec {
+                id: 'C',
+                users: 22,
+                edges: 387,
+                seed: 0xC,
+            },
+            ClassSpec {
+                id: 'D',
+                users: 20,
+                edges: 227,
+                seed: 0xD,
+            },
+            ClassSpec {
+                id: 'E',
+                users: 20,
+                edges: 308,
+                seed: 0xE,
+            },
         ]
     }
 }
@@ -117,9 +142,21 @@ pub fn course_knowledge_graph(seed: u64) -> (KnowledgeGraph, ItemCatalog) {
         .collect();
     // Keywords extracted from syllabuses: substitutable evidence.
     let keywords = [
-        "neural networks", "optimization", "SQL", "concurrency", "virtualization",
-        "sensors", "agile", "object orientation", "scripting", "pointers",
-        "graphs", "caching", "protocols", "testing", "usability",
+        "neural networks",
+        "optimization",
+        "SQL",
+        "concurrency",
+        "virtualization",
+        "sensors",
+        "agile",
+        "object orientation",
+        "scripting",
+        "pointers",
+        "graphs",
+        "caching",
+        "protocols",
+        "testing",
+        "usability",
     ];
     let keyword_nodes: Vec<_> = keywords
         .iter()
@@ -189,6 +226,11 @@ pub fn generate_class(spec: &ClassSpec) -> ImdppInstance {
     // influence strengths and initial preferences are kept small enough that
     // a cascade stays sub-critical; otherwise every algorithm saturates the
     // class and the Fig. 12 comparison becomes meaningless.
+    // Sort before assigning weights: `HashSet` iteration order varies per
+    // process, and the weights are drawn sequentially from the seeded RNG,
+    // so without sorting the same seed would give different graphs.
+    let mut chosen: Vec<(u32, u32)> = chosen.into_iter().collect();
+    chosen.sort_unstable();
     let edges: Vec<(UserId, UserId, f64)> = chosen
         .into_iter()
         .map(|(a, b)| (UserId(a), UserId(b), rng.gen_range(0.02..0.12)))
@@ -221,7 +263,12 @@ mod tests {
     fn table_three_sizes_are_reproduced() {
         for spec in ClassSpec::all() {
             let inst = generate_class(&spec);
-            assert_eq!(inst.scenario().user_count(), spec.users, "class {}", spec.id);
+            assert_eq!(
+                inst.scenario().user_count(),
+                spec.users,
+                "class {}",
+                spec.id
+            );
             assert_eq!(
                 inst.scenario().social().edge_count(),
                 spec.edges,
@@ -256,7 +303,10 @@ mod tests {
     fn classes_are_deterministic() {
         let a = generate_class(&ClassSpec::all()[0]);
         let b = generate_class(&ClassSpec::all()[0]);
-        assert_eq!(a.scenario().social().edge_count(), b.scenario().social().edge_count());
+        assert_eq!(
+            a.scenario().social().edge_count(),
+            b.scenario().social().edge_count()
+        );
         assert_eq!(
             a.cost(UserId(0), imdpp_graph::ItemId(0)),
             b.cost(UserId(0), imdpp_graph::ItemId(0))

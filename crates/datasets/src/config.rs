@@ -142,7 +142,6 @@ impl DatasetConfig {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::catalog::DatasetKind;
 
     #[test]

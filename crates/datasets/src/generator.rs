@@ -56,8 +56,8 @@ pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
 
     let costs = CostModel::degree_over_preference(&scenario, config.cost_scale);
     // Placeholder budget / promotions; experiments override them.
-    let instance = ImdppInstance::new(scenario, costs, 100.0, 10)
-        .expect("generated instance must be valid");
+    let instance =
+        ImdppInstance::new(scenario, costs, 100.0, 10).expect("generated instance must be valid");
 
     GeneratedDataset {
         config: config.clone(),

@@ -85,7 +85,12 @@ impl DynamicsConfig {
             ("preference_gain", self.preference_gain, 0.0, 10.0),
             ("preference_loss", self.preference_loss, 0.0, 10.0),
             ("influence_gain", self.influence_gain, 0.0, 1.0),
-            ("influence_adoption_mix", self.influence_adoption_mix, 0.0, 1.0),
+            (
+                "influence_adoption_mix",
+                self.influence_adoption_mix,
+                0.0,
+                1.0,
+            ),
             ("extra_adoption_scale", self.extra_adoption_scale, 0.0, 1.0),
             ("min_preference", self.min_preference, 0.0, 1.0),
             ("min_influence", self.min_influence, 0.0, 1.0),
@@ -265,7 +270,10 @@ mod tests {
     fn frozen_config_returns_base_values() {
         let p = perception();
         let cfg = DynamicsConfig::frozen();
-        assert_eq!(cfg.preference(&p, 0.4, UserId(0), &[ItemId(0)], ItemId(2)), 0.4);
+        assert_eq!(
+            cfg.preference(&p, 0.4, UserId(0), &[ItemId(0)], ItemId(2)),
+            0.4
+        );
         assert_eq!(
             cfg.influence(&p, 0.2, UserId(0), UserId(1), &[ItemId(0)], &[ItemId(0)]),
             0.2

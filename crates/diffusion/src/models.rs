@@ -39,7 +39,10 @@ mod tests {
 
     #[test]
     fn default_is_independent_cascade() {
-        assert_eq!(DiffusionModel::default(), DiffusionModel::IndependentCascade);
+        assert_eq!(
+            DiffusionModel::default(),
+            DiffusionModel::IndependentCascade
+        );
     }
 
     #[test]

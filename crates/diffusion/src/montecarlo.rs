@@ -78,7 +78,12 @@ impl<'a> SpreadEstimator<'a> {
     }
 
     /// Estimates the expectation of an arbitrary per-simulation metric.
-    pub fn estimate_metric<F>(&self, seeds: &SeedGroup, promotions: u32, metric: F) -> SpreadEstimate
+    pub fn estimate_metric<F>(
+        &self,
+        seeds: &SeedGroup,
+        promotions: u32,
+        metric: F,
+    ) -> SpreadEstimate
     where
         F: Fn(&SimulationOutcome) -> f64 + Sync,
     {
@@ -180,8 +185,12 @@ mod tests {
     #[test]
     fn estimates_are_deterministic_per_seed() {
         let s = toy_scenario();
-        let a = SpreadEstimator::new(&s, 12, 99).with_threads(1).estimate(&one_seed(), 2);
-        let b = SpreadEstimator::new(&s, 12, 99).with_threads(4).estimate(&one_seed(), 2);
+        let a = SpreadEstimator::new(&s, 12, 99)
+            .with_threads(1)
+            .estimate(&one_seed(), 2);
+        let b = SpreadEstimator::new(&s, 12, 99)
+            .with_threads(4)
+            .estimate(&one_seed(), 2);
         assert!((a.mean - b.mean).abs() < 1e-12);
         assert!((a.std_dev - b.std_dev).abs() < 1e-12);
     }

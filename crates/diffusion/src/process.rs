@@ -153,9 +153,8 @@ pub fn simulate(
                         }
                         DiffusionModel::LinearThreshold => {
                             let key = (friend.0, item.0);
-                            let threshold = *lt_thresholds
-                                .entry(key)
-                                .or_insert_with(|| rng.gen::<f64>());
+                            let threshold =
+                                *lt_thresholds.entry(key).or_insert_with(|| rng.gen::<f64>());
                             let acc = lt_weight.entry(key).or_insert(0.0);
                             *acc += strength * preference;
                             *acc >= threshold

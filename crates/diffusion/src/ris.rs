@@ -17,6 +17,14 @@
 //! cross-check for the static objective and as an additional baseline
 //! component, and its agreement with forward Monte-Carlo is covered by
 //! tests.
+//!
+//! **Superseded by `imdpp-sketch`.**  This module keeps the small
+//! self-contained implementation for the diffusion crate's own tests and
+//! doc examples, but new code should use the `imdpp-sketch` crate, which
+//! stores RR sets in a flat arena with an inverted user → set index,
+//! samples them in parallel on deterministic per-set RNG streams, sizes the
+//! pool with an `(ε, δ)` stopping rule, and supports incremental sample
+//! reuse when perceptions drift between promotions.
 
 use crate::scenario::Scenario;
 use imdpp_graph::{ItemId, UserId};
@@ -117,34 +125,54 @@ impl RrSets {
     /// Greedy max-coverage selection of `k` seed users over the RR sets (the
     /// selection core of TIM-family algorithms).  Returns the chosen users in
     /// selection order.
+    ///
+    /// Dense per-user counters and an inverted user → set index are built in
+    /// one pass; counters are decremented as sets become covered (CELF-style
+    /// incremental bookkeeping), so each RR-set entry is touched at most
+    /// twice instead of being recounted every iteration.  Ties break
+    /// deterministically toward the smallest user id, matching the original
+    /// `HashMap`-recount implementation.
     pub fn greedy_seeds(&self, k: usize) -> Vec<UserId> {
+        if self.user_count == 0 || self.sets.is_empty() {
+            return Vec::new();
+        }
+        let mut counts = vec![0usize; self.user_count];
+        for set in &self.sets {
+            for u in set {
+                counts[u.index()] += 1;
+            }
+        }
+        // Inverted index: which sets does each user appear in?
+        let mut inv: Vec<Vec<u32>> = vec![Vec::new(); self.user_count];
+        for (i, set) in self.sets.iter().enumerate() {
+            for u in set {
+                inv[u.index()].push(i as u32);
+            }
+        }
         let mut covered = vec![false; self.sets.len()];
         let mut chosen = Vec::new();
         for _ in 0..k {
-            // Count, for every user, how many uncovered RR sets it appears in.
-            let mut counts: std::collections::HashMap<u32, usize> =
-                std::collections::HashMap::new();
-            for (i, set) in self.sets.iter().enumerate() {
-                if covered[i] {
-                    continue;
-                }
-                for u in set {
-                    *counts.entry(u.0).or_insert(0) += 1;
+            // Argmax over the dense counters; the ascending scan makes the
+            // smallest user id win ties.
+            let mut best = 0usize;
+            let mut gain = 0usize;
+            for (u, &c) in counts.iter().enumerate() {
+                if c > gain {
+                    gain = c;
+                    best = u;
                 }
             }
-            let Some((&best, &gain)) = counts
-                .iter()
-                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-            else {
-                break;
-            };
             if gain == 0 {
                 break;
             }
-            chosen.push(UserId(best));
-            for (i, set) in self.sets.iter().enumerate() {
-                if !covered[i] && set.iter().any(|u| u.0 == best) {
-                    covered[i] = true;
+            chosen.push(UserId(best as u32));
+            for &i in &inv[best] {
+                if covered[i as usize] {
+                    continue;
+                }
+                covered[i as usize] = true;
+                for u in &self.sets[i as usize] {
+                    counts[u.index()] -= 1;
                 }
             }
         }

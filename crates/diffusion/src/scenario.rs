@@ -101,6 +101,20 @@ impl Scenario {
         s
     }
 
+    /// Returns a scenario identical to this one except for one initial
+    /// preference `P_pref(u, x, 0)`.  Models localized perception drift
+    /// between promotions (the update stream the incremental sketch
+    /// maintenance of `imdpp-sketch` consumes).
+    ///
+    /// # Panics
+    /// Panics when `p` lies outside `[0, 1]`.
+    pub fn with_base_preference(&self, u: UserId, x: ItemId, p: f64) -> Scenario {
+        assert!((0.0..=1.0).contains(&p), "preference must lie in [0, 1]");
+        let mut s = self.clone();
+        s.base_preferences[u.index() * self.catalog.item_count() + x.index()] = p;
+        s
+    }
+
     /// Returns a scenario identical to this one but with a different
     /// triggering model.
     pub fn with_model(&self, model: DiffusionModel) -> Scenario {
@@ -235,8 +249,9 @@ impl ScenarioBuilder {
                     ));
                 }
                 if p.metagraph_count() != relevance.len() {
-                    return Err("perception and relevance model disagree on meta-graph count"
-                        .to_string());
+                    return Err(
+                        "perception and relevance model disagree on meta-graph count".to_string(),
+                    );
                 }
                 p
             }
@@ -395,6 +410,21 @@ mod tests {
         assert!(!s.dynamics().frozen);
         let lt = s.with_model(DiffusionModel::LinearThreshold);
         assert_eq!(lt.model(), DiffusionModel::LinearThreshold);
+    }
+
+    #[test]
+    fn with_base_preference_replaces_one_entry() {
+        let s = toy_scenario();
+        let s2 = s.with_base_preference(UserId(1), ItemId(2), 0.9);
+        assert_eq!(s2.base_preference(UserId(1), ItemId(2)), 0.9);
+        assert_eq!(s2.base_preference(UserId(1), ItemId(1)), 0.4);
+        assert_eq!(s.base_preference(UserId(1), ItemId(2)), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn with_base_preference_rejects_out_of_range() {
+        let _ = toy_scenario().with_base_preference(UserId(0), ItemId(0), 1.5);
     }
 
     #[test]

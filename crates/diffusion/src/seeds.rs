@@ -105,9 +105,7 @@ impl SeedGroup {
 
     /// True if the group already contains the nominee `(u, x)` at any timing.
     pub fn contains_nominee(&self, user: UserId, item: ItemId) -> bool {
-        self.seeds
-            .iter()
-            .any(|s| s.user == user && s.item == item)
+        self.seeds.iter().any(|s| s.user == user && s.item == item)
     }
 
     /// Returns a new group equal to `self` plus an extra seed (used when

@@ -67,11 +67,7 @@ impl DiffusionState {
     ///
     /// Adoptions already present are ignored; returns the number of new
     /// adoptions actually recorded.
-    pub fn record_adoptions(
-        &mut self,
-        scenario: &Scenario,
-        newly: &[(UserId, ItemId)],
-    ) -> usize {
+    pub fn record_adoptions(&mut self, scenario: &Scenario, newly: &[(UserId, ItemId)]) -> usize {
         // Group by user to apply a single perception update per user.
         let mut per_user: std::collections::HashMap<UserId, Vec<ItemId>> =
             std::collections::HashMap::new();

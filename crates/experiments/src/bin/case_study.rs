@@ -11,7 +11,7 @@
 //!
 //! Usage: `cargo run --release -p imdpp-experiments --bin case_study`
 
-use imdpp_core::{Dysim, DysimConfig};
+use imdpp_core::Dysim;
 use imdpp_datasets::{generate, DatasetKind};
 use imdpp_diffusion::{simulate, DiffusionState};
 use imdpp_experiments::HarnessConfig;
@@ -35,7 +35,10 @@ fn main() {
     // One stochastic realisation of the campaign.
     let mut rng = StdRng::seed_from_u64(0xCA5E);
     let outcome = simulate(scenario, &seeds, instance.promotions(), &mut rng);
-    println!("total adoptions in this realisation: {}", outcome.adoption_count());
+    println!(
+        "total adoptions in this realisation: {}",
+        outcome.adoption_count()
+    );
 
     // Pick the non-seed user with the most adoptions as the case-study subject.
     let seed_users = seeds.users();
@@ -45,14 +48,21 @@ fn main() {
         .max_by_key(|&u| outcome.state().adopted_items(u).len())
         .expect("at least one non-seed user exists");
     let adopted = outcome.state().adopted_items(subject);
-    println!("\ncase-study subject: {subject} (adopted {} items)", adopted.len());
+    println!(
+        "\ncase-study subject: {subject} (adopted {} items)",
+        adopted.len()
+    );
     for record in outcome.records().iter().filter(|r| r.user == subject) {
         println!(
             "  promotion {}, step {}: adopted {}{}",
             record.promotion,
             record.step,
             scenario.catalog().name(record.item),
-            if record.via_association { " (via item association)" } else { "" }
+            if record.via_association {
+                " (via item association)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -61,8 +71,14 @@ fn main() {
     let final_state = outcome.state();
 
     println!("\n(1) perception of item relationships (meta-graph weightings):");
-    println!("    initial: {:?}", rounded(initial.perception().weight_vector(subject)));
-    println!("    final  : {:?}", rounded(final_state.perception().weight_vector(subject)));
+    println!(
+        "    initial: {:?}",
+        rounded(initial.perception().weight_vector(subject))
+    );
+    println!(
+        "    final  : {:?}",
+        rounded(final_state.perception().weight_vector(subject))
+    );
 
     println!("\n(2) preferences for not-yet-adopted items (initial → final):");
     let mut shown = 0;

@@ -28,7 +28,11 @@ fn main() {
         let dataset = generate(&kind.config().scaled(config.scale));
         let sweeps: Vec<(String, f64, u32)> = match mode {
             "promotions" => {
-                let ts: Vec<u32> = if quick { vec![5, 20] } else { vec![5, 10, 20, 40] };
+                let ts: Vec<u32> = if quick {
+                    vec![5, 20]
+                } else {
+                    vec![5, 10, 20, 40]
+                };
                 ts.iter().map(|&t| (format!("T={t}"), 1000.0, t)).collect()
             }
             _ => {
@@ -41,12 +45,19 @@ fn main() {
             }
         };
         for (label, budget, promotions) in sweeps {
-            let instance = dataset.instance.with_budget(budget).with_promotions(promotions);
+            let instance = dataset
+                .instance
+                .with_budget(budget)
+                .with_promotions(promotions);
             for variant in variants {
                 let r = run_algorithm(variant, &instance, &config);
                 println!(
                     "{} {label} {:<12} sigma={:.1} ({} seeds, {:.1}s)",
-                    kind.name(), r.algorithm, r.spread, r.seeds.len(), r.seconds
+                    kind.name(),
+                    r.algorithm,
+                    r.spread,
+                    r.seeds.len(),
+                    r.seconds
                 );
                 table.push_row(vec![
                     kind.name().to_string(),

@@ -17,10 +17,7 @@ fn main() {
         AlgorithmKind::Ps,
     ];
 
-    let mut class_table = Table::new(
-        "Table III — class statistics",
-        &["class", "users", "edges"],
-    );
+    let mut class_table = Table::new("Table III — class statistics", &["class", "users", "edges"]);
     let mut table = Table::new(
         "Fig. 12 — students selecting elective courses (b=50, T=3)",
         &["class", "algorithm", "selections", "sigma", "seconds"],
@@ -42,7 +39,11 @@ fn main() {
                 .round();
             println!(
                 "class {} {:<6} selections={} ({} seeds, {:.1}s)",
-                spec.id, r.algorithm, selections, r.seeds.len(), r.seconds
+                spec.id,
+                r.algorithm,
+                selections,
+                r.seeds.len(),
+                r.seconds
             );
             table.push_row(vec![
                 spec.id.to_string(),

@@ -23,10 +23,7 @@ fn main() {
     for kind in datasets {
         let dataset = generate(&kind.config().scaled(config.scale));
         for metagraphs in 1..=3usize {
-            let scenario = dataset
-                .instance
-                .scenario()
-                .with_metagraph_count(metagraphs);
+            let scenario = dataset.instance.scenario().with_metagraph_count(metagraphs);
             let instance = dataset
                 .instance
                 .with_scenario(scenario)
@@ -36,7 +33,10 @@ fn main() {
             let r = run_algorithm(AlgorithmKind::Dysim, &instance, &config);
             println!(
                 "{} m={metagraphs} sigma={:.1} ({} seeds, {:.1}s)",
-                kind.name(), r.spread, r.seeds.len(), r.seconds
+                kind.name(),
+                r.spread,
+                r.seeds.len(),
+                r.seconds
             );
             table.push_row(vec![
                 kind.name().to_string(),

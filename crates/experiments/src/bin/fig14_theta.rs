@@ -42,7 +42,10 @@ fn main() {
             let sigma = evaluate_spread(&instance, &seeds, &config);
             println!(
                 "{} theta={theta} sigma={:.1} ({} seeds, {:.1}s)",
-                kind.name(), sigma, seeds.len(), seconds
+                kind.name(),
+                sigma,
+                seeds.len(),
+                seconds
             );
             table.push_row(vec![
                 kind.name().to_string(),

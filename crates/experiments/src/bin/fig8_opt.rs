@@ -35,7 +35,13 @@ fn main() {
                 let instance = dataset.instance.with_budget(100.0).with_promotions(t);
                 for kind in algorithms {
                     let r = run_algorithm(kind, &instance, &config);
-                    println!("T={t} {:<6} sigma={:.2} ({} seeds, {:.2}s)", r.algorithm, r.spread, r.seeds.len(), r.seconds);
+                    println!(
+                        "T={t} {:<6} sigma={:.2} ({} seeds, {:.2}s)",
+                        r.algorithm,
+                        r.spread,
+                        r.seeds.len(),
+                        r.seconds
+                    );
                     table.push_row(vec![
                         format!("T={t}"),
                         r.algorithm.to_string(),
@@ -56,7 +62,13 @@ fn main() {
                 let instance = dataset.instance.with_budget(b).with_promotions(2);
                 for kind in algorithms {
                     let r = run_algorithm(kind, &instance, &config);
-                    println!("b={b} {:<6} sigma={:.2} ({} seeds, {:.2}s)", r.algorithm, r.spread, r.seeds.len(), r.seconds);
+                    println!(
+                        "b={b} {:<6} sigma={:.2} ({} seeds, {:.2}s)",
+                        r.algorithm,
+                        r.spread,
+                        r.seeds.len(),
+                        r.seconds
+                    );
                     table.push_row(vec![
                         format!("b={b}"),
                         r.algorithm.to_string(),

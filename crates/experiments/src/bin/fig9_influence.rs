@@ -27,7 +27,7 @@ fn main() {
     };
     let datasets: Vec<DatasetKind> = datasets
         .into_iter()
-        .filter(|k| dataset_filter.as_deref().map_or(true, |f| k.name() == f))
+        .filter(|k| dataset_filter.as_deref().is_none_or(|f| k.name() == f))
         .collect();
 
     let mut table = Table::new(
@@ -39,14 +39,22 @@ fn main() {
         let dataset = generate(&kind.config().scaled(config.scale));
         match mode {
             "promotions" => {
-                let sweep: Vec<u32> = if quick { vec![1, 5, 10] } else { vec![1, 5, 10, 20, 40] };
+                let sweep: Vec<u32> = if quick {
+                    vec![1, 5, 10]
+                } else {
+                    vec![1, 5, 10, 20, 40]
+                };
                 for &t in &sweep {
                     let instance = dataset.instance.with_budget(500.0).with_promotions(t);
                     for algo in algorithms() {
                         let r = run_algorithm(algo, &instance, &config);
                         println!(
                             "{} T={t} {:<6} sigma={:.1} ({} seeds, {:.1}s)",
-                            kind.name(), r.algorithm, r.spread, r.seeds.len(), r.seconds
+                            kind.name(),
+                            r.algorithm,
+                            r.spread,
+                            r.seeds.len(),
+                            r.seconds
                         );
                         table.push_row(vec![
                             kind.name().to_string(),
@@ -71,7 +79,11 @@ fn main() {
                         let r = run_algorithm(algo, &instance, &config);
                         println!(
                             "{} b={b} {:<6} sigma={:.1} ({} seeds, {:.1}s)",
-                            kind.name(), r.algorithm, r.spread, r.seeds.len(), r.seconds
+                            kind.name(),
+                            r.algorithm,
+                            r.spread,
+                            r.seeds.len(),
+                            r.seconds
                         );
                         table.push_row(vec![
                             kind.name().to_string(),

@@ -6,7 +6,9 @@
 //! * append `--quick` to shrink the sweep.
 
 use imdpp_datasets::{generate, DatasetKind};
-use imdpp_experiments::{algorithms, run_algorithm, write_csv, AlgorithmKind, HarnessConfig, Table};
+use imdpp_experiments::{
+    algorithms, run_algorithm, write_csv, AlgorithmKind, HarnessConfig, Table,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +27,12 @@ fn main() {
                 let dataset = generate(&kind.config().scaled(config.scale));
                 let instance = dataset.instance.with_budget(500.0).with_promotions(10);
                 let r = run_algorithm(AlgorithmKind::Dysim, &instance, &config);
-                println!("{} Dysim {:.2}s sigma={:.1}", kind.name(), r.seconds, r.spread);
+                println!(
+                    "{} Dysim {:.2}s sigma={:.1}",
+                    kind.name(),
+                    r.seconds,
+                    r.spread
+                );
                 table.push_row(vec![
                     kind.name().to_string(),
                     "b=500,T=10".to_string(),
@@ -37,7 +44,11 @@ fn main() {
         }
         "promotions" => {
             let dataset = generate(&DatasetKind::AmazonSmall.config().scaled(config.scale));
-            let sweep: Vec<u32> = if quick { vec![1, 10] } else { vec![1, 5, 10, 20, 40] };
+            let sweep: Vec<u32> = if quick {
+                vec![1, 10]
+            } else {
+                vec![1, 5, 10, 20, 40]
+            };
             for &t in &sweep {
                 let instance = dataset.instance.with_budget(500.0).with_promotions(t);
                 for algo in algorithms() {

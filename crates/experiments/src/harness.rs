@@ -175,11 +175,7 @@ pub fn run_algorithm(
 }
 
 /// Evaluates a seed group with the harness's final evaluation sample count.
-pub fn evaluate_spread(
-    instance: &ImdppInstance,
-    seeds: &SeedGroup,
-    config: &HarnessConfig,
-) -> f64 {
+pub fn evaluate_spread(instance: &ImdppInstance, seeds: &SeedGroup, config: &HarnessConfig) -> f64 {
     Evaluator::new(instance, config.eval_samples, 0xE7A1).spread(seeds)
 }
 

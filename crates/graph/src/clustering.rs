@@ -89,13 +89,13 @@ pub fn label_propagation(
         for &i in &order {
             // Accumulate similarity mass per label among positive-similarity peers.
             let mut mass: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
-            for j in 0..n {
+            for (j, &label) in labels.iter().enumerate() {
                 if i == j {
                     continue;
                 }
                 let s = similarity(i, j);
                 if s > 0.0 {
-                    *mass.entry(labels[j]).or_insert(0.0) += s;
+                    *mass.entry(label).or_insert(0.0) += s;
                 }
             }
             if let Some((&best, _)) = mass
@@ -150,7 +150,7 @@ pub fn agglomerative(
                     }
                 }
                 let avg = total / (clusters[a].len() * clusters[b].len()) as f64;
-                if avg >= threshold && best.map_or(true, |(_, _, bavg)| avg > bavg) {
+                if avg >= threshold && best.is_none_or(|(_, _, bavg)| avg > bavg) {
                     best = Some((a, b, avg));
                 }
             }

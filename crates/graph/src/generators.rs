@@ -80,7 +80,13 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> CsrGraph {
             let pick = rng.gen_range(0..new) as u32;
             chosen.insert(pick);
         }
-        for &t in &chosen {
+        // Iterate the chosen targets in sorted order: `HashSet` iteration
+        // order varies per process, and it feeds back into `endpoints`, so
+        // without sorting the *structure* would differ run to run for the
+        // same seed.
+        let mut chosen: Vec<u32> = chosen.into_iter().collect();
+        chosen.sort_unstable();
+        for t in chosen {
             edges.push((new as u32, t));
             endpoints.push(new as u32);
             endpoints.push(t);
@@ -107,7 +113,7 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> CsrGraph {
 /// node is connected to its `k` nearest neighbours (k must be even), with each
 /// edge rewired with probability `beta`.  Returned with both orientations.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
-    assert!(k % 2 == 0, "k must be even");
+    assert!(k.is_multiple_of(2), "k must be even");
     assert!(k < n.max(1), "k must be smaller than n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -145,8 +151,14 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
         }
     }
     let mut edges = Vec::new();
-    for u in 0..n {
-        for &v in &neighbours[u] {
+    for (u, nu) in neighbours.iter().enumerate() {
+        // Emit the adjacency in sorted order: `HashSet` iteration order
+        // varies per process, and CSR bucketing preserves input order, so
+        // without sorting the adjacency layout (and everything seeded from
+        // it) would differ run to run for the same seed.
+        let mut vs: Vec<usize> = nu.iter().copied().collect();
+        vs.sort_unstable();
+        for v in vs {
             edges.push(crate::csr::WeightedEdge {
                 src: UserId(u as u32),
                 dst: UserId(v as u32),
@@ -231,7 +243,11 @@ mod tests {
     fn watts_strogatz_preserves_mean_degree() {
         let g = watts_strogatz(100, 6, 0.1, 5);
         let s = DegreeStats::of(&g);
-        assert!((s.mean_out_degree - 6.0).abs() < 0.5, "{}", s.mean_out_degree);
+        assert!(
+            (s.mean_out_degree - 6.0).abs() < 0.5,
+            "{}",
+            s.mean_out_degree
+        );
     }
 
     #[test]

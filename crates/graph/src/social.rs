@@ -159,11 +159,7 @@ mod tests {
 
     #[test]
     fn influence_strengths_are_clamped() {
-        let g = SocialGraph::from_influence_edges(
-            2,
-            vec![(UserId(0), UserId(1), 1.7)],
-            true,
-        );
+        let g = SocialGraph::from_influence_edges(2, vec![(UserId(0), UserId(1), 1.7)], true);
         assert_eq!(g.influence(UserId(0), UserId(1)), 1.0);
     }
 

@@ -31,6 +31,9 @@ pub struct PersonalPerception {
     weights: Vec<f64>,
 }
 
+// Referenced only through the `#[serde(default = "default_model")]` attribute
+// above, which the offline serde stand-in accepts but never expands.
+#[allow(dead_code)]
 fn default_model() -> Arc<RelevanceModel> {
     Arc::new(RelevanceModel::from_matrices(Vec::new(), Vec::new(), 0))
 }
@@ -172,11 +175,7 @@ impl PersonalPerception {
     /// Items `y` related to `x` in `u`'s perception, with their
     /// `(complementary, substitutable)` relevances.  Only items that have a
     /// positive score under at least one meta-graph are returned.
-    pub fn personal_item_network(
-        &self,
-        u: UserId,
-        x: ItemId,
-    ) -> Vec<(ItemId, f64, f64)> {
+    pub fn personal_item_network(&self, u: UserId, x: ItemId) -> Vec<(ItemId, f64, f64)> {
         self.model
             .related_items(x)
             .into_iter()
@@ -211,16 +210,16 @@ impl PersonalPerception {
                 if a == b {
                     continue;
                 }
-                for idx in 0..m_count {
+                for (idx, e) in evidence.iter_mut().enumerate() {
                     let id = MetaGraphId(idx as u32);
-                    evidence[idx] += self.model.matrix(id).score(a, b);
+                    *e += self.model.matrix(id).score(a, b);
                 }
             }
         }
         let off = self.offset(u);
-        for idx in 0..m_count {
-            if evidence[idx] > 0.0 {
-                let w = self.weights[off + idx] + learning_rate * evidence[idx];
+        for (idx, &e) in evidence.iter().enumerate() {
+            if e > 0.0 {
+                let w = self.weights[off + idx] + learning_rate * e;
                 self.weights[off + idx] = w.clamp(MIN_WEIGHT, 1.0);
             }
         }
@@ -310,12 +309,7 @@ mod tests {
         let before = p.weight(UserId(0), MetaGraphId(0));
         // User 0 adopts iPhone and AirPods: shared-feature and same-brand
         // meta-graphs connect them, so their weights must grow.
-        p.update_on_adoption(
-            UserId(0),
-            &[ItemId(1)],
-            &[ItemId(0), ItemId(1)],
-            0.3,
-        );
+        p.update_on_adoption(UserId(0), &[ItemId(1)], &[ItemId(0), ItemId(1)], 0.3);
         assert!(p.weight(UserId(0), MetaGraphId(0)) > before);
         assert!(p.weight(UserId(0), MetaGraphId(1)) > before);
         // The direct-link meta-graph has no iPhone–AirPods instance: unchanged.

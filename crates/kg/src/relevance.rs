@@ -342,7 +342,7 @@ mod tests {
     fn shared_feature_relevance_matches_hand_computation() {
         let m = model();
         let m1 = m.matrix(MetaGraphId(0)); // shared_feature
-        // iPhone has 2 features, AirPods 1, shared 1 => 2*1/(2+1) = 2/3.
+                                           // iPhone has 2 features, AirPods 1, shared 1 => 2*1/(2+1) = 2/3.
         let s = m1.score(ItemId(0), ItemId(1));
         assert!((s - 2.0 / 3.0).abs() < 1e-9, "s = {s}");
         // iPhone/charger share Qi: 2*1/(2+1) = 2/3.
@@ -425,7 +425,10 @@ mod tests {
         let kg = figure1_knowledge_graph();
         let m = RelevanceModel::compute(&kg, Vec::new());
         assert!(m.is_empty());
-        assert_eq!(m.base_relevance(ItemId(0), ItemId(1), RelationKind::Complementary), 0.0);
+        assert_eq!(
+            m.base_relevance(ItemId(0), ItemId(1), RelationKind::Complementary),
+            0.0
+        );
         assert!(m.related_items(ItemId(0)).is_empty());
     }
 }

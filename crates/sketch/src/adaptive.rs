@@ -1,0 +1,89 @@
+//! OPIM/IMM-style adaptive sketch sizing: grow the RR pool geometrically
+//! until an `(ε, δ)` stopping rule certifies the estimate, instead of taking
+//! a fixed sample count on faith.
+//!
+//! The rule is the standard multiplicative-Chernoff requirement for
+//! estimating a coverage probability `p` with relative error `ε` at
+//! confidence `1 − δ`: the number of *covered* sets must reach
+//!
+//! ```text
+//! R · p  ≥  (2 + 2ε/3) · ln(2/δ) / ε²
+//! ```
+//!
+//! Because the left side is exactly the observed coverage count, the check
+//! is free given the sketch.  Each unsatisfied round doubles the pool (new
+//! sets extend the deterministic stream sequence, so grown sketches remain
+//! reproducible and incrementally maintainable).
+
+/// Parameters of the stopping rule.
+#[derive(Clone, Copy, Debug)]
+pub struct StoppingRule {
+    /// Target relative error of the coverage estimate.
+    pub epsilon: f64,
+    /// Allowed failure probability.
+    pub delta: f64,
+}
+
+impl StoppingRule {
+    /// Creates a rule; panics unless `0 < ε ≤ 1` and `0 < δ < 1`.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        StoppingRule { epsilon, delta }
+    }
+
+    /// The coverage count `R · p` required before stopping.
+    pub fn required_coverage(&self) -> f64 {
+        (2.0 + 2.0 * self.epsilon / 3.0) * (2.0 / self.delta).ln() / (self.epsilon * self.epsilon)
+    }
+
+    /// Whether an observed coverage count certifies the estimate.
+    pub fn is_satisfied(&self, covered_sets: usize) -> bool {
+        covered_sets as f64 >= self.required_coverage()
+    }
+}
+
+/// Outcome of one adaptive growth run.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveReport {
+    /// Sets in the sketch when growth stopped.
+    pub final_sets: usize,
+    /// Doubling rounds performed (0 = the initial sketch already satisfied
+    /// the rule).
+    pub rounds: usize,
+    /// Whether the rule was satisfied (false ⇔ `max_sets` was hit first).
+    pub satisfied: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_coverage_shrinks_with_looser_targets() {
+        let tight = StoppingRule::new(0.05, 0.01);
+        let loose = StoppingRule::new(0.3, 0.1);
+        assert!(tight.required_coverage() > loose.required_coverage());
+        assert!(loose.required_coverage() > 1.0);
+    }
+
+    #[test]
+    fn satisfaction_threshold_is_consistent() {
+        let rule = StoppingRule::new(0.1, 0.01);
+        let need = rule.required_coverage().ceil() as usize;
+        assert!(!rule.is_satisfied(need - 1));
+        assert!(rule.is_satisfied(need));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn zero_epsilon_is_rejected() {
+        let _ = StoppingRule::new(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn unit_delta_is_rejected() {
+        let _ = StoppingRule::new(0.1, 1.0);
+    }
+}

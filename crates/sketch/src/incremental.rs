@@ -1,0 +1,162 @@
+//! Incremental sketch maintenance under perception drift — the
+//! sample-reuse path (Zhang et al., *A Sample Reuse Strategy for Dynamic
+//! Influence Maximization*; Yalavarthi & Khan's local updating).
+//!
+//! When user perceptions change between promotions, the static triggering
+//! probability of an edge `u' → u` (`P_act(u', u) · P_pref(u, item)`) can
+//! change.  An RR set's traversal only ever draws randomness *at the nodes
+//! it visited* — every visited node is a member of the set — so a set whose
+//! members are all unaffected would be re-generated **bit-identically** by
+//! its RNG stream against the updated scenario.  Those sets are reused; only
+//! sets containing an affected user are re-sampled (found in O(1) per user
+//! via the store's inverted index).
+//!
+//! A perception change at user `c` can move:
+//! * `P_pref(c, ·)` — felt on in-edges of `c`, i.e. when `c` is visited,
+//! * `P_act(c, w)` and `P_act(v, c)` — influence strengths involving `c`;
+//!   the draw for edge `c → w` happens when `w` is visited.
+//!
+//! Hence the *affected heads* of a perception update at `c` are
+//! `{c} ∪ out-neighbours(c)`, and invalidating every set containing an
+//! affected head is exact: the refreshed sketch equals a from-scratch
+//! rebuild with the same streams (a property the test-suite asserts).
+
+use crate::sampler;
+use crate::store::RrStore;
+use imdpp_diffusion::Scenario;
+use imdpp_graph::UserId;
+
+/// Statistics of one incremental refresh.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RefreshStats {
+    /// Total RR sets across the refreshed stores.
+    pub total_sets: usize,
+    /// Sets that were invalidated and re-sampled.
+    pub resampled_sets: usize,
+    /// Stores (items) refreshed.
+    pub stores: usize,
+}
+
+impl RefreshStats {
+    /// Fraction of sets re-sampled (0.0 for an empty sketch).
+    pub fn resampled_fraction(&self) -> f64 {
+        if self.total_sets == 0 {
+            0.0
+        } else {
+            self.resampled_sets as f64 / self.total_sets as f64
+        }
+    }
+
+    /// Fraction of sets whose samples were reused.
+    pub fn reused_fraction(&self) -> f64 {
+        1.0 - self.resampled_fraction()
+    }
+
+    /// Accumulates another store's refresh into this one.
+    pub fn absorb(&mut self, other: RefreshStats) {
+        self.total_sets += other.total_sets;
+        self.resampled_sets += other.resampled_sets;
+        self.stores += other.stores;
+    }
+}
+
+/// Expands a set of perception-changed users to the *affected heads* whose
+/// in-edge draws could change: the users themselves plus their social
+/// out-neighbours.  Sorted and deduplicated.
+pub fn affected_heads(scenario: &Scenario, changed: &[UserId]) -> Vec<UserId> {
+    let mut heads: Vec<UserId> = Vec::with_capacity(changed.len() * 2);
+    for &c in changed {
+        if c.index() >= scenario.user_count() {
+            continue;
+        }
+        heads.push(c);
+        for (w, _) in scenario.social().influenced_by(c) {
+            heads.push(w);
+        }
+    }
+    heads.sort_unstable();
+    heads.dedup();
+    heads
+}
+
+/// Refreshes one store against `updated` (an already-frozen scenario):
+/// re-samples exactly the sets containing an affected head, replaying each
+/// set's original RNG stream, and reuses everything else.
+pub fn refresh_store(
+    store: &mut RrStore,
+    updated: &Scenario,
+    base_seed: u64,
+    heads: &[UserId],
+    threads: usize,
+) -> RefreshStats {
+    let invalid = store.sets_touching(heads);
+    let streams: Vec<u64> = invalid.iter().map(|&id| id as u64).collect();
+    let fresh = sampler::sample_streams(updated, store.item(), base_seed, &streams, threads);
+    for (&id, set) in invalid.iter().zip(&fresh) {
+        store.replace_set(id, set);
+    }
+    // No eager index rebuild: `replace_set` marks the index dirty and the
+    // next membership query rebuilds it lazily, so untouched stores stay
+    // O(1) per update.
+    RefreshStats {
+        total_sets: store.len(),
+        resampled_sets: invalid.len(),
+        stores: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdpp_diffusion::scenario::toy_scenario;
+    use imdpp_graph::ItemId;
+
+    #[test]
+    fn affected_heads_include_self_and_out_neighbours() {
+        let s = toy_scenario();
+        // User 0 influences 1 and 2 in the toy graph.
+        let heads = affected_heads(&s, &[UserId(0)]);
+        assert_eq!(heads, vec![UserId(0), UserId(1), UserId(2)]);
+        // User 5 has no out-edges.
+        assert_eq!(affected_heads(&s, &[UserId(5)]), vec![UserId(5)]);
+        // Out-of-range users are ignored.
+        assert!(affected_heads(&s, &[UserId(99)]).is_empty());
+    }
+
+    #[test]
+    fn refresh_with_unchanged_scenario_is_a_fixed_point() {
+        let s = toy_scenario();
+        let mut store = RrStore::new(ItemId(0), s.user_count());
+        for set in sampler::sample_range(&s, ItemId(0), 11, 0, 128, 2) {
+            store.push_set(&set);
+        }
+        let before: Vec<Vec<u32>> = store.iter().map(|(_, set)| set.to_vec()).collect();
+        // "Change" a user but hand the identical scenario: the re-sampled
+        // sets replay their streams and must come out identical.
+        let heads = affected_heads(&s, &[UserId(0)]);
+        let stats = refresh_store(&mut store, &s, 11, &heads, 2);
+        assert_eq!(stats.total_sets, 128);
+        assert!(stats.resampled_sets > 0);
+        let after: Vec<Vec<u32>> = store.iter().map(|(_, set)| set.to_vec()).collect();
+        assert_eq!(before, after);
+        assert!((stats.resampled_fraction() + stats.reused_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = RefreshStats {
+            total_sets: 10,
+            resampled_sets: 2,
+            stores: 1,
+        };
+        a.absorb(RefreshStats {
+            total_sets: 30,
+            resampled_sets: 3,
+            stores: 1,
+        });
+        assert_eq!(a.total_sets, 40);
+        assert_eq!(a.resampled_sets, 5);
+        assert_eq!(a.stores, 2);
+        assert!((a.resampled_fraction() - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! # imdpp-sketch
+//!
+//! A reverse-reachable (RR) sketch influence oracle for the IMDPP suite:
+//! the estimation engine that replaces per-query forward Monte-Carlo with an
+//! amortized pool of RR samples, in the spirit of TIM/IMM/OPIM, extended
+//! with **incremental sample reuse** for the dynamic-perception setting
+//! (Yalavarthi & Khan's local updating; Zhang et al.'s sample reuse).
+//!
+//! Components:
+//!
+//! * [`store`] — the flat, arena-backed [`RrStore`](store::RrStore):
+//!   CSR-style spans into one shared pool plus an inverted user → set index,
+//! * [`sampler`] — parallel RR-set generation with deterministic per-sample
+//!   RNG streams (thread-count-independent, replayable in isolation),
+//! * [`adaptive`] — the OPIM-style `(ε, δ)` stopping rule that sizes the
+//!   sketch instead of a fixed sample count,
+//! * [`incremental`] — invalidate-and-resample maintenance that reuses every
+//!   RR set a perception update could not have touched,
+//! * [`greedy`] — dense-counter CELF-style greedy max-coverage selection,
+//! * [`oracle`] — [`SketchOracle`], the `imdpp_core::SpreadOracle`
+//!   implementation callers plug into nominee selection and baselines.
+//!
+//! See `docs/ARCHITECTURE.md` for when to pick the sketch oracle over
+//! forward Monte-Carlo.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adaptive;
+pub mod greedy;
+pub mod incremental;
+pub mod oracle;
+pub mod sampler;
+pub mod store;
+
+pub use adaptive::{AdaptiveReport, StoppingRule};
+pub use greedy::{greedy_max_coverage, GreedySelection};
+pub use incremental::{affected_heads, RefreshStats};
+pub use oracle::SketchOracle;
+pub use store::{RrStore, SetId};
+
+pub use imdpp_core::SpreadOracle;
+pub use imdpp_graph::{ItemId, UserId};
+
+/// Construction parameters of a [`SketchOracle`].
+#[derive(Clone, Copy, Debug)]
+pub struct SketchConfig {
+    /// Base seed of the deterministic per-set RNG streams.
+    pub base_seed: u64,
+    /// RR sets sampled per item at construction.
+    pub initial_sets: usize,
+    /// Hard cap on RR sets per item under adaptive growth.
+    pub max_sets: usize,
+    /// Target relative error of the `(ε, δ)` stopping rule.
+    pub epsilon: f64,
+    /// Failure probability of the `(ε, δ)` stopping rule.
+    pub delta: f64,
+    /// Worker threads for sampling (0 or 1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig {
+            base_seed: 7,
+            initial_sets: 256,
+            max_sets: 32_768,
+            epsilon: 0.1,
+            delta: 0.01,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl SketchConfig {
+    /// A configuration with a fixed set count (adaptive growth disabled);
+    /// used where exact reproducibility against a rebuild matters.
+    pub fn fixed(sets: usize) -> Self {
+        SketchConfig {
+            initial_sets: sets,
+            max_sets: sets,
+            ..SketchConfig::default()
+        }
+    }
+
+    /// Replaces the base RNG seed.
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Replaces the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_config_disables_growth() {
+        let c = SketchConfig::fixed(100).with_base_seed(5).with_threads(2);
+        assert_eq!(c.initial_sets, 100);
+        assert_eq!(c.max_sets, 100);
+        assert_eq!(c.base_seed, 5);
+        assert_eq!(c.threads, 2);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = SketchConfig::default();
+        assert!(c.initial_sets > 0);
+        assert!(c.max_sets >= c.initial_sets);
+        assert!(c.epsilon > 0.0 && c.delta > 0.0);
+        assert!(c.threads >= 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! The sketch-backed [`SpreadOracle`]: per-item RR stores behind the
+//! estimation interface of `imdpp-core`.
+
+use crate::adaptive::{AdaptiveReport, StoppingRule};
+use crate::greedy::{greedy_max_coverage, GreedySelection};
+use crate::incremental::{affected_heads, refresh_store, RefreshStats};
+use crate::sampler;
+use crate::store::RrStore;
+use crate::SketchConfig;
+use imdpp_core::nominees::Nominee;
+use imdpp_core::SpreadOracle;
+use imdpp_diffusion::{DynamicsConfig, Scenario};
+use imdpp_graph::{ItemId, UserId};
+
+/// A reverse-reachable-sketch estimator of the static first-promotion
+/// spread `f(N)`, maintaining one [`RrStore`] per catalogue item.
+///
+/// Construction freezes the scenario's dynamics (the Lemma 1 restriction
+/// both estimators target) and samples every store in parallel with
+/// deterministic per-set RNG streams.  Between promotions,
+/// [`SketchOracle::apply_update`] migrates the sketch to a drifted scenario
+/// by re-sampling only the RR sets whose traversal could have observed the
+/// change — the incremental sample-reuse path.
+#[derive(Clone, Debug)]
+pub struct SketchOracle {
+    frozen: Scenario,
+    config: SketchConfig,
+    stores: Vec<RrStore>,
+}
+
+impl SketchOracle {
+    /// Builds the oracle for `scenario`, sampling `config.initial_sets` RR
+    /// sets per item under the scenario's initial (frozen) probabilities.
+    ///
+    /// # Panics
+    /// Panics when the scenario uses a triggering model other than
+    /// Independent Cascade: the RR-set construction here encodes the IC
+    /// triggering distribution, so estimating a Linear Threshold scenario
+    /// with it would silently target the wrong quantity (the LT-equivalent
+    /// sketch draws one uniformly-chosen live in-edge per node instead).
+    pub fn build(scenario: &Scenario, config: SketchConfig) -> Self {
+        assert_eq!(
+            scenario.model(),
+            imdpp_diffusion::DiffusionModel::IndependentCascade,
+            "SketchOracle only supports the Independent Cascade model; \
+             use the Monte-Carlo Evaluator for Linear Threshold scenarios"
+        );
+        let frozen = scenario.with_dynamics(DynamicsConfig::frozen());
+        let stores = frozen
+            .items()
+            .map(|item| {
+                let mut store = RrStore::new(item, frozen.user_count());
+                let sets = sampler::sample_range(
+                    &frozen,
+                    item,
+                    config.base_seed,
+                    0,
+                    config.initial_sets,
+                    config.threads,
+                );
+                for set in &sets {
+                    store.push_set(set);
+                }
+                store.rebuild_index();
+                store
+            })
+            .collect();
+        SketchOracle {
+            frozen,
+            config,
+            stores,
+        }
+    }
+
+    /// The frozen scenario the sketch estimates against.
+    pub fn scenario(&self) -> &Scenario {
+        &self.frozen
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// The RR store of one item.
+    pub fn store(&self, item: ItemId) -> &RrStore {
+        &self.stores[item.index()]
+    }
+
+    /// Total RR sets across all items.
+    pub fn total_sets(&self) -> usize {
+        self.stores.iter().map(|s| s.len()).sum()
+    }
+
+    /// Estimated adopters of `item` when `users` are seeded with it in the
+    /// first promotion (unweighted by importance).
+    pub fn estimate_item_adopters(&self, item: ItemId, users: &[UserId]) -> f64 {
+        self.stores[item.index()].estimate_adopters(users)
+    }
+
+    /// Binomial standard error of [`Self::estimate_item_adopters`].
+    pub fn estimate_item_std_error(&self, item: ItemId, users: &[UserId]) -> f64 {
+        self.stores[item.index()].estimate_std_error(users)
+    }
+
+    /// Greedy max-coverage selection of `k` seed users for one item.
+    pub fn greedy_seeds(&self, item: ItemId, k: usize) -> GreedySelection {
+        greedy_max_coverage(&self.stores[item.index()], k)
+    }
+
+    /// Grows `item`'s store until the `(ε, δ)` rule certifies the estimate
+    /// for `seeds` (doubling rounds, capped at `config.max_sets`).  New sets
+    /// extend the deterministic stream sequence, so grown sketches remain
+    /// reproducible and incrementally maintainable.
+    pub fn ensure_precision(&mut self, item: ItemId, seeds: &[UserId]) -> AdaptiveReport {
+        let rule = StoppingRule::new(self.config.epsilon, self.config.delta);
+        let store = &mut self.stores[item.index()];
+        let mut rounds = 0;
+        loop {
+            let covered = store.coverage_count(seeds);
+            if rule.is_satisfied(covered) {
+                return AdaptiveReport {
+                    final_sets: store.len(),
+                    rounds,
+                    satisfied: true,
+                };
+            }
+            if store.len() >= self.config.max_sets {
+                return AdaptiveReport {
+                    final_sets: store.len(),
+                    rounds,
+                    satisfied: false,
+                };
+            }
+            let grow = store.len().min(self.config.max_sets - store.len()).max(1);
+            let sets = sampler::sample_range(
+                &self.frozen,
+                item,
+                self.config.base_seed,
+                store.len() as u64,
+                grow,
+                self.config.threads,
+            );
+            for set in &sets {
+                store.push_set(set);
+            }
+            store.rebuild_index();
+            rounds += 1;
+        }
+    }
+
+    /// Migrates the sketch to `updated` (whose dynamics are re-frozen) after
+    /// the perceptions/preferences of `changed_users` drifted, re-sampling
+    /// only the RR sets whose traversal could have observed the change.
+    ///
+    /// The refreshed sketch is *identical* to rebuilding from scratch
+    /// against `updated` with the same configuration.
+    pub fn apply_update(&mut self, updated: &Scenario, changed_users: &[UserId]) -> RefreshStats {
+        self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
+        let heads = affected_heads(&self.frozen, changed_users);
+        let mut stats = RefreshStats::default();
+        for store in &mut self.stores {
+            stats.absorb(refresh_store(
+                store,
+                &self.frozen,
+                self.config.base_seed,
+                &heads,
+                self.config.threads,
+            ));
+        }
+        stats
+    }
+
+    /// Migrates the sketch after *preference-only* drift: each `(u, x)`
+    /// change affects the triggering probability only on in-edge draws of
+    /// `u` for item `x`, so only item `x`'s sets containing `u` are
+    /// re-sampled — a far tighter frontier than [`SketchOracle::apply_update`]
+    /// (which must assume influence strengths moved too).  Exactness is the
+    /// same: the result is identical to a from-scratch rebuild against
+    /// `updated`.
+    pub fn apply_preference_update(
+        &mut self,
+        updated: &Scenario,
+        changes: &[(UserId, ItemId)],
+    ) -> RefreshStats {
+        self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
+        let mut by_item: Vec<Vec<UserId>> = vec![Vec::new(); self.stores.len()];
+        for &(u, x) in changes {
+            if x.index() < by_item.len() {
+                by_item[x.index()].push(u);
+            }
+        }
+        let mut stats = RefreshStats::default();
+        for (store, users) in self.stores.iter_mut().zip(&by_item) {
+            if users.is_empty() {
+                stats.absorb(RefreshStats {
+                    total_sets: store.len(),
+                    resampled_sets: 0,
+                    stores: 1,
+                });
+                continue;
+            }
+            stats.absorb(refresh_store(
+                store,
+                &self.frozen,
+                self.config.base_seed,
+                users,
+                self.config.threads,
+            ));
+        }
+        stats
+    }
+}
+
+impl SpreadOracle for SketchOracle {
+    /// `f(N) = Σ_x importance(x) · n · (coverage of N's item-x users)`:
+    /// per-item RR estimates combined with catalogue importances.  Under
+    /// frozen dynamics items diffuse independently (`P_ext ≡ 0`), so the sum
+    /// targets exactly the Monte-Carlo estimator's quantity.
+    fn static_spread(&self, nominees: &[Nominee]) -> f64 {
+        if nominees.is_empty() {
+            return 0.0;
+        }
+        let mut by_item: Vec<Vec<UserId>> = vec![Vec::new(); self.stores.len()];
+        for &(u, x) in nominees {
+            if x.index() < by_item.len() {
+                by_item[x.index()].push(u);
+            }
+        }
+        by_item
+            .iter()
+            .enumerate()
+            .filter(|(_, users)| !users.is_empty())
+            .map(|(x, users)| {
+                let item = ItemId(x as u32);
+                self.frozen.catalog().importance(item) * self.stores[x].estimate_adopters(users)
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "rr-sketch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdpp_diffusion::scenario::toy_scenario;
+
+    fn oracle(sets: usize) -> SketchOracle {
+        SketchOracle::build(
+            &toy_scenario(),
+            SketchConfig::fixed(sets).with_base_seed(13),
+        )
+    }
+
+    #[test]
+    fn build_samples_every_item() {
+        let o = oracle(64);
+        let s = toy_scenario();
+        assert_eq!(o.total_sets(), 64 * s.item_count());
+        for item in s.items() {
+            assert_eq!(o.store(item).len(), 64);
+        }
+        assert_eq!(o.name(), "rr-sketch");
+    }
+
+    #[test]
+    fn empty_and_full_seedings_bound_the_estimate() {
+        let o = oracle(128);
+        let s = toy_scenario();
+        let everyone: Vec<UserId> = s.users().collect();
+        assert_eq!(o.static_spread(&[]), 0.0);
+        let full = o.estimate_item_adopters(ItemId(0), &everyone);
+        assert!((full - s.user_count() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_spread_weights_items_by_importance() {
+        let o = oracle(256);
+        let s = toy_scenario();
+        let everyone: Vec<Nominee> = s.users().map(|u| (u, ItemId(0))).collect();
+        // Item 0 has importance 1.0: seeding everyone with it yields ≈ n.
+        let f = o.static_spread(&everyone);
+        assert!((f - s.user_count() as f64).abs() < 1e-9);
+        // Item 1 has importance 0.5: the weighted estimate halves.
+        let everyone1: Vec<Nominee> = s.users().map(|u| (u, ItemId(1))).collect();
+        let f1 = o.static_spread(&everyone1);
+        assert!((f1 - 0.5 * s.user_count() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_the_seed_set() {
+        let o = oracle(512);
+        let one = o.static_spread(&[(UserId(0), ItemId(0))]);
+        let two = o.static_spread(&[(UserId(0), ItemId(0)), (UserId(2), ItemId(0))]);
+        assert!(two >= one);
+        assert!(one >= 1.0 - 1e-9); // a seed always covers its own root sets
+    }
+
+    #[test]
+    fn greedy_avoids_sink_users() {
+        let o = oracle(512);
+        let sel = o.greedy_seeds(ItemId(0), 2);
+        assert!(!sel.seeds.is_empty());
+        // User 5 has no out-edges and cannot be the first pick.
+        assert_ne!(sel.seeds[0], UserId(5));
+    }
+
+    #[test]
+    fn ensure_precision_grows_until_satisfied_or_capped() {
+        let mut o = SketchOracle::build(
+            &toy_scenario(),
+            SketchConfig {
+                initial_sets: 16,
+                max_sets: 4096,
+                epsilon: 0.2,
+                delta: 0.1,
+                ..SketchConfig::default()
+            },
+        );
+        let report = o.ensure_precision(ItemId(0), &[UserId(0)]);
+        assert!(report.satisfied);
+        assert!(report.final_sets > 16);
+        assert!(report.rounds > 0);
+        // A second call is already satisfied and does not grow.
+        let again = o.ensure_precision(ItemId(0), &[UserId(0)]);
+        assert!(again.satisfied);
+        assert_eq!(again.rounds, 0);
+        assert_eq!(again.final_sets, report.final_sets);
+
+        // An impossible target hits the cap un-satisfied.
+        let mut capped = SketchOracle::build(
+            &toy_scenario(),
+            SketchConfig {
+                initial_sets: 4,
+                max_sets: 8,
+                epsilon: 0.01,
+                delta: 0.001,
+                ..SketchConfig::default()
+            },
+        );
+        let r = capped.ensure_precision(ItemId(0), &[UserId(5)]);
+        assert!(!r.satisfied);
+        assert_eq!(r.final_sets, 8);
+    }
+
+    #[test]
+    fn preference_update_is_exact_and_tighter_than_user_update() {
+        let s = toy_scenario();
+        let config = SketchConfig::fixed(256).with_base_seed(19);
+        let drifted = s.with_base_preference(UserId(1), ItemId(2), 0.9);
+
+        let mut precise = SketchOracle::build(&s, config);
+        let precise_stats = precise.apply_preference_update(&drifted, &[(UserId(1), ItemId(2))]);
+
+        let mut coarse = SketchOracle::build(&s, config);
+        let coarse_stats = coarse.apply_update(&drifted, &[UserId(1)]);
+
+        // Both must equal a from-scratch rebuild...
+        let rebuilt = SketchOracle::build(&drifted, config);
+        for item in s.items() {
+            let reb: Vec<Vec<u32>> = rebuilt
+                .store(item)
+                .iter()
+                .map(|(_, s)| s.to_vec())
+                .collect();
+            let pre: Vec<Vec<u32>> = precise
+                .store(item)
+                .iter()
+                .map(|(_, s)| s.to_vec())
+                .collect();
+            let coa: Vec<Vec<u32>> = coarse.store(item).iter().map(|(_, s)| s.to_vec()).collect();
+            assert_eq!(pre, reb);
+            assert_eq!(coa, reb);
+        }
+        // ...but the preference-only frontier re-samples (much) less.
+        assert!(precise_stats.resampled_sets <= coarse_stats.resampled_sets);
+        assert!(precise_stats.resampled_sets < precise_stats.total_sets);
+        assert_eq!(precise_stats.total_sets, coarse_stats.total_sets);
+    }
+
+    #[test]
+    #[should_panic(expected = "Independent Cascade")]
+    fn linear_threshold_scenarios_are_rejected() {
+        let s = toy_scenario().with_model(imdpp_diffusion::DiffusionModel::LinearThreshold);
+        let _ = SketchOracle::build(&s, SketchConfig::fixed(8));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let s = toy_scenario();
+        let a = SketchOracle::build(
+            &s,
+            SketchConfig::fixed(128).with_base_seed(3).with_threads(1),
+        );
+        let b = SketchOracle::build(
+            &s,
+            SketchConfig::fixed(128).with_base_seed(3).with_threads(4),
+        );
+        for item in s.items() {
+            let sa: Vec<Vec<u32>> = a.store(item).iter().map(|(_, s)| s.to_vec()).collect();
+            let sb: Vec<Vec<u32>> = b.store(item).iter().map(|(_, s)| s.to_vec()).collect();
+            assert_eq!(sa, sb);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The flat, arena-backed RR-set store.
+//!
+//! Replaces the toy `Vec<Vec<UserId>>` layout of `imdpp_diffusion::ris` with
+//! a CSR-style arena: every RR set is a `(start, len)` span into one shared
+//! `Vec<u32>` pool, giving one allocation for the whole sketch and cache-
+//! friendly scans during coverage counting.  An inverted user → set index
+//! (also CSR) answers "which sets does user `u` appear in?" — the query that
+//! drives both CELF-style greedy selection and incremental invalidation.
+//!
+//! Sets are identified by a stable `SetId` (their stream id — see
+//! [`crate::sampler`]); replacing a set appends its new span to the pool and
+//! tombstones the old one.  Dead pool entries are tracked and the arena is
+//! compacted automatically once more than half of it is garbage.
+
+use imdpp_graph::{ItemId, UserId};
+
+/// Identifier of one RR set inside a store.  Stable across replacements and
+/// equal to the RNG stream id that generated the set.
+pub type SetId = u32;
+
+/// A collection of reverse-reachable sets for one item, stored in a shared
+/// arena with an inverted user → set index.
+#[derive(Clone, Debug)]
+pub struct RrStore {
+    item: ItemId,
+    user_count: usize,
+    /// Per-set `(start, len)` spans into `pool`.
+    spans: Vec<(u32, u32)>,
+    /// The arena of user ids; live spans point into it.
+    pool: Vec<u32>,
+    /// Number of dead (tombstoned) entries in `pool`.
+    garbage: usize,
+    /// CSR offsets of the inverted index (`user_count + 1` entries).
+    inv_offsets: Vec<u32>,
+    /// Set ids, grouped by user according to `inv_offsets`.
+    inv_sets: Vec<SetId>,
+    /// Whether the inverted index must be rebuilt before use.
+    inv_dirty: bool,
+}
+
+impl RrStore {
+    /// Creates an empty store for `item` over `user_count` users.
+    pub fn new(item: ItemId, user_count: usize) -> Self {
+        RrStore {
+            item,
+            user_count,
+            spans: Vec::new(),
+            pool: Vec::new(),
+            garbage: 0,
+            inv_offsets: vec![0; user_count + 1],
+            inv_sets: Vec::new(),
+            inv_dirty: false,
+        }
+    }
+
+    /// The item the sets were sampled for.
+    pub fn item(&self) -> ItemId {
+        self.item
+    }
+
+    /// Number of users in the underlying scenario.
+    pub fn user_count(&self) -> usize {
+        self.user_count
+    }
+
+    /// Number of RR sets.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no sets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total number of live user entries across all sets.
+    pub fn live_entries(&self) -> usize {
+        self.pool.len() - self.garbage
+    }
+
+    /// Fraction of the arena occupied by tombstoned entries.
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.pool.is_empty() {
+            0.0
+        } else {
+            self.garbage as f64 / self.pool.len() as f64
+        }
+    }
+
+    /// Appends a new set, returning its id (always `len() - 1` afterwards).
+    pub fn push_set(&mut self, users: &[UserId]) -> SetId {
+        let start = self.pool.len() as u32;
+        self.pool.extend(users.iter().map(|u| u.0));
+        self.spans.push((start, users.len() as u32));
+        self.inv_dirty = true;
+        (self.spans.len() - 1) as SetId
+    }
+
+    /// Replaces the contents of set `id`, tombstoning its old span.
+    pub fn replace_set(&mut self, id: SetId, users: &[UserId]) {
+        let old_len = self.spans[id as usize].1 as usize;
+        self.garbage += old_len;
+        let start = self.pool.len() as u32;
+        self.pool.extend(users.iter().map(|u| u.0));
+        self.spans[id as usize] = (start, users.len() as u32);
+        self.inv_dirty = true;
+        if self.garbage_ratio() > 0.5 {
+            self.compact();
+        }
+    }
+
+    /// The users of set `id`.
+    pub fn set(&self, id: SetId) -> &[u32] {
+        let (start, len) = self.spans[id as usize];
+        &self.pool[start as usize..(start + len) as usize]
+    }
+
+    /// Iterator over `(id, users)` pairs of all sets.
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, &[u32])> + '_ {
+        self.spans.iter().enumerate().map(|(i, &(start, len))| {
+            (
+                i as SetId,
+                &self.pool[start as usize..(start + len) as usize],
+            )
+        })
+    }
+
+    /// Rewrites the arena without tombstones (spans keep their ids).
+    pub fn compact(&mut self) {
+        if self.garbage == 0 {
+            return;
+        }
+        let mut pool = Vec::with_capacity(self.live_entries());
+        for (start, len) in self.spans.iter_mut() {
+            let old = *start as usize..(*start + *len) as usize;
+            *start = pool.len() as u32;
+            pool.extend_from_slice(&self.pool[old]);
+        }
+        self.pool = pool;
+        self.garbage = 0;
+    }
+
+    /// Rebuilds the inverted user → set index (counting-sort CSR build).
+    pub fn rebuild_index(&mut self) {
+        let mut counts = vec![0u32; self.user_count + 1];
+        for &(start, len) in &self.spans {
+            for &u in &self.pool[start as usize..(start + len) as usize] {
+                counts[u as usize + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        self.inv_offsets = counts;
+        let mut cursors = self.inv_offsets.clone();
+        self.inv_sets = vec![0; *self.inv_offsets.last().unwrap() as usize];
+        for (id, &(start, len)) in self.spans.iter().enumerate() {
+            for &u in &self.pool[start as usize..(start + len) as usize] {
+                self.inv_sets[cursors[u as usize] as usize] = id as SetId;
+                cursors[u as usize] += 1;
+            }
+        }
+        self.inv_dirty = false;
+    }
+
+    /// The ids of the sets containing `user` (rebuilds the index if stale).
+    pub fn sets_of(&mut self, user: UserId) -> &[SetId] {
+        if self.inv_dirty {
+            self.rebuild_index();
+        }
+        let lo = self.inv_offsets[user.index()] as usize;
+        let hi = self.inv_offsets[user.index() + 1] as usize;
+        &self.inv_sets[lo..hi]
+    }
+
+    /// The sorted, deduplicated ids of all sets containing any of `users`
+    /// — the invalidation frontier of an update touching those users.
+    pub fn sets_touching(&mut self, users: &[UserId]) -> Vec<SetId> {
+        if self.inv_dirty {
+            self.rebuild_index();
+        }
+        let mut ids = Vec::new();
+        for &u in users {
+            if u.index() >= self.user_count {
+                continue;
+            }
+            let lo = self.inv_offsets[u.index()] as usize;
+            let hi = self.inv_offsets[u.index() + 1] as usize;
+            ids.extend_from_slice(&self.inv_sets[lo..hi]);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of sets hit by the given seed users.
+    pub fn coverage_count(&self, seeds: &[UserId]) -> usize {
+        if self.spans.is_empty() || seeds.is_empty() {
+            return 0;
+        }
+        let mut marked = vec![false; self.user_count];
+        for &u in seeds {
+            if u.index() < self.user_count {
+                marked[u.index()] = true;
+            }
+        }
+        self.spans
+            .iter()
+            .filter(|&&(start, len)| {
+                self.pool[start as usize..(start + len) as usize]
+                    .iter()
+                    .any(|&u| marked[u as usize])
+            })
+            .count()
+    }
+
+    /// Unbiased estimate of the expected number of adopters of the store's
+    /// item when `seeds` are seeded in the first promotion:
+    /// `n · (fraction of RR sets hit)`.
+    pub fn estimate_adopters(&self, seeds: &[UserId]) -> f64 {
+        if self.spans.is_empty() {
+            return 0.0;
+        }
+        self.user_count as f64 * self.coverage_count(seeds) as f64 / self.spans.len() as f64
+    }
+
+    /// Standard error of [`Self::estimate_adopters`] under the binomial
+    /// coverage model — used by 3σ agreement tests and the adaptive sampler.
+    pub fn estimate_std_error(&self, seeds: &[UserId]) -> f64 {
+        let r = self.spans.len();
+        if r < 2 {
+            return 0.0;
+        }
+        let p = self.coverage_count(seeds) as f64 / r as f64;
+        self.user_count as f64 * (p * (1.0 - p) / r as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users(ids: &[u32]) -> Vec<UserId> {
+        ids.iter().map(|&u| UserId(u)).collect()
+    }
+
+    fn store_with(sets: &[&[u32]]) -> RrStore {
+        let mut s = RrStore::new(ItemId(0), 6);
+        for set in sets {
+            s.push_set(&users(set));
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let s = store_with(&[&[0, 1], &[2], &[3, 4, 5]]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.set(0), &[0, 1]);
+        assert_eq!(s.set(2), &[3, 4, 5]);
+        assert_eq!(s.live_entries(), 6);
+        assert_eq!(s.iter().count(), 3);
+    }
+
+    #[test]
+    fn inverted_index_answers_membership() {
+        let mut s = store_with(&[&[0, 1], &[1, 2], &[2]]);
+        assert_eq!(s.sets_of(UserId(1)), &[0, 1]);
+        assert_eq!(s.sets_of(UserId(2)), &[1, 2]);
+        assert_eq!(s.sets_of(UserId(5)), &[] as &[SetId]);
+        assert_eq!(s.sets_touching(&users(&[0, 2])), vec![0, 1, 2]);
+        assert_eq!(s.sets_touching(&users(&[5])), Vec::<SetId>::new());
+    }
+
+    #[test]
+    fn replace_tombstones_and_reindexes() {
+        let mut s = store_with(&[&[0, 1], &[1, 2]]);
+        s.replace_set(0, &users(&[3]));
+        assert_eq!(s.set(0), &[3]);
+        assert_eq!(s.sets_of(UserId(1)), &[1]);
+        assert_eq!(s.sets_of(UserId(3)), &[0]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut s = store_with(&[&[0, 1, 2], &[3, 4]]);
+        // Two replacements push garbage over 50% and trigger compaction.
+        s.replace_set(0, &users(&[5]));
+        s.replace_set(1, &users(&[0]));
+        assert_eq!(s.garbage_ratio(), 0.0);
+        assert_eq!(s.set(0), &[5]);
+        assert_eq!(s.set(1), &[0]);
+        assert_eq!(s.live_entries(), 2);
+    }
+
+    #[test]
+    fn coverage_and_estimates() {
+        let s = store_with(&[&[0, 1], &[1, 2], &[3], &[4]]);
+        assert_eq!(s.coverage_count(&users(&[1])), 2);
+        assert_eq!(s.coverage_count(&users(&[1, 3])), 3);
+        assert_eq!(s.coverage_count(&[]), 0);
+        // 6 users * 2/4 coverage.
+        assert!((s.estimate_adopters(&users(&[1])) - 3.0).abs() < 1e-12);
+        assert!(s.estimate_std_error(&users(&[1])) > 0.0);
+        assert_eq!(
+            RrStore::new(ItemId(1), 4).estimate_adopters(&users(&[0])),
+            0.0
+        );
+    }
+
+    #[test]
+    fn out_of_range_seed_users_are_ignored() {
+        let s = store_with(&[&[0]]);
+        assert_eq!(s.coverage_count(&users(&[99])), 0);
+    }
+}

@@ -29,7 +29,11 @@ fn main() {
     // ...while the adaptive variant decides each promotion's seeds in turn.
     let adaptive = adaptive_dysim(&instance, &config);
 
-    println!("\nadaptive plan: {} seeds, spent {:.1}", adaptive.seeds.len(), adaptive.spent);
+    println!(
+        "\nadaptive plan: {} seeds, spent {:.1}",
+        adaptive.seeds.len(),
+        adaptive.spent
+    );
     for (i, count) in adaptive.per_promotion.iter().enumerate() {
         println!("  promotion {}: {count} new seed(s)", i + 1);
     }
@@ -37,5 +41,8 @@ fn main() {
     let evaluator = Evaluator::new(&instance, 100, 17);
     println!("\nexpected importance-aware spread:");
     println!("  up-front Dysim : {:.1}", evaluator.spread(&planned));
-    println!("  adaptive Dysim : {:.1}", evaluator.spread(&adaptive.seeds));
+    println!(
+        "  adaptive Dysim : {:.1}",
+        evaluator.spread(&adaptive.seeds)
+    );
 }

@@ -29,7 +29,11 @@ fn main() {
 
     // 3. Run Dysim.
     let report = Dysim::new(DysimConfig::default()).run_with_report(&instance);
-    println!("\nDysim selected {} seeds (cost {:.2}):", report.seeds.len(), report.total_cost);
+    println!(
+        "\nDysim selected {} seeds (cost {:.2}):",
+        report.seeds.len(),
+        report.total_cost
+    );
     for seed in report.seeds.seeds() {
         println!(
             "  hire {} to promote {} in promotion {}",
@@ -54,6 +58,10 @@ fn main() {
     println!("σ(naive)  = {naive_spread:.2}");
     println!(
         "improvement: {:.1}×",
-        if naive_spread > 0.0 { dysim_spread / naive_spread } else { f64::INFINITY }
+        if naive_spread > 0.0 {
+            dysim_spread / naive_spread
+        } else {
+            f64::INFINITY
+        }
     );
 }

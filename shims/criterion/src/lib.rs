@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the suite's benches use — [`Criterion`],
+//! [`black_box`], [`BenchmarkId`], `benchmark_group` with `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, plus the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! wall-clock timer.  When the binary is invoked by `cargo test` (which
+//! passes `--test`), every benchmark body runs exactly once so test runs stay
+//! fast, mirroring real criterion's behaviour.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    measurement: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine` (once in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and size the batch so the measured window is ~50 ms but at
+        // most 1000 iterations.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measurement = Some((start.elapsed(), iters));
+    }
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+fn run_one(test_mode: bool, group: Option<&str>, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        test_mode,
+        measurement: None,
+    };
+    f(&mut bencher);
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match bencher.measurement {
+        Some((elapsed, iters)) => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {full:<50} {per_iter:>14.0} ns/iter ({iters} iters)");
+        }
+        None if test_mode => println!("bench {full:<50} ok (test mode)"),
+        None => println!("bench {full:<50} no measurement"),
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(self.test_mode, None, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim sizes batches automatically.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            self.criterion.test_mode,
+            Some(&self.name),
+            &id.into().id,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            self.criterion.test_mode,
+            Some(&self.name),
+            &id.id,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut runs = 0u32;
+        let mut c = Criterion { test_mode: true };
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("a", 3).id, "a/3");
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for `serde`.
+//!
+//! The suite's types derive `Serialize` / `Deserialize` for forward
+//! compatibility, but nothing in the tree actually serializes (there is no
+//! `serde_json`).  This shim therefore exposes the two names as blanket
+//! marker traits plus no-op derive macros, which is all the compiler needs to
+//! accept the existing code unchanged.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types (the real trait's `'de` lifetime is dropped — nothing in the suite
+/// names it).
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct WithHelperAttr {
+        #[serde(skip, default = "zero")]
+        _field: u32,
+    }
+
+    fn assert_marker<T: super::Serialize + super::Deserialize>() {}
+
+    #[test]
+    fn derive_and_blanket_impls_compile() {
+        assert_marker::<WithHelperAttr>();
+        assert_marker::<Vec<String>>();
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The suite derives `Serialize` / `Deserialize` on its data types but never
+//! serializes anything (there is no `serde_json` in the tree), so the derive
+//! macros only need to *accept* the syntax — including `#[serde(...)]` helper
+//! attributes — and can expand to nothing.  The `serde` shim crate provides
+//! blanket implementations of the marker traits instead.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; expands to
+/// nothing (the `serde` shim blanket-implements the trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; expands
+/// to nothing (the `serde` shim blanket-implements the trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

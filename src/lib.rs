@@ -6,6 +6,7 @@
 //! - [`imdpp_diffusion`]: dynamic-perception diffusion process and Monte-Carlo engine
 //! - [`imdpp_core`]: the IMDPP problem and the Dysim algorithm
 //! - [`imdpp_baselines`]: OPT, BGRD, HAG, PS, DRHGA and classic IM baselines
+//! - [`imdpp_sketch`]: RR-sketch influence oracle with incremental sample reuse
 //! - [`imdpp_datasets`]: synthetic dataset generators
 
 pub use imdpp_baselines as baselines;
@@ -14,3 +15,4 @@ pub use imdpp_datasets as datasets;
 pub use imdpp_diffusion as diffusion;
 pub use imdpp_graph as graph;
 pub use imdpp_kg as kg;
+pub use imdpp_sketch as sketch;

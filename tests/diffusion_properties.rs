@@ -44,10 +44,7 @@ fn build_scenario(n: usize, edges: Vec<(u32, u32, f64)>, frozen: bool) -> Scenar
 }
 
 fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
-    proptest::collection::vec(
-        (0..n as u32, 0..n as u32, 0.05f64..0.9f64),
-        0..(n * 3),
-    )
+    proptest::collection::vec((0..n as u32, 0..n as u32, 0.05f64..0.9f64), 0..(n * 3))
 }
 
 fn arb_seeds(n: usize, promotions: u32) -> impl Strategy<Value = Vec<(u32, u32, u32)>> {

@@ -40,9 +40,15 @@ fn all_algorithms_return_feasible_seed_groups_on_synthetic_data() {
         ("DRHGA", Drhga::new(fast_baseline()).select(&instance)),
     ];
     for (name, group) in seeds {
-        assert!(instance.is_feasible(&group), "{name} produced an infeasible group");
         assert!(
-            group.seeds().iter().all(|s| s.promotion <= instance.promotions()),
+            instance.is_feasible(&group),
+            "{name} produced an infeasible group"
+        );
+        assert!(
+            group
+                .seeds()
+                .iter()
+                .all(|s| s.promotion <= instance.promotions()),
             "{name} used a promotion beyond T"
         );
     }
@@ -54,10 +60,22 @@ fn dysim_is_competitive_with_every_baseline() {
     let evaluator = Evaluator::new(&instance, 64, 0xBEEF);
     let dysim = evaluator.spread(&Dysim::new(fast_dysim()).run(&instance));
     let baselines = [
-        ("BGRD", evaluator.spread(&Bgrd::new(fast_baseline()).select(&instance))),
-        ("HAG", evaluator.spread(&Hag::new(fast_baseline()).select(&instance))),
-        ("PS", evaluator.spread(&PathScore::new(fast_baseline()).select(&instance))),
-        ("DRHGA", evaluator.spread(&Drhga::new(fast_baseline()).select(&instance))),
+        (
+            "BGRD",
+            evaluator.spread(&Bgrd::new(fast_baseline()).select(&instance)),
+        ),
+        (
+            "HAG",
+            evaluator.spread(&Hag::new(fast_baseline()).select(&instance)),
+        ),
+        (
+            "PS",
+            evaluator.spread(&PathScore::new(fast_baseline()).select(&instance)),
+        ),
+        (
+            "DRHGA",
+            evaluator.spread(&Drhga::new(fast_baseline()).select(&instance)),
+        ),
     ];
     for (name, spread) in baselines {
         assert!(
@@ -110,8 +128,14 @@ fn ablations_do_not_beat_full_dysim_by_a_wide_margin() {
     let full = evaluator.spread(&Dysim::new(fast_dysim()).run(&instance));
     let no_tm = evaluator.spread(&Dysim::new(fast_dysim().without_target_markets()).run(&instance));
     let no_ip = evaluator.spread(&Dysim::new(fast_dysim().without_item_priority()).run(&instance));
-    assert!(full * 1.3 + 1.0 >= no_tm, "w/o TM ({no_tm:.1}) >> full ({full:.1})");
-    assert!(full * 1.3 + 1.0 >= no_ip, "w/o IP ({no_ip:.1}) >> full ({full:.1})");
+    assert!(
+        full * 1.3 + 1.0 >= no_tm,
+        "w/o TM ({no_tm:.1}) >> full ({full:.1})"
+    );
+    assert!(
+        full * 1.3 + 1.0 >= no_ip,
+        "w/o IP ({no_ip:.1}) >> full ({full:.1})"
+    );
 }
 
 #[test]
