@@ -6,6 +6,10 @@
 //! is answered from the amortized RR-set pool.  On the static restricted
 //! problem the selections agree with the Monte-Carlo greedy up to sampling
 //! noise while being orders of magnitude cheaper per query.
+//!
+//! The full Dysim pipeline (not just these baselines) can also run
+//! sketch-backed: set `DysimConfig::oracle` to `OracleKind::RrSketch` and
+//! use the dispatching entry points in `imdpp_sketch::pipeline`.
 
 use imdpp_core::nominees::{select_nominees_with_oracle, NomineeSelection, NomineeSelectionConfig};
 use imdpp_core::{ImdppInstance, ItemId, Seed, SeedGroup};

@@ -13,11 +13,21 @@
 //!    promotion `t` over `t + 1`; defer the rest.
 //!
 //! For the last promotion `T` the remaining budget is spent greedily.
+//!
+//! Nominee re-selection is generic over [`crate::oracle::SpreadOracle`]:
+//! [`adaptive_dysim`] uses the owned Monte-Carlo oracle, while
+//! [`adaptive_dysim_with_oracle`] accepts any [`RefreshableOracle`] — in
+//! particular the RR-sketch oracle of `imdpp-sketch`, which *refreshes*
+//! between rounds (re-sampling only the RR sets a scenario update could
+//! have touched) instead of being rebuilt.  The world may drift between
+//! promotions: pass one [`ScenarioUpdate`] per inter-round gap and the loop
+//! applies it to the instance and hands it to the oracle.
 
 use crate::dysim::DysimConfig;
-use crate::eval::Evaluator;
+use crate::eval::{Evaluator, MonteCarloOracle};
 use crate::market::TargetMarket;
-use crate::nominees::{select_nominees, NomineeSelectionConfig};
+use crate::nominees::{select_nominees_with_oracle, NomineeSelectionConfig};
+use crate::oracle::{RefreshableOracle, ScenarioUpdate};
 use crate::problem::ImdppInstance;
 use crate::tdsi::substantial_influence;
 use imdpp_diffusion::{Seed, SeedGroup};
@@ -31,47 +41,94 @@ pub struct AdaptiveReport {
     pub spent: f64,
     /// Seeds committed per promotion (index 0 = promotion 1).
     pub per_promotion: Vec<usize>,
+    /// For every *consumed* drift entry (index `i` = the update between
+    /// promotions `i + 1` and `i + 2`): the fraction of the oracle's
+    /// internal state that had to be recomputed — `0.0` for an empty
+    /// update, `1.0` for a full rebuild; sketch-backed oracles report
+    /// their resample fraction.
+    pub refresh_fractions: Vec<f64>,
 }
 
-/// Runs the adaptive variant of Dysim: budget is *not* pre-allocated to
+/// Runs the adaptive variant of Dysim with the forward Monte-Carlo
+/// estimator and a static world: budget is *not* pre-allocated to
 /// promotions; each promotion's seeds are decided after the previous
 /// promotions are (simulated as) observed.
 pub fn adaptive_dysim(instance: &ImdppInstance, config: &DysimConfig) -> AdaptiveReport {
+    let mut oracle =
+        MonteCarloOracle::new(instance.scenario(), config.mc_samples, config.base_seed);
+    adaptive_dysim_with_oracle(instance, config, &[], &mut oracle)
+}
+
+/// Runs the adaptive Dysim loop with `oracle` answering the static `f(N)`
+/// queries of per-round nominee re-selection, over a world that may drift
+/// between promotions.
+///
+/// `drift[i]` is applied between promotion `i + 1` and promotion `i + 2`
+/// (a campaign of `T` promotions consumes at most `T - 1` updates; extra
+/// entries are ignored).  Before planning the affected round the loop
+/// applies the update to the instance's scenario and calls
+/// [`RefreshableOracle::refresh`], so a sketch-backed oracle re-samples
+/// only what the update could have touched; the per-update recomputed
+/// fractions are reported in [`AdaptiveReport::refresh_fractions`].
+///
+/// The substantial-influence timing test and the final spread bookkeeping
+/// always use Monte-Carlo (they query dynamic quantities outside the static
+/// oracle contract), evaluated against the *current* drifted scenario.
+pub fn adaptive_dysim_with_oracle<O: RefreshableOracle>(
+    instance: &ImdppInstance,
+    config: &DysimConfig,
+    drift: &[ScenarioUpdate],
+    oracle: &mut O,
+) -> AdaptiveReport {
     let total_promotions = instance.promotions();
+    let mut current = instance.clone();
     let mut committed = SeedGroup::new();
     let mut spent = 0.0f64;
     let mut per_promotion = Vec::with_capacity(total_promotions as usize);
+    let mut refresh_fractions = Vec::new();
 
     // The whole population acts as the market for SI scoring.
-    let whole_market = TargetMarket {
-        index: 0,
-        nominees: Vec::new(),
-        users: instance.scenario().users().collect(),
-        diameter: imdpp_graph::paths::graph_hop_diameter(instance.scenario().social().graph())
-            .max(1),
-    };
+    let mut whole_market = whole_population_market(&current);
 
     for t in 1..=total_promotions {
-        let remaining_budget = instance.budget() - spent;
+        oracle.begin_round(t);
+        // ---- Inter-round drift: update the world and refresh the oracle. ----
+        if t >= 2 {
+            if let Some(update) = drift.get(t as usize - 2) {
+                if update.is_empty() {
+                    // Keep indices aligned with `drift`: nothing to refresh.
+                    refresh_fractions.push(0.0);
+                } else {
+                    let updated = update.apply(current.scenario());
+                    refresh_fractions.push(oracle.refresh(&updated, update));
+                    current = current
+                        .with_scenario(updated)
+                        .expect("scenario updates preserve instance dimensions");
+                    // Only edge updates can change the topology (and hence
+                    // the hop diameter) behind the SI-scoring market.
+                    if matches!(update, ScenarioUpdate::Edges(_)) {
+                        whole_market = whole_population_market(&current);
+                    }
+                }
+            }
+        }
+
+        let remaining_budget = current.budget() - spent;
         if remaining_budget <= 0.0 {
             per_promotion.push(0);
             continue;
         }
         // Re-plan with the remaining budget.
-        let stage_instance = instance.with_budget(remaining_budget);
-        let evaluator = Evaluator::new(
-            &stage_instance,
-            config.mc_samples,
-            config.base_seed + t as u64,
-        );
+        let stage_instance = current.with_budget(remaining_budget);
         let universe = stage_instance.nominee_universe(config.candidate_users);
         // Drop nominees already committed at an earlier promotion.
         let universe: Vec<_> = universe
             .into_iter()
             .filter(|&(u, x)| !committed.contains_nominee(u, x))
             .collect();
-        let selection = select_nominees(
-            &evaluator,
+        let selection = select_nominees_with_oracle(
+            &stage_instance,
+            &*oracle,
             &universe,
             &NomineeSelectionConfig {
                 max_nominees: config.max_nominees,
@@ -83,8 +140,8 @@ pub fn adaptive_dysim(instance: &ImdppInstance, config: &DysimConfig) -> Adaptiv
         if t == total_promotions {
             // Final promotion: spend whatever remains greedily at timing T.
             for &(u, x) in &selection.nominees {
-                let cost = instance.cost(u, x);
-                if cost <= instance.budget() - spent {
+                let cost = current.cost(u, x);
+                if cost <= current.budget() - spent {
                     committed.insert(Seed::new(u, x, t));
                     spent += cost;
                     committed_this_round += 1;
@@ -94,13 +151,13 @@ pub fn adaptive_dysim(instance: &ImdppInstance, config: &DysimConfig) -> Adaptiv
             // Keep only the nominees that prefer the current promotion over
             // the next one under substantial influence.
             let eval_full =
-                Evaluator::new(instance, config.mc_samples, config.base_seed + t as u64);
+                Evaluator::new(&current, config.mc_samples, config.base_seed + t as u64);
             let baseline_spread = eval_full.spread_in(&committed, &whole_market.users);
             let baseline_likelihood =
                 eval_full.future_likelihood_in(&committed, &whole_market.users);
             for &(u, x) in &selection.nominees {
-                let cost = instance.cost(u, x);
-                if cost > instance.budget() - spent {
+                let cost = current.cost(u, x);
+                if cost > current.budget() - spent {
                     continue;
                 }
                 let now = substantial_influence(
@@ -135,6 +192,19 @@ pub fn adaptive_dysim(instance: &ImdppInstance, config: &DysimConfig) -> Adaptiv
         seeds: committed,
         spent,
         per_promotion,
+        refresh_fractions,
+    }
+}
+
+/// A [`TargetMarket`] holding the whole population — the scope used when
+/// scoring substantial influence in the adaptive loop.
+fn whole_population_market(instance: &ImdppInstance) -> TargetMarket {
+    TargetMarket {
+        index: 0,
+        nominees: Vec::new(),
+        users: instance.scenario().users().collect(),
+        diameter: imdpp_graph::paths::graph_hop_diameter(instance.scenario().social().graph())
+            .max(1),
     }
 }
 
@@ -143,6 +213,7 @@ mod tests {
     use super::*;
     use crate::problem::CostModel;
     use imdpp_diffusion::scenario::toy_scenario;
+    use imdpp_graph::{EdgeUpdate, ItemId, UserId};
 
     fn instance(budget: f64, promotions: u32) -> ImdppInstance {
         let scenario = toy_scenario();
@@ -157,6 +228,7 @@ mod tests {
         assert!(report.spent <= inst.budget() + 1e-9);
         assert!(inst.is_feasible(&report.seeds));
         assert_eq!(report.per_promotion.len(), 3);
+        assert!(report.refresh_fractions.is_empty());
     }
 
     #[test]
@@ -197,5 +269,56 @@ mod tests {
         let report = adaptive_dysim(&inst, &DysimConfig::fast());
         assert!(report.seeds.len() <= 1);
         assert!(report.spent <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn drift_is_applied_and_reported() {
+        let inst = instance(4.0, 3);
+        let cfg = DysimConfig::fast();
+        let drift = vec![
+            ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(0), 0.9)]),
+            ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.9,
+            }]),
+        ];
+        let mut oracle = MonteCarloOracle::new(inst.scenario(), cfg.mc_samples, cfg.base_seed);
+        let report = adaptive_dysim_with_oracle(&inst, &cfg, &drift, &mut oracle);
+        // One refresh per applied update, each a full MC "rebuild".
+        assert_eq!(report.refresh_fractions, vec![1.0, 1.0]);
+        assert!(inst.is_feasible(&report.seeds));
+        // The oracle ends up estimating against the fully drifted world.
+        assert_eq!(
+            oracle.scenario().social().influence(UserId(0), UserId(1)),
+            0.9
+        );
+        assert_eq!(oracle.scenario().base_preference(UserId(1), ItemId(0)), 0.9);
+    }
+
+    #[test]
+    fn empty_drift_entries_keep_indices_aligned() {
+        let inst = instance(3.0, 3);
+        let cfg = DysimConfig::fast();
+        let drift = vec![
+            ScenarioUpdate::Edges(Vec::new()),
+            ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(0), 0.9)]),
+        ];
+        let mut oracle = MonteCarloOracle::new(inst.scenario(), cfg.mc_samples, cfg.base_seed);
+        let report = adaptive_dysim_with_oracle(&inst, &cfg, &drift, &mut oracle);
+        // One entry per consumed drift slot: the empty update refreshes
+        // nothing, the real one is a full MC "rebuild".
+        assert_eq!(report.refresh_fractions, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn static_world_runs_agree_between_entry_points() {
+        let inst = instance(3.0, 2);
+        let cfg = DysimConfig::fast();
+        let a = adaptive_dysim(&inst, &cfg);
+        let mut oracle = MonteCarloOracle::new(inst.scenario(), cfg.mc_samples, cfg.base_seed);
+        let b = adaptive_dysim_with_oracle(&inst, &cfg, &[], &mut oracle);
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.per_promotion, b.per_promotion);
     }
 }

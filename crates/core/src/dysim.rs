@@ -1,10 +1,43 @@
 //! The Dysim driver (Algorithm 1): TMI → DRE → TDSI, with ablation switches
 //! and the guard solutions used by the Theorem 5 analysis.
+//!
+//! The nominee-selection stage (the `f(N)` queries of Procedure 2) is
+//! generic over [`crate::oracle::SpreadOracle`]: [`Dysim::run`] uses the
+//! forward Monte-Carlo [`Evaluator`], while
+//! [`Dysim::run_with_report_and_oracle`] accepts any estimator — in
+//! particular the RR-sketch oracle of `imdpp-sketch` (select it via
+//! [`DysimConfig::oracle`] and the dispatching `imdpp_sketch::pipeline`
+//! entry points).  The DRE and TDSI stages always use Monte-Carlo: they
+//! query *dynamic* quantities (`σ_τ`, `π_τ`, expected perceptions) that the
+//! static sketch does not target.
+//!
+//! # Example
+//!
+//! ```
+//! use imdpp_core::{CostModel, Dysim, DysimConfig, ImdppInstance};
+//! use imdpp_core::eval::MonteCarloOracle;
+//! use imdpp_diffusion::scenario::toy_scenario;
+//!
+//! let scenario = toy_scenario();
+//! let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+//! let instance = ImdppInstance::new(scenario, costs, 3.0, 2).unwrap();
+//!
+//! // The default run estimates f(N) with forward Monte-Carlo...
+//! let report = Dysim::new(DysimConfig::fast()).run_with_report(&instance);
+//! assert!(instance.is_feasible(&report.seeds));
+//!
+//! // ...and any SpreadOracle can replace that estimator explicitly.
+//! let oracle = MonteCarloOracle::new(instance.scenario(), 8, 0xD751);
+//! let via_oracle = Dysim::new(DysimConfig::fast())
+//!     .run_with_report_and_oracle(&instance, &oracle);
+//! assert!(instance.is_feasible(&via_oracle.seeds));
+//! ```
 
 use crate::dre::{best_item_by_reachability, ItemImpactModel};
 use crate::eval::Evaluator;
 use crate::market::{group_markets, identify_markets, TargetMarket, TmiConfig};
-use crate::nominees::{select_nominees, Nominee, NomineeSelectionConfig};
+use crate::nominees::{select_nominees_with_oracle, Nominee, NomineeSelectionConfig};
+use crate::oracle::{OracleKind, SpreadOracle};
 use crate::ordering::{order_group, MarketOrdering};
 use crate::problem::ImdppInstance;
 use crate::tdsi::assign_timings;
@@ -13,6 +46,19 @@ use imdpp_graph::ItemId;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a Dysim run.
+///
+/// Knob-to-paper mapping (figures refer to the ICDE 2021 paper):
+///
+/// | Knob | Paper counterpart |
+/// |---|---|
+/// | `mc_samples` | `M = 100` Monte-Carlo samples (footnote 12; Fig. 9's accuracy/latency trade-off) |
+/// | `market_overlap_threshold` | overlap threshold `θ` (Fig. 14 sensitivity study) |
+/// | `ordering` | market-ordering metrics AE / PF / SZ / RMS / RD (Sec. VI-D, Fig. 11) |
+/// | `use_target_markets` | "Dysim w/o TM" ablation (Fig. 10) |
+/// | `use_item_priority` | "Dysim w/o IP" ablation (Fig. 10) |
+/// | `full_timing_search` | two-slot TDSI window vs full `[t̂, T]` search (Sec. V-C; `tdsi_window` bench) |
+/// | `use_guard_solutions` | auxiliary solution `N̄` of the Theorem 5 analysis |
+/// | `oracle` | estimator behind Procedure 2's `f(N)` queries (Monte-Carlo vs RR sketch) |
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DysimConfig {
     /// Monte-Carlo samples used by every spread / likelihood estimation
@@ -50,6 +96,14 @@ pub struct DysimConfig {
     pub full_timing_search: bool,
     /// Cap on the users sampled when averaging relevance within a market.
     pub impact_user_cap: usize,
+    /// Which estimator answers nominee selection's static `f(N)` queries.
+    ///
+    /// Honoured by the config-driven entry points in
+    /// `imdpp_sketch::pipeline`; [`Dysim::run`] itself always uses
+    /// Monte-Carlo unless an oracle is passed explicitly through
+    /// [`Dysim::run_with_report_and_oracle`] (this crate cannot construct
+    /// the sketch without a dependency cycle).
+    pub oracle: OracleKind,
 }
 
 impl Default for DysimConfig {
@@ -67,6 +121,7 @@ impl Default for DysimConfig {
             use_guard_solutions: true,
             full_timing_search: false,
             impact_user_cap: 64,
+            oracle: OracleKind::MonteCarlo,
         }
     }
 }
@@ -90,6 +145,12 @@ impl DysimConfig {
     /// The "Dysim w/o IP" ablation of Fig. 10.
     pub fn without_item_priority(mut self) -> Self {
         self.use_item_priority = false;
+        self
+    }
+
+    /// Selects the estimator behind nominee selection's `f(N)` queries.
+    pub fn with_oracle(mut self, oracle: OracleKind) -> Self {
+        self.oracle = oracle;
         self
     }
 }
@@ -133,15 +194,46 @@ impl Dysim {
         self.run_with_report(instance).seeds
     }
 
-    /// Runs Dysim and returns the seed group together with diagnostics.
+    /// Runs Dysim and returns the seed group together with diagnostics,
+    /// estimating `f(N)` with the forward Monte-Carlo [`Evaluator`] (the
+    /// paper's reference configuration).
     pub fn run_with_report(&self, instance: &ImdppInstance) -> DysimReport {
+        let evaluator = Evaluator::new(instance, self.config.mc_samples, self.config.base_seed);
+        self.run_with_report_and_oracle(instance, &evaluator)
+    }
+
+    /// Runs Dysim with `nominee_oracle` answering the static `f(N)` queries
+    /// of the TMI nominee-selection stage, returning the seed group.
+    pub fn run_with_oracle(
+        &self,
+        instance: &ImdppInstance,
+        nominee_oracle: &dyn SpreadOracle,
+    ) -> SeedGroup {
+        self.run_with_report_and_oracle(instance, nominee_oracle)
+            .seeds
+    }
+
+    /// Runs Dysim with `nominee_oracle` answering the static `f(N)` queries
+    /// of the TMI nominee-selection stage (Procedure 2) and returns the seed
+    /// group together with diagnostics.
+    ///
+    /// Only nominee selection is oracle-generic: the DRE and TDSI stages
+    /// query dynamic quantities (`σ_τ`, `π_τ`, expected perceptions) that
+    /// only the Monte-Carlo evaluator targets, so they keep using it
+    /// regardless of the oracle passed here.
+    pub fn run_with_report_and_oracle(
+        &self,
+        instance: &ImdppInstance,
+        nominee_oracle: &dyn SpreadOracle,
+    ) -> DysimReport {
         let cfg = &self.config;
         let evaluator = Evaluator::new(instance, cfg.mc_samples, cfg.base_seed);
 
         // ---- TMI: nominee selection ------------------------------------------
         let universe = instance.nominee_universe(cfg.candidate_users);
-        let selection = select_nominees(
-            &evaluator,
+        let selection = select_nominees_with_oracle(
+            instance,
+            nominee_oracle,
             &universe,
             &NomineeSelectionConfig {
                 max_nominees: cfg.max_nominees,
@@ -374,6 +466,18 @@ mod tests {
             let seeds = Dysim::new(cfg).run(&inst);
             assert!(inst.is_feasible(&seeds), "{}", ordering.name());
         }
+    }
+
+    #[test]
+    fn explicit_monte_carlo_oracle_reproduces_the_default_run() {
+        use crate::eval::MonteCarloOracle;
+        let inst = instance(3.0, 3);
+        let cfg = DysimConfig::fast();
+        let default_report = Dysim::new(cfg.clone()).run_with_report(&inst);
+        let oracle = MonteCarloOracle::new(inst.scenario(), cfg.mc_samples, cfg.base_seed);
+        let via_oracle = Dysim::new(cfg).run_with_report_and_oracle(&inst, &oracle);
+        assert_eq!(default_report.seeds, via_oracle.seeds);
+        assert_eq!(default_report.nominees, via_oracle.nominees);
     }
 
     #[test]

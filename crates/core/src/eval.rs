@@ -155,6 +155,73 @@ impl SpreadOracle for Evaluator<'_> {
     }
 }
 
+/// An *owned* forward Monte-Carlo `f(N)` oracle.
+///
+/// Unlike [`Evaluator`], which borrows an instance, this oracle owns a
+/// frozen copy of the scenario, so it can outlive the per-round instances
+/// of the adaptive loop and implement
+/// [`RefreshableOracle`](crate::oracle::RefreshableOracle): a refresh
+/// simply swaps the scenario (forward Monte-Carlo keeps no amortized state,
+/// so the "recomputed fraction" is reported as `1.0`).
+#[derive(Clone, Debug)]
+pub struct MonteCarloOracle {
+    frozen: Scenario,
+    samples: usize,
+    base_seed: u64,
+    /// Additive seed offset rotated by `begin_round` so that each adaptive
+    /// round draws fresh sampling streams (`base_seed + t`, the reference
+    /// loop's re-seeding discipline).  Zero outside the adaptive loop.
+    round: u64,
+}
+
+impl MonteCarloOracle {
+    /// Creates the oracle for `scenario` with `samples` Monte-Carlo samples
+    /// per query.
+    pub fn new(scenario: &Scenario, samples: usize, base_seed: u64) -> Self {
+        MonteCarloOracle {
+            frozen: scenario.with_dynamics(DynamicsConfig::frozen()),
+            samples: samples.max(1),
+            base_seed,
+            round: 0,
+        }
+    }
+
+    /// The frozen scenario the oracle estimates against.
+    pub fn scenario(&self) -> &Scenario {
+        &self.frozen
+    }
+}
+
+impl SpreadOracle for MonteCarloOracle {
+    fn static_spread(&self, nominees: &[Nominee]) -> f64 {
+        if nominees.is_empty() {
+            return 0.0;
+        }
+        let seeds: SeedGroup = nominees.iter().map(|&(u, x)| Seed::new(u, x, 1)).collect();
+        SpreadEstimator::new(
+            &self.frozen,
+            self.samples,
+            self.base_seed.wrapping_add(self.round),
+        )
+        .mean_spread(&seeds, 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "monte-carlo"
+    }
+}
+
+impl crate::oracle::RefreshableOracle for MonteCarloOracle {
+    fn refresh(&mut self, updated: &Scenario, _update: &crate::oracle::ScenarioUpdate) -> f64 {
+        self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
+        1.0
+    }
+
+    fn begin_round(&mut self, round: u32) {
+        self.round = round as u64;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +289,30 @@ mod tests {
         let some = ev.future_likelihood_in(&one_seed(), &users);
         assert!(none >= 0.0);
         assert!(some >= none);
+    }
+
+    #[test]
+    fn owned_monte_carlo_oracle_matches_the_evaluator() {
+        use crate::oracle::{RefreshableOracle, ScenarioUpdate};
+        let inst = instance();
+        let ev = Evaluator::new(&inst, 16, 4);
+        let mc = MonteCarloOracle::new(inst.scenario(), 16, 4);
+        let nominees = [(UserId(0), ItemId(0)), (UserId(2), ItemId(1))];
+        // Same samples + same seed + same frozen scenario = same estimate.
+        assert_eq!(ev.static_spread(&nominees), mc.static_spread(&nominees));
+        assert_eq!(mc.static_spread(&[]), 0.0);
+        assert_eq!(mc.name(), "monte-carlo");
+
+        // Refreshing moves the estimate to the drifted world and reports a
+        // full rebuild (MC has no amortized state).
+        let drifted = inst
+            .scenario()
+            .with_base_preference(UserId(1), ItemId(0), 0.95);
+        let update = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(0), 0.95)]);
+        let mut mc2 = mc.clone();
+        assert_eq!(mc2.refresh(&drifted, &update), 1.0);
+        let fresh = MonteCarloOracle::new(&drifted, 16, 4);
+        assert_eq!(mc2.static_spread(&nominees), fresh.static_spread(&nominees));
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`nominees`] — MCP nominee selection (Procedure 2) with CELF-style lazy
 //!   evaluation, generic over the estimator via [`oracle::SpreadOracle`],
 //! * [`oracle`] — the [`SpreadOracle`] trait that lets callers pick between
-//!   forward Monte-Carlo and RR-sketch estimation (`imdpp-sketch`),
+//!   forward Monte-Carlo and RR-sketch estimation (`imdpp-sketch`), the
+//!   [`OracleKind`] config knob, and the [`RefreshableOracle`] /
+//!   [`oracle::ScenarioUpdate`] machinery for incremental maintenance under
+//!   world drift,
 //! * [`market`] — target-market identification: nominee clustering, MIOA
 //!   expansion, θ-overlap grouping (TMI),
 //! * [`ordering`] — market-ordering metrics AE / PF / SZ / RMS / RD
@@ -25,7 +28,9 @@
 //! * [`tdsi`] — substantial influence and promotional-timing search
 //!   (Eqs. 2, 11–13),
 //! * [`dysim`] — the full Dysim driver (Algorithm 1) with ablation switches,
-//! * [`adaptive`] — the adaptive-IM variant of Sec. V-D,
+//!   oracle-parameterized at the nominee-selection stage,
+//! * [`adaptive`] — the adaptive-IM variant of Sec. V-D, with per-round
+//!   world drift and incremental oracle refresh,
 //! * [`submodular`] — greedy / CELF / double-greedy USM / 1/12-SMK machinery
 //!   (Theorems 2–4),
 //! * [`theory`] — constructions used by the hardness and
@@ -47,13 +52,14 @@ pub mod submodular;
 pub mod tdsi;
 pub mod theory;
 
+pub use adaptive::{adaptive_dysim, adaptive_dysim_with_oracle, AdaptiveReport};
 pub use dysim::{Dysim, DysimConfig};
-pub use eval::Evaluator;
+pub use eval::{Evaluator, MonteCarloOracle};
 pub use market::TargetMarket;
 pub use nominees::Nominee;
-pub use oracle::SpreadOracle;
+pub use oracle::{OracleKind, RefreshableOracle, ScenarioUpdate, SpreadOracle};
 pub use ordering::MarketOrdering;
 pub use problem::{CostModel, ImdppInstance};
 
 pub use imdpp_diffusion::{Seed, SeedGroup};
-pub use imdpp_graph::{ItemId, UserId};
+pub use imdpp_graph::{EdgeUpdate, ItemId, UserId};

@@ -9,11 +9,16 @@
 //! MCP(u, x | N) = (f(N ∪ {(u,x)}) − f(N)) / c_{u,x}
 //! ```
 //!
-//! where `f` is the static first-promotion spread (see
-//! [`crate::eval::Evaluator::static_first_promotion_spread`]).  Because `f`
-//! is submodular under static probabilities (Lemma 1), stale marginal gains
+//! where `f` is the static first-promotion spread.  Because `f` is
+//! submodular under static probabilities (Lemma 1), stale marginal gains
 //! upper-bound fresh ones, so the classic CELF lazy evaluation applies and
 //! drastically reduces the number of spread estimations.
+//!
+//! Every `f(N)` query goes through a [`crate::oracle::SpreadOracle`]: the
+//! forward Monte-Carlo [`Evaluator`] (the paper's reference, used by
+//! [`select_nominees`]) or the RR-sketch oracle of `imdpp-sketch`
+//! (via [`select_nominees_with_oracle`]), which answers each query from an
+//! amortized coverage scan instead of fresh simulations.
 
 use crate::eval::Evaluator;
 use crate::oracle::SpreadOracle;
@@ -88,7 +93,8 @@ pub struct NomineeSelection {
 }
 
 /// Runs MCP nominee selection over the given universe with the forward
-/// Monte-Carlo estimator (the paper's reference configuration).
+/// Monte-Carlo estimator (the paper's reference configuration); a shorthand
+/// for [`select_nominees_with_oracle`] with the evaluator as the oracle.
 ///
 /// `universe` is typically [`crate::problem::ImdppInstance::nominee_universe`].
 pub fn select_nominees(

@@ -1,22 +1,64 @@
-//! The [`SpreadOracle`] estimation interface.
+//! The [`SpreadOracle`] estimation interface and its dynamic-maintenance
+//! extension [`RefreshableOracle`].
 //!
-//! Nominee selection (Procedure 2) and the RIS-flavoured baselines only ever
-//! query one quantity: the *static first-promotion spread* `f(N)` of a
-//! nominee set under frozen dynamics (the conditions of Lemma 1 that make
-//! `f` monotone and submodular).  This trait abstracts over how `f` is
-//! estimated so callers can choose the estimator:
+//! Nominee selection (Procedure 2), the Dysim driver's TMI stage and the
+//! RIS-flavoured baselines only ever query one quantity: the *static
+//! first-promotion spread* `f(N)` of a nominee set under frozen dynamics
+//! (the conditions of Lemma 1 that make `f` monotone and submodular).  This
+//! module abstracts over how `f` is estimated so callers can choose the
+//! estimator:
 //!
-//! * **forward Monte-Carlo** ([`crate::eval::Evaluator`]) — the paper's
-//!   reference estimator; unbiased for any dynamics but pays a full
-//!   simulation per query,
+//! * **forward Monte-Carlo** ([`crate::eval::Evaluator`], or the owned
+//!   [`crate::eval::MonteCarloOracle`]) — the paper's reference estimator;
+//!   unbiased for any dynamics but pays a full simulation per query,
 //! * **reverse-reachable sketching** (`imdpp-sketch`'s `SketchOracle`) —
 //!   amortizes sampling across queries by maintaining a pool of RR sets per
 //!   item; orders of magnitude cheaper per query and incrementally
-//!   maintainable when perceptions drift between promotions.
+//!   maintainable when perceptions drift or influence edges change between
+//!   promotions.
 //!
-//! See `docs/ARCHITECTURE.md` for guidance on picking an implementation.
+//! Which estimator a config-driven run uses is selected by
+//! [`OracleKind`] on [`crate::dysim::DysimConfig`]; the dispatching entry
+//! points live in `imdpp_sketch::pipeline` (this crate cannot construct the
+//! sketch without a dependency cycle).  See `docs/ARCHITECTURE.md` for
+//! guidance on picking an implementation.
+//!
+//! # Example: a custom oracle drives nominee selection
+//!
+//! ```
+//! use imdpp_core::nominees::{select_nominees_with_oracle, NomineeSelectionConfig};
+//! use imdpp_core::{CostModel, ImdppInstance, SpreadOracle};
+//! use imdpp_core::nominees::Nominee;
+//! use imdpp_diffusion::scenario::toy_scenario;
+//!
+//! /// A toy estimator: f(N) = number of distinct users in N.
+//! struct DistinctUsers;
+//! impl SpreadOracle for DistinctUsers {
+//!     fn static_spread(&self, nominees: &[Nominee]) -> f64 {
+//!         let mut users: Vec<u32> = nominees.iter().map(|(u, _)| u.0).collect();
+//!         users.sort_unstable();
+//!         users.dedup();
+//!         users.len() as f64
+//!     }
+//! }
+//!
+//! let scenario = toy_scenario();
+//! let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+//! let instance = ImdppInstance::new(scenario, costs, 2.0, 1).unwrap();
+//! let universe = instance.nominee_universe(None);
+//! let selection = select_nominees_with_oracle(
+//!     &instance,
+//!     &DistinctUsers,
+//!     &universe,
+//!     &NomineeSelectionConfig::default(),
+//! );
+//! assert_eq!(selection.nominees.len(), 2); // budget 2.0 at unit cost
+//! ```
 
 use crate::nominees::Nominee;
+use imdpp_diffusion::Scenario;
+use imdpp_graph::{EdgeUpdate, ItemId, UserId};
+use serde::{Deserialize, Serialize};
 
 /// An estimator of the static first-promotion spread `f(N)`.
 ///
@@ -45,9 +87,89 @@ pub trait SpreadOracle {
     }
 }
 
+/// Which estimator answers the `f(N)` queries of a config-driven Dysim run.
+///
+/// Stored on [`crate::dysim::DysimConfig`]; honoured by the dispatching
+/// entry points in `imdpp_sketch::pipeline` (`run_dysim` / `run_adaptive`).
+/// [`crate::dysim::Dysim::run`] itself always uses the Monte-Carlo evaluator
+/// unless an oracle is passed explicitly via
+/// [`crate::dysim::Dysim::run_with_report_and_oracle`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OracleKind {
+    /// Forward Monte-Carlo (the paper's reference estimator); sample count
+    /// taken from `DysimConfig::mc_samples`.
+    #[default]
+    MonteCarlo,
+    /// The `imdpp-sketch` RR-sketch oracle with a fixed pool size per item.
+    /// Requires the Independent Cascade triggering model.
+    RrSketch {
+        /// RR sets sampled per catalogue item.
+        sets_per_item: usize,
+    },
+}
+
+/// A description of what changed in the world between two adaptive
+/// promotion rounds — the update stream [`RefreshableOracle::refresh`]
+/// consumes.
+///
+/// Each variant carries the *new* values, so the same value both transforms
+/// a [`Scenario`] (via [`ScenarioUpdate::apply`]) and tells an incremental
+/// estimator which part of its state the change could have touched.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioUpdate {
+    /// Base preferences moved: each `(u, x, p)` sets `P_pref(u, x, 0) = p`.
+    Preferences(Vec<(UserId, ItemId, f64)>),
+    /// Influence edges were inserted, removed or re-weighted.
+    Edges(Vec<EdgeUpdate>),
+}
+
+impl ScenarioUpdate {
+    /// Applies the update to a scenario, returning the drifted world.
+    pub fn apply(&self, scenario: &Scenario) -> Scenario {
+        match self {
+            ScenarioUpdate::Preferences(changes) => scenario.with_base_preferences(changes),
+            ScenarioUpdate::Edges(updates) => scenario.with_edge_updates(updates),
+        }
+    }
+
+    /// True when the update carries no changes at all.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ScenarioUpdate::Preferences(c) => c.is_empty(),
+            ScenarioUpdate::Edges(u) => u.is_empty(),
+        }
+    }
+}
+
+/// A [`SpreadOracle`] that can migrate its internal state to a drifted
+/// scenario *incrementally* instead of being rebuilt.
+///
+/// The adaptive Dysim loop
+/// ([`crate::adaptive::adaptive_dysim_with_oracle`]) calls
+/// [`RefreshableOracle::refresh`] once per applied [`ScenarioUpdate`];
+/// sketch-backed implementations re-sample only the RR sets the change
+/// could have touched, while the Monte-Carlo implementation simply swaps
+/// the scenario (its per-query simulations have no amortized state).
+pub trait RefreshableOracle: SpreadOracle {
+    /// Migrates the oracle to `updated`, which must equal
+    /// `update.apply(previous_scenario)` for the scenario the oracle
+    /// currently estimates against.  Returns the fraction of internal state
+    /// that had to be recomputed: `0.0` = everything reused, `1.0` = a full
+    /// rebuild.
+    fn refresh(&mut self, updated: &Scenario, update: &ScenarioUpdate) -> f64;
+
+    /// Called at the start of each promotion round `t` (1-based) of the
+    /// adaptive loop.  Per-query estimators use it to rotate their sampling
+    /// streams the way the paper's reference loop re-seeds per round
+    /// (`base_seed + t`); amortized estimators like the RR sketch keep the
+    /// default no-op — reusing the same pool across rounds is their point.
+    fn begin_round(&mut self, _round: u32) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use imdpp_diffusion::scenario::toy_scenario;
     use imdpp_graph::{ItemId, UserId};
 
     /// A toy oracle: f(N) = number of distinct users in N.
@@ -70,5 +192,30 @@ mod tests {
         assert_eq!(oracle.marginal_gain(&base, (UserId(2), ItemId(0))), 1.0);
         assert_eq!(oracle.static_spread(&[]), 0.0);
         assert_eq!(oracle.name(), "oracle");
+    }
+
+    #[test]
+    fn default_oracle_kind_is_monte_carlo() {
+        assert_eq!(OracleKind::default(), OracleKind::MonteCarlo);
+    }
+
+    #[test]
+    fn scenario_update_applies_preferences_and_edges() {
+        let s = toy_scenario();
+        let prefs = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]);
+        let s2 = prefs.apply(&s);
+        assert_eq!(s2.base_preference(UserId(1), ItemId(2)), 0.9);
+
+        let edges = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src: UserId(0),
+            dst: UserId(1),
+            weight: 0.95,
+        }]);
+        let s3 = edges.apply(&s);
+        assert_eq!(s3.social().influence(UserId(0), UserId(1)), 0.95);
+
+        assert!(!prefs.is_empty());
+        assert!(ScenarioUpdate::Edges(Vec::new()).is_empty());
+        assert!(ScenarioUpdate::Preferences(Vec::new()).is_empty());
     }
 }

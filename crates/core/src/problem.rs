@@ -42,8 +42,9 @@ impl CostModel {
         }
     }
 
-    /// The cost model used throughout the paper's experiments (following [3],
-    /// [67] and the empirical study): proportional to the user's out-degree
+    /// The cost model used throughout the paper's experiments (following
+    /// \[3\], \[67\] and the empirical study): proportional to the user's
+    /// out-degree
     /// and inversely proportional to the user's initial preference for the
     /// item, scaled by `scale`.
     ///

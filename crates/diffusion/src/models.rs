@@ -1,6 +1,6 @@
 //! Triggering-model variants of the diffusion process.
 //!
-//! The paper builds on the classic triggering models of Kempe et al. [1]:
+//! The paper builds on the classic triggering models of Kempe et al. \[1\]:
 //! the Independent Cascade (IC) and the Linear Threshold (LT).  The dynamic
 //! factors (preferences, perceptions, influence strengths, item
 //! associations) extend either model; the experiments of the paper use the

@@ -12,11 +12,13 @@
 //! * a greedy max-coverage seed selector over a collection of RR sets
 //!   (the core of TIM/RIS-style algorithms).
 //!
-//! Inside Dysim the Monte-Carlo estimator remains the reference (the dynamic
-//! factors break the static-edge assumption RIS needs); RIS serves as a fast
-//! cross-check for the static objective and as an additional baseline
-//! component, and its agreement with forward Monte-Carlo is covered by
-//! tests.
+//! Monte-Carlo remains Dysim's *reference* estimator (and the only one for
+//! the dynamic quantities `σ_τ` / `π_τ`, where drifting factors break the
+//! static-edge assumption RIS needs), but the static `f(N)` queries of
+//! nominee selection are estimator-generic: the full pipeline runs
+//! sketch-backed end-to-end through `DysimConfig::oracle` and
+//! `imdpp_sketch::pipeline`.  This module's agreement with forward
+//! Monte-Carlo on the static problem is covered by tests.
 //!
 //! **Superseded by `imdpp-sketch`.**  This module keeps the small
 //! self-contained implementation for the diffusion crate's own tests and
@@ -24,7 +26,8 @@
 //! stores RR sets in a flat arena with an inverted user → set index,
 //! samples them in parallel on deterministic per-set RNG streams, sizes the
 //! pool with an `(ε, δ)` stopping rule, and supports incremental sample
-//! reuse when perceptions drift between promotions.
+//! reuse when perceptions drift or influence edges change between
+//! promotions.
 
 use crate::scenario::Scenario;
 use imdpp_graph::{ItemId, UserId};

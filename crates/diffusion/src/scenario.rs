@@ -115,6 +115,39 @@ impl Scenario {
         s
     }
 
+    /// Returns a scenario identical to this one except for a batch of
+    /// initial preferences: each `(u, x, p)` sets `P_pref(u, x, 0) = p`.
+    /// One clone regardless of the batch size (unlike chaining
+    /// [`Scenario::with_base_preference`]).
+    ///
+    /// # Panics
+    /// Panics when any `p` lies outside `[0, 1]`.
+    pub fn with_base_preferences(&self, changes: &[(UserId, ItemId, f64)]) -> Scenario {
+        let mut s = self.clone();
+        let item_count = self.catalog.item_count();
+        for &(u, x, p) in changes {
+            assert!((0.0..=1.0).contains(&p), "preference must lie in [0, 1]");
+            s.base_preferences[u.index() * item_count + x.index()] = p;
+        }
+        s
+    }
+
+    /// Returns a scenario identical to this one except for the social
+    /// network's influence edges: `updates` (insertions, deletions, strength
+    /// changes) are applied in order via
+    /// [`SocialGraph::apply_edge_updates`].
+    ///
+    /// The user population is fixed — updates referencing users outside the
+    /// scenario panic.  Adjacency order of untouched users is preserved,
+    /// which is what lets the incremental sketch maintenance of
+    /// `imdpp-sketch` treat the result as "the old world plus exactly these
+    /// edges" and refresh instead of rebuild.
+    pub fn with_edge_updates(&self, updates: &[imdpp_graph::EdgeUpdate]) -> Scenario {
+        let mut s = self.clone();
+        s.social = self.social.apply_edge_updates(updates);
+        s
+    }
+
     /// Returns a scenario identical to this one but with a different
     /// triggering model.
     pub fn with_model(&self, model: DiffusionModel) -> Scenario {
@@ -425,6 +458,47 @@ mod tests {
     #[should_panic(expected = "[0, 1]")]
     fn with_base_preference_rejects_out_of_range() {
         let _ = toy_scenario().with_base_preference(UserId(0), ItemId(0), 1.5);
+    }
+
+    #[test]
+    fn with_base_preferences_applies_a_batch_in_one_clone() {
+        let s = toy_scenario();
+        let s2 =
+            s.with_base_preferences(&[(UserId(1), ItemId(2), 0.9), (UserId(0), ItemId(0), 0.1)]);
+        assert_eq!(s2.base_preference(UserId(1), ItemId(2)), 0.9);
+        assert_eq!(s2.base_preference(UserId(0), ItemId(0)), 0.1);
+        assert_eq!(s2.base_preference(UserId(1), ItemId(1)), 0.4);
+        assert_eq!(s.base_preference(UserId(1), ItemId(2)), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn with_base_preferences_rejects_out_of_range() {
+        let _ = toy_scenario().with_base_preferences(&[(UserId(0), ItemId(0), -0.2)]);
+    }
+
+    #[test]
+    fn with_edge_updates_replaces_only_the_social_graph() {
+        use imdpp_graph::EdgeUpdate;
+        let s = toy_scenario();
+        let s2 = s.with_edge_updates(&[
+            EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.9,
+            },
+            EdgeUpdate::Insert {
+                src: UserId(5),
+                dst: UserId(0),
+                weight: 0.2,
+            },
+        ]);
+        assert_eq!(s2.social().influence(UserId(0), UserId(1)), 0.9);
+        assert_eq!(s2.social().influence(UserId(5), UserId(0)), 0.2);
+        // Everything else is untouched, including the original graph.
+        assert_eq!(s.social().influence(UserId(0), UserId(1)), 0.6);
+        assert_eq!(s2.base_preference(UserId(0), ItemId(0)), 0.4);
+        assert_eq!(s2.user_count(), s.user_count());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Clustering utilities used by Dysim's Target Market Identification phase.
 //!
-//! The paper clusters nominees with POT [53] / FGCC [54]; both play the same
+//! The paper clusters nominees with POT \[53\] / FGCC \[54\]; both play the same
 //! role: group nominees whose *users are socially close* and whose *items are
 //! more complementary than substitutable*.  This module provides two generic
 //! clustering algorithms over an arbitrary similarity function so that TMI

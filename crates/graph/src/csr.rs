@@ -162,6 +162,76 @@ impl CsrGraph {
         self.edge_weight(u, v).is_some()
     }
 
+    /// Returns the edges in an order whose [`CsrGraph::from_edges`]
+    /// bucketing reproduces **both** the out- and the in-adjacency order of
+    /// every node of this graph.
+    ///
+    /// [`CsrGraph::to_edge_list`] only preserves out-adjacency order (it
+    /// enumerates by source, losing the construction order that shaped the
+    /// in-lists).  Both adjacencies are projections of the original
+    /// construction sequence, so a common linear extension always exists;
+    /// this recovers one by a Kahn merge of the per-source and
+    /// per-destination chains.  Used by [`CsrGraph::apply_edge_updates`],
+    /// where in-adjacency order is load-bearing (RNG-stream replay).
+    pub fn interleaved_edge_list(&self) -> Vec<WeightedEdge> {
+        // Edge ids in out-major order: per-source chains are consecutive runs.
+        let edges = self.to_edge_list();
+        let count = edges.len();
+        // Pair every in-list entry with its edge id: per-(src, dst) FIFOs in
+        // out-major order give a stable pairing even under parallel edges.
+        let mut by_pair: std::collections::HashMap<(u32, u32), std::collections::VecDeque<u32>> =
+            std::collections::HashMap::new();
+        for (id, e) in edges.iter().enumerate() {
+            by_pair
+                .entry((e.src.0, e.dst.0))
+                .or_default()
+                .push_back(id as u32);
+        }
+        // Predecessor constraints: previous edge in the same source chain,
+        // previous edge in the same destination (in-list) chain.
+        let mut indegree = vec![0u8; count];
+        let mut succs: Vec<[u32; 2]> = vec![[u32::MAX; 2]; count];
+        for (id, e) in edges.iter().enumerate().skip(1) {
+            if edges[id - 1].src == e.src {
+                succs[id - 1][0] = id as u32;
+                indegree[id] += 1;
+            }
+        }
+        for d in self.nodes() {
+            let mut prev: Option<u32> = None;
+            for (s, _) in self.in_edges(d) {
+                let id = by_pair
+                    .get_mut(&(s.0, d.0))
+                    .and_then(|q| q.pop_front())
+                    .expect("in-list entry must have a matching out-list edge");
+                if let Some(p) = prev {
+                    succs[p as usize][1] = id;
+                    indegree[id as usize] += 1;
+                }
+                prev = Some(id);
+            }
+        }
+        // Kahn merge, smallest ready id first for determinism.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..count as u32)
+            .filter(|&id| indegree[id as usize] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(count);
+        while let Some(std::cmp::Reverse(id)) = ready.pop() {
+            order.push(edges[id as usize]);
+            for &succ in &succs[id as usize] {
+                if succ != u32::MAX {
+                    indegree[succ as usize] -= 1;
+                    if indegree[succ as usize] == 0 {
+                        ready.push(std::cmp::Reverse(succ));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), count, "adjacency chains must be acyclic");
+        order
+    }
+
     /// Returns all edges as a vector (mainly for tests and serialisation).
     pub fn to_edge_list(&self) -> Vec<WeightedEdge> {
         let mut edges = Vec::with_capacity(self.edge_count());
@@ -280,6 +350,54 @@ mod tests {
             let b: Vec<_> = g2.out_edges(u).collect();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn interleaved_edge_list_round_trip_preserves_both_adjacencies() {
+        // Construction order deliberately not sorted by source, so the
+        // in-lists interleave sources: plain `to_edge_list` round-trips
+        // would reorder them.
+        let edges = [
+            WeightedEdge {
+                src: UserId(2),
+                dst: UserId(0),
+                weight: 0.1,
+            },
+            WeightedEdge {
+                src: UserId(1),
+                dst: UserId(0),
+                weight: 0.2,
+            },
+            WeightedEdge {
+                src: UserId(2),
+                dst: UserId(1),
+                weight: 0.3,
+            },
+            WeightedEdge {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.4,
+            },
+            WeightedEdge {
+                src: UserId(0),
+                dst: UserId(0),
+                weight: 0.5,
+            },
+        ];
+        let g = CsrGraph::from_edges(3, &edges);
+        let g2 = CsrGraph::from_edges(3, &g.interleaved_edge_list());
+        for u in g.nodes() {
+            let out_a: Vec<_> = g.out_edges(u).collect();
+            let out_b: Vec<_> = g2.out_edges(u).collect();
+            assert_eq!(out_a, out_b, "out-adjacency of {u:?}");
+            let in_a: Vec<_> = g.in_edges(u).collect();
+            let in_b: Vec<_> = g2.in_edges(u).collect();
+            assert_eq!(in_a, in_b, "in-adjacency of {u:?}");
+        }
+        // In particular node 0's in-list interleaves sources 2, 1, 0 — an
+        // order a by-source enumeration cannot produce.
+        let in0: Vec<_> = g2.in_edges(UserId(0)).map(|(s, _)| s.0).collect();
+        assert_eq!(in0, vec![2, 1, 0]);
     }
 
     #[test]

@@ -174,7 +174,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
 /// multiplicative jitter in `[1 - jitter, 1 + jitter]`.
 ///
 /// The weighted-cascade convention is the standard way the IM literature
-/// (including [1], [23]) derives influence probabilities from topology; the
+/// (including \[1\], \[23\]) derives influence probabilities from topology; the
 /// jitter avoids exactly identical strengths so that Table II's average
 /// initial strength can be tuned.
 pub fn weighted_cascade_strengths(graph: &CsrGraph, base: f64, jitter: f64, seed: u64) -> CsrGraph {

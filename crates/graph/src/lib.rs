@@ -8,6 +8,8 @@
 //!
 //! * compact CSR storage with both out- and in-adjacency ([`csr::CsrGraph`]),
 //! * an edge-list builder with deduplication ([`builder::GraphBuilder`]),
+//! * order-preserving edge updates — insertions, deletions, strength
+//!   changes — for dynamic-graph maintenance ([`edits::EdgeUpdate`]),
 //! * the influence-weighted social graph wrapper ([`social::SocialGraph`]),
 //! * traversal primitives (BFS / DFS / weakly connected components)
 //!   ([`traversal`]),
@@ -27,6 +29,7 @@
 pub mod builder;
 pub mod clustering;
 pub mod csr;
+pub mod edits;
 pub mod generators;
 pub mod ids;
 pub mod paths;
@@ -36,5 +39,6 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use edits::EdgeUpdate;
 pub use ids::{ItemId, UserId};
 pub use social::SocialGraph;

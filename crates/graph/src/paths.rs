@@ -1,6 +1,6 @@
 //! Maximum-influence paths, MIOA-style influence regions and hop diameters.
 //!
-//! The paper's TMI phase uses MIOA [23] to identify the users that can be
+//! The paper's TMI phase uses MIOA \[23\] to identify the users that can be
 //! "effectively influenced" by a set of nominees: a user `v` belongs to the
 //! influence region of a source set `S` if the *maximum influence path* from
 //! some node of `S` to `v` has probability at least a threshold `θ_path`.

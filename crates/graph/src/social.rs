@@ -2,6 +2,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
+use crate::edits::EdgeUpdate;
 use crate::ids::UserId;
 use crate::stats::DegreeStats;
 use serde::{Deserialize, Serialize};
@@ -110,6 +111,41 @@ impl SocialGraph {
         self.graph.out_degree(u)
     }
 
+    /// Returns a new social graph with the edge updates applied in order;
+    /// strengths are clamped to `[0, 1]` like
+    /// [`SocialGraph::from_influence_edges`].
+    ///
+    /// Updates address *directed* influence edges.  For an undirected social
+    /// network (every friendship materialised in both directions) pass each
+    /// update together with its [`EdgeUpdate::mirrored`] counterpart so the
+    /// two directions stay in sync.
+    ///
+    /// The adjacency order of untouched users is preserved exactly — the
+    /// property the incremental sketch maintenance of `imdpp-sketch` relies
+    /// on (see [`CsrGraph::apply_edge_updates`]).
+    pub fn apply_edge_updates(&self, updates: &[EdgeUpdate]) -> SocialGraph {
+        let clamped: Vec<EdgeUpdate> = updates
+            .iter()
+            .map(|up| match *up {
+                EdgeUpdate::Insert { src, dst, weight } => EdgeUpdate::Insert {
+                    src,
+                    dst,
+                    weight: weight.clamp(0.0, 1.0),
+                },
+                EdgeUpdate::Reweight { src, dst, weight } => EdgeUpdate::Reweight {
+                    src,
+                    dst,
+                    weight: weight.clamp(0.0, 1.0),
+                },
+                remove => remove,
+            })
+            .collect();
+        SocialGraph {
+            graph: self.graph.apply_edge_updates(&clamped),
+            directed: self.directed,
+        }
+    }
+
     /// Average influence strength over all edges (reported in Table II).
     pub fn average_influence_strength(&self) -> f64 {
         if self.graph.edge_count() == 0 {
@@ -177,6 +213,29 @@ mod tests {
         let inn: Vec<_> = g.influencers_of(UserId(0)).collect();
         assert_eq!(inn, vec![(UserId(2), 0.75)]);
         assert_eq!(g.out_degree(UserId(0)), 1);
+    }
+
+    #[test]
+    fn edge_updates_clamp_strengths_and_keep_directedness() {
+        let g = triangle(true);
+        let g2 = g.apply_edge_updates(&[
+            EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 1.7,
+            },
+            EdgeUpdate::Insert {
+                src: UserId(1),
+                dst: UserId(0),
+                weight: 0.3,
+            },
+        ]);
+        assert_eq!(g2.influence(UserId(0), UserId(1)), 1.0);
+        assert_eq!(g2.influence(UserId(1), UserId(0)), 0.3);
+        assert!(g2.is_directed());
+        assert_eq!(g2.edge_count(), 4);
+        // The original is untouched.
+        assert_eq!(g.influence(UserId(0), UserId(1)), 0.5);
     }
 
     #[test]

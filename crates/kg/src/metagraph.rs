@@ -42,7 +42,8 @@ impl fmt::Display for RelationKind {
     }
 }
 
-/// Index of a meta-graph within a [`MetaGraphSet`]-like collection.
+/// Index of a meta-graph within an ordered meta-graph collection (e.g.
+/// [`MetaGraph::default_set`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MetaGraphId(pub u32);
 

@@ -1,5 +1,5 @@
-//! Incremental sketch maintenance under perception drift — the
-//! sample-reuse path (Zhang et al., *A Sample Reuse Strategy for Dynamic
+//! Incremental sketch maintenance under perception drift and edge updates —
+//! the sample-reuse path (Zhang et al., *A Sample Reuse Strategy for Dynamic
 //! Influence Maximization*; Yalavarthi & Khan's local updating).
 //!
 //! When user perceptions change between promotions, the static triggering
@@ -20,11 +20,21 @@
 //! `{c} ∪ out-neighbours(c)`, and invalidating every set containing an
 //! affected head is exact: the refreshed sketch equals a from-scratch
 //! rebuild with the same streams (a property the test-suite asserts).
+//!
+//! The same argument handles **edge updates** (strength changes, insertions,
+//! deletions of `v → w`) with an even tighter frontier: the traversal draws
+//! for the in-edges of `w` exactly when it visits `w`, and an update to
+//! `v → w` changes nothing else about the in-adjacency any *other* node
+//! presents (an order-preservation guarantee of
+//! `CsrGraph::apply_edge_updates`).  So the affected heads of an edge
+//! update are just the *destinations* of the edges that actually changed —
+//! see [`edge_update_frontier`] — and a set not containing any such
+//! destination replays to the identical member list.
 
 use crate::sampler;
 use crate::store::RrStore;
 use imdpp_diffusion::Scenario;
-use imdpp_graph::UserId;
+use imdpp_graph::{EdgeUpdate, UserId};
 
 /// Statistics of one incremental refresh.
 #[derive(Clone, Copy, Debug, Default)]
@@ -79,6 +89,40 @@ pub fn affected_heads(scenario: &Scenario, changed: &[UserId]) -> Vec<UserId> {
     heads
 }
 
+/// Computes the affected heads of a batch of edge updates against the
+/// *pre-update* scenario: the destinations of the edges whose strength
+/// actually changes.  Sorted and deduplicated.
+///
+/// No-op updates — removing an absent edge, re-weighting an absent edge, or
+/// setting a strength to its current (clamped) value — contribute nothing,
+/// so a fully no-op batch yields an empty frontier and the refresh reuses
+/// every RR set.
+pub fn edge_update_frontier(before: &Scenario, updates: &[EdgeUpdate]) -> Vec<UserId> {
+    let graph = before.social().graph();
+    let mut heads: Vec<UserId> = Vec::with_capacity(updates.len());
+    for up in updates {
+        if up.src().index() >= before.user_count() || up.dst().index() >= before.user_count() {
+            continue;
+        }
+        let changes = match *up {
+            EdgeUpdate::Insert { src, dst, weight } => {
+                graph.edge_weight(src, dst) != Some(weight.clamp(0.0, 1.0))
+            }
+            EdgeUpdate::Remove { src, dst } => graph.has_edge(src, dst),
+            EdgeUpdate::Reweight { src, dst, weight } => match graph.edge_weight(src, dst) {
+                Some(w) => w != weight.clamp(0.0, 1.0),
+                None => false,
+            },
+        };
+        if changes {
+            heads.push(up.dst());
+        }
+    }
+    heads.sort_unstable();
+    heads.dedup();
+    heads
+}
+
 /// Refreshes one store against `updated` (an already-frozen scenario):
 /// re-samples exactly the sets containing an affected head, replaying each
 /// set's original RNG stream, and reuses everything else.
@@ -121,6 +165,63 @@ mod tests {
         assert_eq!(affected_heads(&s, &[UserId(5)]), vec![UserId(5)]);
         // Out-of-range users are ignored.
         assert!(affected_heads(&s, &[UserId(99)]).is_empty());
+    }
+
+    #[test]
+    fn edge_update_frontier_contains_only_changed_destinations() {
+        let s = toy_scenario();
+        // Toy graph has 0 -> 1 (0.6) and no 5 -> 0 edge.
+        let updates = [
+            // A real strength change: head is the destination 1.
+            EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.9,
+            },
+            // Setting the current strength: no-op.
+            EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(2),
+                weight: 0.5,
+            },
+            // Removing an absent edge: no-op.
+            EdgeUpdate::Remove {
+                src: UserId(5),
+                dst: UserId(0),
+            },
+            // Inserting a new edge: head is the destination 0.
+            EdgeUpdate::Insert {
+                src: UserId(5),
+                dst: UserId(4),
+                weight: 0.2,
+            },
+        ];
+        assert_eq!(
+            edge_update_frontier(&s, &updates),
+            vec![UserId(1), UserId(4)]
+        );
+        // Out-of-range endpoints are ignored.
+        let oob = [EdgeUpdate::Insert {
+            src: UserId(99),
+            dst: UserId(0),
+            weight: 0.1,
+        }];
+        assert!(edge_update_frontier(&s, &oob).is_empty());
+        // An upsert to the existing strength is a no-op; clamped weights
+        // compare against the stored (clamped) strength.
+        let noop = [
+            EdgeUpdate::Insert {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.6,
+            },
+            EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.6,
+            },
+        ];
+        assert!(edge_update_frontier(&s, &noop).is_empty());
     }
 
     #[test]

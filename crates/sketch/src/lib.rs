@@ -8,20 +8,59 @@
 //!
 //! Components:
 //!
-//! * [`store`] — the flat, arena-backed [`RrStore`](store::RrStore):
+//! * [`store`] — the flat, arena-backed [`RrStore`]:
 //!   CSR-style spans into one shared pool plus an inverted user → set index,
 //! * [`sampler`] — parallel RR-set generation with deterministic per-sample
 //!   RNG streams (thread-count-independent, replayable in isolation),
 //! * [`adaptive`] — the OPIM-style `(ε, δ)` stopping rule that sizes the
 //!   sketch instead of a fixed sample count,
 //! * [`incremental`] — invalidate-and-resample maintenance that reuses every
-//!   RR set a perception update could not have touched,
+//!   RR set a perception drift or an *edge update* (strength change,
+//!   insertion, deletion) could not have touched,
 //! * [`greedy`] — dense-counter CELF-style greedy max-coverage selection,
 //! * [`oracle`] — [`SketchOracle`], the `imdpp_core::SpreadOracle`
-//!   implementation callers plug into nominee selection and baselines.
+//!   implementation callers plug into nominee selection and baselines; it
+//!   also implements `imdpp_core::RefreshableOracle` for the adaptive loop,
+//! * [`pipeline`] — config-driven Dysim entry points: `DysimConfig::oracle`
+//!   selects Monte-Carlo or sketch estimation for the full pipeline and the
+//!   adaptive variant.
 //!
 //! See `docs/ARCHITECTURE.md` for when to pick the sketch oracle over
-//! forward Monte-Carlo.
+//! forward Monte-Carlo, and `docs/QUICKSTART.md` for a guided tour.
+//!
+//! # Example: build, query, and incrementally maintain a sketch
+//!
+//! ```
+//! use imdpp_diffusion::scenario::toy_scenario;
+//! use imdpp_graph::{EdgeUpdate, ItemId, UserId};
+//! use imdpp_sketch::{SketchConfig, SketchOracle, SpreadOracle};
+//!
+//! let scenario = toy_scenario();
+//! let config = SketchConfig::fixed(512).with_base_seed(7);
+//! let mut oracle = SketchOracle::build(&scenario, config);
+//!
+//! // f(N) answered from the amortized RR pool.
+//! let f = oracle.static_spread(&[(UserId(0), ItemId(0))]);
+//! assert!(f >= 1.0);
+//!
+//! // An influence edge strengthens between promotions: re-sample only the
+//! // RR sets whose traversal could have crossed it...
+//! let update = [EdgeUpdate::Reweight {
+//!     src: UserId(0),
+//!     dst: UserId(1),
+//!     weight: 0.9,
+//! }];
+//! let drifted = scenario.with_edge_updates(&update);
+//! let stats = oracle.apply_edge_update(&drifted, &update);
+//! assert!(stats.resampled_sets < stats.total_sets);
+//!
+//! // ...and the refreshed sketch is bit-identical to a from-scratch rebuild.
+//! let rebuilt = SketchOracle::build(&drifted, config);
+//! assert_eq!(
+//!     oracle.static_spread(&[(UserId(0), ItemId(0))]),
+//!     rebuilt.static_spread(&[(UserId(0), ItemId(0))]),
+//! );
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,17 +69,18 @@ pub mod adaptive;
 pub mod greedy;
 pub mod incremental;
 pub mod oracle;
+pub mod pipeline;
 pub mod sampler;
 pub mod store;
 
 pub use adaptive::{AdaptiveReport, StoppingRule};
 pub use greedy::{greedy_max_coverage, GreedySelection};
-pub use incremental::{affected_heads, RefreshStats};
+pub use incremental::{affected_heads, edge_update_frontier, RefreshStats};
 pub use oracle::SketchOracle;
 pub use store::{RrStore, SetId};
 
-pub use imdpp_core::SpreadOracle;
-pub use imdpp_graph::{ItemId, UserId};
+pub use imdpp_core::{RefreshableOracle, ScenarioUpdate, SpreadOracle};
+pub use imdpp_graph::{EdgeUpdate, ItemId, UserId};
 
 /// Construction parameters of a [`SketchOracle`].
 #[derive(Clone, Copy, Debug)]

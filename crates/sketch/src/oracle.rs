@@ -3,14 +3,15 @@
 
 use crate::adaptive::{AdaptiveReport, StoppingRule};
 use crate::greedy::{greedy_max_coverage, GreedySelection};
-use crate::incremental::{affected_heads, refresh_store, RefreshStats};
+use crate::incremental::{affected_heads, edge_update_frontier, refresh_store, RefreshStats};
 use crate::sampler;
 use crate::store::RrStore;
 use crate::SketchConfig;
 use imdpp_core::nominees::Nominee;
+use imdpp_core::oracle::{RefreshableOracle, ScenarioUpdate};
 use imdpp_core::SpreadOracle;
 use imdpp_diffusion::{DynamicsConfig, Scenario};
-use imdpp_graph::{ItemId, UserId};
+use imdpp_graph::{EdgeUpdate, ItemId, UserId};
 
 /// A reverse-reachable-sketch estimator of the static first-promotion
 /// spread `f(N)`, maintaining one [`RrStore`] per catalogue item.
@@ -210,6 +211,68 @@ impl SketchOracle {
         }
         stats
     }
+
+    /// Migrates the sketch after influence-edge updates (strength changes,
+    /// insertions, deletions), re-sampling only the RR sets whose traversal
+    /// could have crossed a touched edge.
+    ///
+    /// `updated` must be the oracle's current scenario with exactly
+    /// `updates` applied (i.e. `self.scenario().with_edge_updates(updates)`
+    /// up to dynamics configuration): the affected-set frontier is the
+    /// destinations of the edges that actually change
+    /// ([`edge_update_frontier`]), which is only exact when the adjacency
+    /// order of untouched users is preserved — the guarantee
+    /// `CsrGraph::apply_edge_updates` provides.  A batch of no-op updates
+    /// (removing absent edges, re-setting current strengths) re-samples
+    /// zero sets.
+    ///
+    /// The refreshed sketch is *identical* to rebuilding from scratch
+    /// against `updated` with the same configuration.
+    pub fn apply_edge_update(
+        &mut self,
+        updated: &Scenario,
+        updates: &[EdgeUpdate],
+    ) -> RefreshStats {
+        let heads = edge_update_frontier(&self.frozen, updates);
+        self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
+        let mut stats = RefreshStats::default();
+        for store in &mut self.stores {
+            if heads.is_empty() {
+                stats.absorb(RefreshStats {
+                    total_sets: store.len(),
+                    resampled_sets: 0,
+                    stores: 1,
+                });
+                continue;
+            }
+            stats.absorb(refresh_store(
+                store,
+                &self.frozen,
+                self.config.base_seed,
+                &heads,
+                self.config.threads,
+            ));
+        }
+        stats
+    }
+}
+
+impl RefreshableOracle for SketchOracle {
+    /// Dispatches a [`ScenarioUpdate`] to the matching sample-reuse path
+    /// ([`SketchOracle::apply_preference_update`] /
+    /// [`SketchOracle::apply_edge_update`]) and reports the resampled
+    /// fraction — the quantity the adaptive loop records per round.
+    fn refresh(&mut self, updated: &Scenario, update: &ScenarioUpdate) -> f64 {
+        let stats = match update {
+            ScenarioUpdate::Preferences(changes) => {
+                let pairs: Vec<(UserId, ItemId)> =
+                    changes.iter().map(|&(u, x, _)| (u, x)).collect();
+                self.apply_preference_update(updated, &pairs)
+            }
+            ScenarioUpdate::Edges(updates) => self.apply_edge_update(updated, updates),
+        };
+        stats.resampled_fraction()
+    }
 }
 
 impl SpreadOracle for SketchOracle {
@@ -379,6 +442,105 @@ mod tests {
         assert!(precise_stats.resampled_sets <= coarse_stats.resampled_sets);
         assert!(precise_stats.resampled_sets < precise_stats.total_sets);
         assert_eq!(precise_stats.total_sets, coarse_stats.total_sets);
+    }
+
+    #[test]
+    fn edge_update_refresh_is_exact_and_localized() {
+        let s = toy_scenario();
+        let config = SketchConfig::fixed(256).with_base_seed(23);
+        let updates = [
+            EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.95,
+            },
+            EdgeUpdate::Insert {
+                src: UserId(5),
+                dst: UserId(3),
+                weight: 0.4,
+            },
+        ];
+        let drifted = s.with_edge_updates(&updates);
+
+        let mut incremental = SketchOracle::build(&s, config);
+        let stats = incremental.apply_edge_update(&drifted, &updates);
+        let rebuilt = SketchOracle::build(&drifted, config);
+
+        for item in s.items() {
+            let inc: Vec<Vec<u32>> = incremental
+                .store(item)
+                .iter()
+                .map(|(_, s)| s.to_vec())
+                .collect();
+            let reb: Vec<Vec<u32>> = rebuilt
+                .store(item)
+                .iter()
+                .map(|(_, s)| s.to_vec())
+                .collect();
+            assert_eq!(inc, reb);
+        }
+        assert!(stats.resampled_sets > 0);
+        assert!(
+            stats.resampled_fraction() < 0.5,
+            "localized edge update re-sampled {:.1}%",
+            100.0 * stats.resampled_fraction()
+        );
+    }
+
+    #[test]
+    fn noop_edge_update_resamples_nothing() {
+        let s = toy_scenario();
+        let mut oracle = SketchOracle::build(&s, SketchConfig::fixed(128).with_base_seed(31));
+        let noop = [
+            // The toy graph's 0 -> 1 edge already has strength 0.6.
+            EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.6,
+            },
+            EdgeUpdate::Remove {
+                src: UserId(5),
+                dst: UserId(0),
+            },
+        ];
+        let stats = oracle.apply_edge_update(&s.with_edge_updates(&noop), &noop);
+        assert_eq!(stats.resampled_sets, 0);
+        assert_eq!(stats.total_sets, 128 * s.item_count());
+        assert_eq!(stats.resampled_fraction(), 0.0);
+    }
+
+    #[test]
+    fn refreshable_oracle_dispatch_covers_both_update_kinds() {
+        let s = toy_scenario();
+        let config = SketchConfig::fixed(128).with_base_seed(37);
+        let mut oracle = SketchOracle::build(&s, config);
+
+        let pref = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]);
+        let drifted = pref.apply(&s);
+        let f1 = oracle.refresh(&drifted, &pref);
+        assert!((0.0..1.0).contains(&f1));
+
+        let edges = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src: UserId(0),
+            dst: UserId(1),
+            weight: 0.9,
+        }]);
+        let drifted2 = edges.apply(&drifted);
+        let f2 = oracle.refresh(&drifted2, &edges);
+        assert!((0.0..1.0).contains(&f2));
+        assert!(f2 > 0.0, "a real strength change must re-sample something");
+
+        // After both refreshes the oracle equals a rebuild of the final world.
+        let rebuilt = SketchOracle::build(&drifted2, config);
+        for item in s.items() {
+            let inc: Vec<Vec<u32>> = oracle.store(item).iter().map(|(_, s)| s.to_vec()).collect();
+            let reb: Vec<Vec<u32>> = rebuilt
+                .store(item)
+                .iter()
+                .map(|(_, s)| s.to_vec())
+                .collect();
+            assert_eq!(inc, reb);
+        }
     }
 
     #[test]

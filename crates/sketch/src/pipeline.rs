@@ -1,0 +1,172 @@
+//! Config-driven Dysim entry points: the dispatch layer that lets
+//! [`DysimConfig::oracle`](imdpp_core::DysimConfig) select the estimator
+//! behind nominee selection for the full pipeline (Algorithm 1) and its
+//! adaptive variant (Sec. V-D).
+//!
+//! `imdpp-core` owns the drivers but cannot construct the RR sketch without
+//! a dependency cycle, so the [`OracleKind`] knob is honoured *here*:
+//!
+//! * [`OracleKind::MonteCarlo`] — forward Monte-Carlo, the paper's
+//!   reference ([`imdpp_core::Dysim::run_with_report`] /
+//!   [`imdpp_core::MonteCarloOracle`]),
+//! * [`OracleKind::RrSketch`] — a [`SketchOracle`] with a fixed pool per
+//!   item, built once per run and (in the adaptive loop) *refreshed*
+//!   between rounds through the sample-reuse paths instead of rebuilt.
+//!
+//! # Example: one config knob flips the estimator
+//!
+//! ```
+//! use imdpp_core::{CostModel, DysimConfig, ImdppInstance, OracleKind};
+//! use imdpp_diffusion::scenario::toy_scenario;
+//! use imdpp_sketch::pipeline;
+//!
+//! let scenario = toy_scenario();
+//! let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+//! let instance = ImdppInstance::new(scenario, costs, 3.0, 2).unwrap();
+//!
+//! let mc = DysimConfig::fast();
+//! let sketched = DysimConfig::fast().with_oracle(OracleKind::RrSketch { sets_per_item: 512 });
+//!
+//! let mc_report = pipeline::run_dysim(&instance, &mc);
+//! let sk_report = pipeline::run_dysim(&instance, &sketched);
+//! assert!(instance.is_feasible(&mc_report.seeds));
+//! assert!(instance.is_feasible(&sk_report.seeds));
+//! ```
+
+use crate::{SketchConfig, SketchOracle};
+use imdpp_core::adaptive::{adaptive_dysim_with_oracle, AdaptiveReport};
+use imdpp_core::dysim::{Dysim, DysimReport};
+use imdpp_core::oracle::{OracleKind, ScenarioUpdate};
+use imdpp_core::{ImdppInstance, MonteCarloOracle};
+
+/// The sketch configuration a [`DysimConfig`](imdpp_core::DysimConfig)
+/// with [`OracleKind::RrSketch`] resolves to: a fixed pool (adaptive growth
+/// disabled so refreshes stay bit-identical to rebuilds) seeded from the
+/// run's `base_seed`.
+pub fn sketch_config_for(config: &imdpp_core::DysimConfig, sets_per_item: usize) -> SketchConfig {
+    SketchConfig::fixed(sets_per_item).with_base_seed(config.base_seed)
+}
+
+/// Runs the full Dysim pipeline (TMI → DRE → TDSI) with the estimator
+/// selected by `config.oracle`.
+///
+/// # Panics
+/// With [`OracleKind::RrSketch`] on a Linear Threshold scenario: the RR
+/// sketch encodes the Independent Cascade triggering distribution (see
+/// [`SketchOracle::build`]).
+pub fn run_dysim(instance: &ImdppInstance, config: &imdpp_core::DysimConfig) -> DysimReport {
+    match config.oracle {
+        OracleKind::MonteCarlo => Dysim::new(config.clone()).run_with_report(instance),
+        OracleKind::RrSketch { sets_per_item } => {
+            let oracle = SketchOracle::build(
+                instance.scenario(),
+                sketch_config_for(config, sets_per_item),
+            );
+            Dysim::new(config.clone()).run_with_report_and_oracle(instance, &oracle)
+        }
+    }
+}
+
+/// Runs the adaptive Dysim loop with the estimator selected by
+/// `config.oracle`, applying `drift[i]` between promotions `i + 1` and
+/// `i + 2`.
+///
+/// With [`OracleKind::RrSketch`] the sketch is built once and *refreshed*
+/// per round — re-sampling only the RR sets each update could have touched
+/// — instead of rebuilt; the per-round resample fractions are reported in
+/// [`AdaptiveReport::refresh_fractions`] (Monte-Carlo reports `1.0`: no
+/// amortized state to reuse).
+///
+/// # Panics
+/// With [`OracleKind::RrSketch`] on a Linear Threshold scenario (see
+/// [`SketchOracle::build`]).
+pub fn run_adaptive(
+    instance: &ImdppInstance,
+    config: &imdpp_core::DysimConfig,
+    drift: &[ScenarioUpdate],
+) -> AdaptiveReport {
+    match config.oracle {
+        OracleKind::MonteCarlo => {
+            let mut oracle =
+                MonteCarloOracle::new(instance.scenario(), config.mc_samples, config.base_seed);
+            adaptive_dysim_with_oracle(instance, config, drift, &mut oracle)
+        }
+        OracleKind::RrSketch { sets_per_item } => {
+            let mut oracle = SketchOracle::build(
+                instance.scenario(),
+                sketch_config_for(config, sets_per_item),
+            );
+            adaptive_dysim_with_oracle(instance, config, drift, &mut oracle)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdpp_core::{CostModel, DysimConfig, EdgeUpdate, ItemId, UserId};
+    use imdpp_diffusion::scenario::toy_scenario;
+
+    fn instance(budget: f64, promotions: u32) -> ImdppInstance {
+        let scenario = toy_scenario();
+        let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
+        ImdppInstance::new(scenario, costs, budget, promotions).unwrap()
+    }
+
+    #[test]
+    fn sketch_backed_dysim_is_feasible_and_deterministic() {
+        let inst = instance(3.0, 3);
+        let cfg = DysimConfig::fast().with_oracle(OracleKind::RrSketch { sets_per_item: 512 });
+        let a = run_dysim(&inst, &cfg);
+        let b = run_dysim(&inst, &cfg);
+        assert_eq!(a.seeds, b.seeds);
+        assert!(!a.seeds.is_empty());
+        assert!(inst.is_feasible(&a.seeds));
+        assert!(!a.nominees.is_empty());
+    }
+
+    #[test]
+    fn monte_carlo_dispatch_matches_the_core_driver() {
+        let inst = instance(3.0, 2);
+        let cfg = DysimConfig::fast();
+        let dispatched = run_dysim(&inst, &cfg);
+        let direct = Dysim::new(cfg).run_with_report(&inst);
+        assert_eq!(dispatched.seeds, direct.seeds);
+    }
+
+    #[test]
+    fn sketch_backed_adaptive_refreshes_instead_of_rebuilding() {
+        let inst = instance(4.0, 3);
+        let cfg = DysimConfig::fast().with_oracle(OracleKind::RrSketch { sets_per_item: 256 });
+        let drift = vec![
+            ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.9,
+            }]),
+            ScenarioUpdate::Preferences(vec![(UserId(2), ItemId(0), 0.8)]),
+        ];
+        let report = run_adaptive(&inst, &cfg, &drift);
+        assert!(inst.is_feasible(&report.seeds));
+        assert_eq!(report.refresh_fractions.len(), 2);
+        for &f in &report.refresh_fractions {
+            assert!(
+                (0.0..1.0).contains(&f),
+                "sketch refresh must reuse samples, got {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_monte_carlo_reports_full_rebuilds() {
+        let inst = instance(3.0, 2);
+        let cfg = DysimConfig::fast();
+        let drift = vec![ScenarioUpdate::Preferences(vec![(
+            UserId(1),
+            ItemId(1),
+            0.7,
+        )])];
+        let report = run_adaptive(&inst, &cfg, &drift);
+        assert_eq!(report.refresh_fractions, vec![1.0]);
+    }
+}

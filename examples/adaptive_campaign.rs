@@ -2,11 +2,19 @@
 //! time, without a pre-defined budget allocation across promotions, and the
 //! plan for each promotion is revised after the previous one is observed.
 //!
+//! The world also *drifts* between promotions — here an influence edge
+//! strengthens after round 1 and a user's preference moves after round 2 —
+//! and the sketch-backed plan refreshes its RR pool incrementally (re-
+//! sampling only what each update could have touched) instead of rebuilding.
+//!
 //! Run with: `cargo run --release --example adaptive_campaign`
 
 use imdpp_suite::core::adaptive::adaptive_dysim;
-use imdpp_suite::core::{Dysim, DysimConfig, Evaluator};
+use imdpp_suite::core::{
+    Dysim, DysimConfig, EdgeUpdate, Evaluator, ItemId, OracleKind, ScenarioUpdate, UserId,
+};
 use imdpp_suite::datasets::{generate, DatasetKind};
+use imdpp_suite::sketch::pipeline;
 
 fn main() {
     let dataset = generate(&DatasetKind::AmazonTiny.config());
@@ -30,7 +38,7 @@ fn main() {
     let adaptive = adaptive_dysim(&instance, &config);
 
     println!(
-        "\nadaptive plan: {} seeds, spent {:.1}",
+        "\nadaptive plan (static world): {} seeds, spent {:.1}",
         adaptive.seeds.len(),
         adaptive.spent
     );
@@ -38,11 +46,61 @@ fn main() {
         println!("  promotion {}: {count} new seed(s)", i + 1);
     }
 
-    let evaluator = Evaluator::new(&instance, 100, 17);
-    println!("\nexpected importance-aware spread:");
-    println!("  up-front Dysim : {:.1}", evaluator.spread(&planned));
+    // The same loop, sketch-backed and under world drift: one config knob
+    // swaps the nominee-selection estimator for the RR sketch, which is
+    // *refreshed* between rounds instead of rebuilt.
+    let scenario = instance.scenario();
+    let (v, w, strength) = scenario
+        .users()
+        .find_map(|u| {
+            scenario
+                .social()
+                .influenced_by(u)
+                .next()
+                .map(|(t, s)| (u, t, s))
+        })
+        .expect("the instance has influence edges");
+    let drift = vec![
+        // After promotion 1: the influence edge v -> w strengthens.
+        ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src: v,
+            dst: w,
+            weight: (strength + 0.2).min(1.0),
+        }]),
+        // After promotion 2: user 3 warms to item 0.
+        ScenarioUpdate::Preferences(vec![(UserId(3), ItemId(0), 0.9)]),
+    ];
+    let sketched_config = config.clone().with_oracle(OracleKind::RrSketch {
+        sets_per_item: 2048,
+    });
+    let sketched = pipeline::run_adaptive(&instance, &sketched_config, &drift);
+
     println!(
-        "  adaptive Dysim : {:.1}",
+        "\nsketch-backed adaptive plan (drifting world): {} seeds, spent {:.1}",
+        sketched.seeds.len(),
+        sketched.spent
+    );
+    for (i, fraction) in sketched.refresh_fractions.iter().enumerate() {
+        println!(
+            "  drift before promotion {}: refreshed {:.1}% of RR sets (reused {:.1}%)",
+            i + 2,
+            100.0 * fraction,
+            100.0 * (1.0 - fraction)
+        );
+    }
+
+    let evaluator = Evaluator::new(&instance, 100, 17);
+    println!("\nexpected importance-aware spread (initial world):");
+    println!(
+        "  up-front Dysim          : {:.1}",
+        evaluator.spread(&planned)
+    );
+    println!(
+        "  adaptive Dysim          : {:.1}",
         evaluator.spread(&adaptive.seeds)
+    );
+    println!(
+        "  sketch-backed adaptive  : {:.1}",
+        evaluator.spread(&sketched.seeds)
     );
 }
