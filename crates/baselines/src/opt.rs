@@ -172,7 +172,9 @@ mod tests {
             10,
         )
         .select(&inst);
-        let dysim_seeds = Dysim::new(DysimConfig::fast()).run(&inst);
+        let dysim_cfg = DysimConfig::fast();
+        let dysim_ev = Evaluator::new(&inst, dysim_cfg.mc_samples, dysim_cfg.base_seed);
+        let dysim_seeds = Dysim::new(dysim_cfg).solve_with(&inst, &dysim_ev).seeds;
         let ev = Evaluator::new(&inst, 128, 99);
         let opt_spread = ev.spread(&opt_seeds);
         let dysim_spread = ev.spread(&dysim_seeds);

@@ -1,21 +1,23 @@
 //! End-to-end benchmark and acceptance checks of the sketch-backed Dysim
 //! pipeline on the Yelp-scale preset:
 //!
-//! * nominee-selection (TMI) time of the config-driven pipeline with the
+//! * nominee-selection (TMI) time of the config-driven run with the
 //!   Monte-Carlo estimator vs the RR-sketch oracle (including sketch
-//!   construction) — reports the measured selection speedup and asserts the
-//!   sketch path is faster,
-//! * per-round sketch refresh in the adaptive loop under a localized edge
-//!   update — asserts fewer than 50% of the RR sets are re-sampled each
-//!   round (the sample-reuse guarantee extended to edge updates) and
-//!   reports the measured fractions,
+//!   construction) — reports the measured selection speedup,
+//! * per-round sketch refresh in the `imdpp-engine` adaptive loop under a
+//!   localized edge update — asserts fewer than 50% of the RR sets are
+//!   re-sampled each round (the sample-reuse guarantee extended to edge
+//!   updates) and reports the measured fractions,
 //! * incremental edge-update refresh vs a full rebuild of the sketch.
+//!
+//! Key measurements are also written to `results/bench_adaptive_pipeline.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use imdpp_bench::yelp_instance;
+use imdpp_bench::{yelp_instance, BenchSummary};
 use imdpp_core::nominees::{select_nominees_with_oracle, NomineeSelectionConfig};
 use imdpp_core::{DysimConfig, EdgeUpdate, Evaluator, ImdppInstance, OracleKind, ScenarioUpdate};
-use imdpp_sketch::{pipeline, SketchConfig, SketchOracle};
+use imdpp_engine::Engine;
+use imdpp_sketch::{SketchConfig, SketchOracle};
 use std::time::Instant;
 
 const SETS_PER_ITEM: usize = 2048;
@@ -48,6 +50,7 @@ fn localized_edge_update(instance: &ImdppInstance, bump: f64) -> Vec<EdgeUpdate>
 }
 
 fn bench_adaptive_pipeline(c: &mut Criterion) {
+    let mut summary = BenchSummary::new("adaptive_pipeline");
     let instance = instance();
     let scenario = instance.scenario();
     println!(
@@ -89,6 +92,12 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
 
     assert!(!mc_selection.nominees.is_empty() && !sketch_selection.nominees.is_empty());
     let speedup = mc_time.as_secs_f64() / sketch_time.as_secs_f64().max(1e-9);
+    summary.record("tmi_monte_carlo_seconds", mc_time.as_secs_f64());
+    summary.record(
+        "tmi_rr_sketch_incl_build_seconds",
+        sketch_time.as_secs_f64(),
+    );
+    summary.record("tmi_selection_speedup", speedup);
     println!(
         "TMI nominee selection ({} candidates): monte-carlo {:.3}s ({} evals) vs \
          rr-sketch {:.3}s incl. build ({} evals) — {speedup:.1}x speedup",
@@ -119,7 +128,11 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
     let sketched_config = config.clone().with_oracle(OracleKind::RrSketch {
         sets_per_item: SETS_PER_ITEM,
     });
-    let report = pipeline::run_adaptive(&instance, &sketched_config, &drift);
+    let engine = Engine::for_instance(&instance)
+        .config(sketched_config.clone())
+        .build()
+        .expect("yelp instance is valid");
+    let report = engine.adaptive(instance.promotions(), &drift);
     assert!(instance.is_feasible(&report.seeds));
     assert_eq!(report.refresh_fractions.len(), drift.len());
     for (round, &fraction) in report.refresh_fractions.iter().enumerate() {
@@ -128,6 +141,10 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
             round + 2,
             100.0 * fraction,
             100.0 * (1.0 - fraction),
+        );
+        summary.record(
+            format!("adaptive_round_{}_refresh_fraction", round + 2),
+            fraction,
         );
         assert!(
             fraction < 0.5,
@@ -186,25 +203,32 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
     });
     refresh.finish();
 
-    // Exactness spot-check at bench scale: refresh equals rebuild.
+    // Exactness spot-check at bench scale: refresh equals rebuild (timed
+    // once each for the machine-readable summary).
+    let t = Instant::now();
     let mut refreshed = sketch.clone();
     refreshed.apply_edge_update(&drifted, &updates);
+    summary.record(
+        "edge_refresh_incremental_seconds",
+        t.elapsed().as_secs_f64(),
+    );
+    let t = Instant::now();
     let rebuilt = SketchOracle::build(
         &drifted,
         SketchConfig::fixed(SETS_PER_ITEM).with_base_seed(config.base_seed),
     );
-    for item in scenario.items() {
-        let a: Vec<Vec<u32>> = refreshed
-            .store(item)
-            .iter()
-            .map(|(_, s)| s.to_vec())
-            .collect();
-        let b: Vec<Vec<u32>> = rebuilt
-            .store(item)
-            .iter()
-            .map(|(_, s)| s.to_vec())
-            .collect();
-        assert_eq!(a, b, "refresh must equal rebuild at bench scale");
+    summary.record(
+        "edge_refresh_full_rebuild_seconds",
+        t.elapsed().as_secs_f64(),
+    );
+    assert!(
+        refreshed.stores_equal(&rebuilt),
+        "refresh must equal rebuild at bench scale"
+    );
+
+    match summary.write() {
+        Ok(path) => println!("bench summary written to {}", path.display()),
+        Err(e) => eprintln!("could not write bench summary: {e}"),
     }
 }
 

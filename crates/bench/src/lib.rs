@@ -12,14 +12,21 @@
 //! * `nominee_selection` — CELF-lazy vs plain greedy MCP selection,
 //! * `dysim_vs_baselines` — end-to-end selection time of Dysim and the
 //!   baselines (the relative comparison behind Figs. 9(d), 9(g), 9(h)),
-//! * `tdsi_window` — restricted two-slot timing search vs the full search.
+//! * `tdsi_window` — restricted two-slot timing search vs the full search,
+//! * `sketch_oracle` / `adaptive_pipeline` / `engine_concurrency` — the
+//!   acceptance benches; each also writes a machine-readable
+//!   `results/bench_<name>.json` via [`summary::BenchSummary`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod summary;
+
 use imdpp_core::{CostModel, ImdppInstance};
 use imdpp_datasets::{generate, DatasetKind};
 use imdpp_diffusion::scenario::toy_scenario;
+
+pub use summary::BenchSummary;
 
 /// A small fully-wired instance (6 users, 4 items) for micro-benchmarks.
 pub fn toy_instance(budget: f64, promotions: u32) -> ImdppInstance {

@@ -15,8 +15,8 @@
 //! For the last promotion `T` the remaining budget is spent greedily.
 //!
 //! Nominee re-selection is generic over [`crate::oracle::SpreadOracle`]:
-//! [`adaptive_dysim`] uses the owned Monte-Carlo oracle, while
-//! [`adaptive_dysim_with_oracle`] accepts any [`RefreshableOracle`] — in
+//! [`adaptive_dysim_with_oracle`] — the loop primitive the `imdpp-engine`
+//! `Engine::adaptive` method drives — accepts any [`RefreshableOracle`], in
 //! particular the RR-sketch oracle of `imdpp-sketch`, which *refreshes*
 //! between rounds (re-sampling only the RR sets a scenario update could
 //! have touched) instead of being rebuilt.  The world may drift between
@@ -53,6 +53,10 @@ pub struct AdaptiveReport {
 /// estimator and a static world: budget is *not* pre-allocated to
 /// promotions; each promotion's seeds are decided after the previous
 /// promotions are (simulated as) observed.
+#[deprecated(
+    since = "0.2.0",
+    note = "use imdpp_engine::Engine::adaptive (or adaptive_dysim_with_oracle)"
+)]
 pub fn adaptive_dysim(instance: &ImdppInstance, config: &DysimConfig) -> AdaptiveReport {
     let mut oracle =
         MonteCarloOracle::new(instance.scenario(), config.mc_samples, config.base_seed);
@@ -221,10 +225,18 @@ mod tests {
         ImdppInstance::new(scenario, costs, budget, promotions).unwrap()
     }
 
+    /// The static-world Monte-Carlo loop (what the deprecated
+    /// `adaptive_dysim` wrapped).
+    fn adaptive_mc(inst: &ImdppInstance, config: &DysimConfig) -> AdaptiveReport {
+        let mut oracle =
+            MonteCarloOracle::new(inst.scenario(), config.mc_samples, config.base_seed);
+        adaptive_dysim_with_oracle(inst, config, &[], &mut oracle)
+    }
+
     #[test]
     fn adaptive_respects_the_budget_without_preallocation() {
         let inst = instance(3.0, 3);
-        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        let report = adaptive_mc(&inst, &DysimConfig::fast());
         assert!(report.spent <= inst.budget() + 1e-9);
         assert!(inst.is_feasible(&report.seeds));
         assert_eq!(report.per_promotion.len(), 3);
@@ -234,14 +246,14 @@ mod tests {
     #[test]
     fn adaptive_commits_at_least_one_seed_when_affordable() {
         let inst = instance(2.0, 2);
-        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        let report = adaptive_mc(&inst, &DysimConfig::fast());
         assert!(!report.seeds.is_empty());
     }
 
     #[test]
     fn adaptive_never_commits_the_same_nominee_twice() {
         let inst = instance(4.0, 3);
-        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        let report = adaptive_mc(&inst, &DysimConfig::fast());
         let mut nominees: Vec<_> = report
             .seeds
             .seeds()
@@ -257,7 +269,7 @@ mod tests {
     #[test]
     fn adaptive_seed_timings_are_within_horizon() {
         let inst = instance(4.0, 2);
-        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        let report = adaptive_mc(&inst, &DysimConfig::fast());
         for s in report.seeds.seeds() {
             assert!(s.promotion >= 1 && s.promotion <= 2);
         }
@@ -266,7 +278,7 @@ mod tests {
     #[test]
     fn zero_budget_leftover_stops_committing() {
         let inst = instance(1.0, 3);
-        let report = adaptive_dysim(&inst, &DysimConfig::fast());
+        let report = adaptive_mc(&inst, &DysimConfig::fast());
         assert!(report.seeds.len() <= 1);
         assert!(report.spent <= 1.0 + 1e-9);
     }
@@ -312,6 +324,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn static_world_runs_agree_between_entry_points() {
         let inst = instance(3.0, 2);
         let cfg = DysimConfig::fast();

@@ -2,19 +2,20 @@
 //! and the guard solutions used by the Theorem 5 analysis.
 //!
 //! The nominee-selection stage (the `f(N)` queries of Procedure 2) is
-//! generic over [`crate::oracle::SpreadOracle`]: [`Dysim::run`] uses the
-//! forward Monte-Carlo [`Evaluator`], while
-//! [`Dysim::run_with_report_and_oracle`] accepts any estimator — in
-//! particular the RR-sketch oracle of `imdpp-sketch` (select it via
-//! [`DysimConfig::oracle`] and the dispatching `imdpp_sketch::pipeline`
-//! entry points).  The DRE and TDSI stages always use Monte-Carlo: they
-//! query *dynamic* quantities (`σ_τ`, `π_τ`, expected perceptions) that the
-//! static sketch does not target.
+//! generic over [`crate::oracle::SpreadOracle`]: [`Dysim::solve_with`] — the
+//! one driver entry point — accepts any estimator, in particular the
+//! RR-sketch oracle of `imdpp-sketch`.  Applications should not call the
+//! driver directly: the `imdpp-engine` crate's `Engine` owns oracle
+//! construction (via [`DysimConfig::oracle`]), snapshotting and refresh, and
+//! is the public face of the suite; the legacy `run*` methods survive as
+//! deprecated wrappers.  The DRE and TDSI stages always use Monte-Carlo:
+//! they query *dynamic* quantities (`σ_τ`, `π_τ`, expected perceptions)
+//! that the static sketch does not target.
 //!
 //! # Example
 //!
 //! ```
-//! use imdpp_core::{CostModel, Dysim, DysimConfig, ImdppInstance};
+//! use imdpp_core::{CostModel, Dysim, DysimConfig, Evaluator, ImdppInstance};
 //! use imdpp_core::eval::MonteCarloOracle;
 //! use imdpp_diffusion::scenario::toy_scenario;
 //!
@@ -22,14 +23,16 @@
 //! let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
 //! let instance = ImdppInstance::new(scenario, costs, 3.0, 2).unwrap();
 //!
-//! // The default run estimates f(N) with forward Monte-Carlo...
-//! let report = Dysim::new(DysimConfig::fast()).run_with_report(&instance);
+//! // The driver estimates f(N) with whatever SpreadOracle it is handed:
+//! // forward Monte-Carlo (the paper's reference estimator)...
+//! let dysim = Dysim::new(DysimConfig::fast());
+//! let evaluator = Evaluator::new(&instance, 8, 0xD751);
+//! let report = dysim.solve_with(&instance, &evaluator);
 //! assert!(instance.is_feasible(&report.seeds));
 //!
-//! // ...and any SpreadOracle can replace that estimator explicitly.
+//! // ...or any other estimator of the same static quantity.
 //! let oracle = MonteCarloOracle::new(instance.scenario(), 8, 0xD751);
-//! let via_oracle = Dysim::new(DysimConfig::fast())
-//!     .run_with_report_and_oracle(&instance, &oracle);
+//! let via_oracle = dysim.solve_with(&instance, &oracle);
 //! assert!(instance.is_feasible(&via_oracle.seeds));
 //! ```
 
@@ -98,10 +101,9 @@ pub struct DysimConfig {
     pub impact_user_cap: usize,
     /// Which estimator answers nominee selection's static `f(N)` queries.
     ///
-    /// Honoured by the config-driven entry points in
-    /// `imdpp_sketch::pipeline`; [`Dysim::run`] itself always uses
-    /// Monte-Carlo unless an oracle is passed explicitly through
-    /// [`Dysim::run_with_report_and_oracle`] (this crate cannot construct
+    /// Honoured by the config-driven `imdpp-engine` `Engine` (and the
+    /// deprecated `imdpp_sketch::pipeline` shims); [`Dysim::solve_with`]
+    /// itself takes the oracle as an argument (this crate cannot construct
     /// the sketch without a dependency cycle).
     pub oracle: OracleKind,
 }
@@ -190,38 +192,67 @@ impl Dysim {
     }
 
     /// Runs Dysim on an instance and returns the selected seed group.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use imdpp_engine::Engine::solve (or Dysim::solve_with for a custom oracle)"
+    )]
     pub fn run(&self, instance: &ImdppInstance) -> SeedGroup {
-        self.run_with_report(instance).seeds
+        let evaluator = Evaluator::new(instance, self.config.mc_samples, self.config.base_seed);
+        self.solve_with(instance, &evaluator).seeds
     }
 
     /// Runs Dysim and returns the seed group together with diagnostics,
     /// estimating `f(N)` with the forward Monte-Carlo [`Evaluator`] (the
     /// paper's reference configuration).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use imdpp_engine::Engine::solve_report (or Dysim::solve_with for a custom oracle)"
+    )]
     pub fn run_with_report(&self, instance: &ImdppInstance) -> DysimReport {
         let evaluator = Evaluator::new(instance, self.config.mc_samples, self.config.base_seed);
-        self.run_with_report_and_oracle(instance, &evaluator)
+        self.solve_with(instance, &evaluator)
     }
 
     /// Runs Dysim with `nominee_oracle` answering the static `f(N)` queries
     /// of the TMI nominee-selection stage, returning the seed group.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use imdpp_engine::Engine::solve (or Dysim::solve_with for a custom oracle)"
+    )]
     pub fn run_with_oracle(
         &self,
         instance: &ImdppInstance,
         nominee_oracle: &dyn SpreadOracle,
     ) -> SeedGroup {
-        self.run_with_report_and_oracle(instance, nominee_oracle)
-            .seeds
+        self.solve_with(instance, nominee_oracle).seeds
+    }
+
+    /// Runs Dysim with `nominee_oracle` answering the static `f(N)` queries
+    /// of the TMI nominee-selection stage (Procedure 2) and returns the seed
+    /// group together with diagnostics.
+    #[deprecated(since = "0.2.0", note = "renamed to Dysim::solve_with")]
+    pub fn run_with_report_and_oracle(
+        &self,
+        instance: &ImdppInstance,
+        nominee_oracle: &dyn SpreadOracle,
+    ) -> DysimReport {
+        self.solve_with(instance, nominee_oracle)
     }
 
     /// Runs Dysim with `nominee_oracle` answering the static `f(N)` queries
     /// of the TMI nominee-selection stage (Procedure 2) and returns the seed
     /// group together with diagnostics.
     ///
+    /// This is the one driver entry point; the deprecated `run*` methods are
+    /// thin wrappers over it.  Applications normally reach it through
+    /// `imdpp_engine::Engine`, which constructs the oracle selected by
+    /// [`DysimConfig::oracle`] and snapshots it for concurrent readers.
+    ///
     /// Only nominee selection is oracle-generic: the DRE and TDSI stages
     /// query dynamic quantities (`σ_τ`, `π_τ`, expected perceptions) that
     /// only the Monte-Carlo evaluator targets, so they keep using it
     /// regardless of the oracle passed here.
-    pub fn run_with_report_and_oracle(
+    pub fn solve_with(
         &self,
         instance: &ImdppInstance,
         nominee_oracle: &dyn SpreadOracle,
@@ -394,10 +425,18 @@ mod tests {
         ImdppInstance::new(scenario, costs, budget, promotions).unwrap()
     }
 
+    /// The reference configuration: `solve_with` driven by the Monte-Carlo
+    /// evaluator (what the deprecated `run_with_report` wrapped).
+    fn solve(config: DysimConfig, inst: &ImdppInstance) -> DysimReport {
+        let dysim = Dysim::new(config);
+        let ev = Evaluator::new(inst, dysim.config().mc_samples, dysim.config().base_seed);
+        dysim.solve_with(inst, &ev)
+    }
+
     #[test]
     fn dysim_returns_a_feasible_nonempty_solution() {
         let inst = instance(3.0, 3);
-        let report = Dysim::new(DysimConfig::fast()).run_with_report(&inst);
+        let report = solve(DysimConfig::fast(), &inst);
         assert!(!report.seeds.is_empty());
         assert!(inst.is_feasible(&report.seeds));
         assert!(report.total_cost <= inst.budget() + 1e-9);
@@ -408,7 +447,7 @@ mod tests {
     #[test]
     fn dysim_seeds_are_within_promotion_horizon() {
         let inst = instance(4.0, 2);
-        let seeds = Dysim::new(DysimConfig::fast()).run(&inst);
+        let seeds = solve(DysimConfig::fast(), &inst).seeds;
         for s in seeds.seeds() {
             assert!(s.promotion >= 1 && s.promotion <= 2);
         }
@@ -417,7 +456,7 @@ mod tests {
     #[test]
     fn dysim_spread_beats_a_random_single_seed() {
         let inst = instance(3.0, 2);
-        let seeds = Dysim::new(DysimConfig::fast()).run(&inst);
+        let seeds = solve(DysimConfig::fast(), &inst).seeds;
         let ev = Evaluator::new(&inst, 64, 77);
         let dysim_spread = ev.spread(&seeds);
         // A weak baseline: seeding the isolated user 5 with the cheapest item.
@@ -432,8 +471,8 @@ mod tests {
     #[test]
     fn ablations_produce_feasible_solutions() {
         let inst = instance(3.0, 3);
-        let no_tm = Dysim::new(DysimConfig::fast().without_target_markets()).run(&inst);
-        let no_ip = Dysim::new(DysimConfig::fast().without_item_priority()).run(&inst);
+        let no_tm = solve(DysimConfig::fast().without_target_markets(), &inst).seeds;
+        let no_ip = solve(DysimConfig::fast().without_item_priority(), &inst).seeds;
         assert!(inst.is_feasible(&no_tm));
         assert!(inst.is_feasible(&no_ip));
         assert!(!no_tm.is_empty());
@@ -443,15 +482,15 @@ mod tests {
     #[test]
     fn dysim_is_deterministic_for_a_fixed_seed() {
         let inst = instance(3.0, 2);
-        let a = Dysim::new(DysimConfig::fast()).run(&inst);
-        let b = Dysim::new(DysimConfig::fast()).run(&inst);
+        let a = solve(DysimConfig::fast(), &inst).seeds;
+        let b = solve(DysimConfig::fast(), &inst).seeds;
         assert_eq!(a, b);
     }
 
     #[test]
     fn larger_budget_never_reduces_the_number_of_seeds() {
-        let small = Dysim::new(DysimConfig::fast()).run(&instance(1.0, 2));
-        let large = Dysim::new(DysimConfig::fast()).run(&instance(4.0, 2));
+        let small = solve(DysimConfig::fast(), &instance(1.0, 2)).seeds;
+        let large = solve(DysimConfig::fast(), &instance(4.0, 2)).seeds;
         assert!(large.len() >= small.len());
     }
 
@@ -463,7 +502,7 @@ mod tests {
                 ordering,
                 ..DysimConfig::fast()
             };
-            let seeds = Dysim::new(cfg).run(&inst);
+            let seeds = solve(cfg, &inst).seeds;
             assert!(inst.is_feasible(&seeds), "{}", ordering.name());
         }
     }
@@ -473,11 +512,28 @@ mod tests {
         use crate::eval::MonteCarloOracle;
         let inst = instance(3.0, 3);
         let cfg = DysimConfig::fast();
-        let default_report = Dysim::new(cfg.clone()).run_with_report(&inst);
+        let default_report = solve(cfg.clone(), &inst);
         let oracle = MonteCarloOracle::new(inst.scenario(), cfg.mc_samples, cfg.base_seed);
-        let via_oracle = Dysim::new(cfg).run_with_report_and_oracle(&inst, &oracle);
+        let via_oracle = Dysim::new(cfg).solve_with(&inst, &oracle);
         assert_eq!(default_report.seeds, via_oracle.seeds);
         assert_eq!(default_report.nominees, via_oracle.nominees);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_run_wrappers_match_solve_with() {
+        let inst = instance(3.0, 2);
+        let cfg = DysimConfig::fast();
+        let canonical = solve(cfg.clone(), &inst);
+        let dysim = Dysim::new(cfg.clone());
+        let ev = Evaluator::new(&inst, cfg.mc_samples, cfg.base_seed);
+        assert_eq!(dysim.run(&inst), canonical.seeds);
+        assert_eq!(dysim.run_with_report(&inst).seeds, canonical.seeds);
+        assert_eq!(dysim.run_with_oracle(&inst, &ev), canonical.seeds);
+        assert_eq!(
+            dysim.run_with_report_and_oracle(&inst, &ev).seeds,
+            canonical.seeds
+        );
     }
 
     #[test]
@@ -486,7 +542,7 @@ mod tests {
         let scenario = toy_scenario();
         let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 10.0);
         let inst = ImdppInstance::new(scenario, costs, 5.0, 2).unwrap();
-        let report = Dysim::new(DysimConfig::fast()).run_with_report(&inst);
+        let report = solve(DysimConfig::fast(), &inst);
         assert!(report.seeds.is_empty());
         assert!(report.nominees.is_empty());
     }

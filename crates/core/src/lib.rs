@@ -52,7 +52,9 @@ pub mod submodular;
 pub mod tdsi;
 pub mod theory;
 
-pub use adaptive::{adaptive_dysim, adaptive_dysim_with_oracle, AdaptiveReport};
+#[allow(deprecated)]
+pub use adaptive::adaptive_dysim;
+pub use adaptive::{adaptive_dysim_with_oracle, AdaptiveReport};
 pub use dysim::{Dysim, DysimConfig};
 pub use eval::{Evaluator, MonteCarloOracle};
 pub use market::TargetMarket;
@@ -61,5 +63,5 @@ pub use oracle::{OracleKind, RefreshableOracle, ScenarioUpdate, SpreadOracle};
 pub use ordering::MarketOrdering;
 pub use problem::{CostModel, ImdppInstance};
 
-pub use imdpp_diffusion::{Seed, SeedGroup};
+pub use imdpp_diffusion::{ImdppError, Seed, SeedGroup};
 pub use imdpp_graph::{EdgeUpdate, ItemId, UserId};

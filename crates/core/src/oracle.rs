@@ -18,10 +18,10 @@
 //!   promotions.
 //!
 //! Which estimator a config-driven run uses is selected by
-//! [`OracleKind`] on [`crate::dysim::DysimConfig`]; the dispatching entry
-//! points live in `imdpp_sketch::pipeline` (this crate cannot construct the
-//! sketch without a dependency cycle).  See `docs/ARCHITECTURE.md` for
-//! guidance on picking an implementation.
+//! [`OracleKind`] on [`crate::dysim::DysimConfig`]; the dispatch lives in
+//! `imdpp_sketch::dispatch` and is driven by the `imdpp-engine` `Engine`
+//! (this crate cannot construct the sketch without a dependency cycle).
+//! See `docs/ARCHITECTURE.md` for guidance on picking an implementation.
 //!
 //! # Example: a custom oracle drives nominee selection
 //!
@@ -89,11 +89,10 @@ pub trait SpreadOracle {
 
 /// Which estimator answers the `f(N)` queries of a config-driven Dysim run.
 ///
-/// Stored on [`crate::dysim::DysimConfig`]; honoured by the dispatching
-/// entry points in `imdpp_sketch::pipeline` (`run_dysim` / `run_adaptive`).
-/// [`crate::dysim::Dysim::run`] itself always uses the Monte-Carlo evaluator
-/// unless an oracle is passed explicitly via
-/// [`crate::dysim::Dysim::run_with_report_and_oracle`].
+/// Stored on [`crate::dysim::DysimConfig`]; honoured by
+/// `imdpp_sketch::dispatch::ConfiguredOracle` and hence by every
+/// `imdpp-engine` `Engine`.  [`crate::dysim::Dysim::solve_with`] itself
+/// takes the oracle as an explicit argument.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OracleKind {
     /// Forward Monte-Carlo (the paper's reference estimator); sample count

@@ -1,6 +1,6 @@
 //! The IMDPP problem instance (Definition 2 of the paper).
 
-use imdpp_diffusion::{Scenario, SeedGroup};
+use imdpp_diffusion::{ImdppError, Scenario, SeedGroup};
 use imdpp_graph::{ItemId, UserId};
 use serde::{Deserialize, Serialize};
 
@@ -115,23 +115,26 @@ impl ImdppInstance {
         costs: CostModel,
         budget: f64,
         promotions: u32,
-    ) -> Result<Self, String> {
-        if costs.user_count() != scenario.user_count()
-            || costs.item_count() != scenario.item_count()
-        {
-            return Err(format!(
-                "cost model covers {}×{} pairs but the scenario has {}×{}",
-                costs.user_count(),
-                costs.item_count(),
-                scenario.user_count(),
-                scenario.item_count()
-            ));
+    ) -> Result<Self, ImdppError> {
+        if costs.user_count() != scenario.user_count() {
+            return Err(ImdppError::DimensionMismatch {
+                what: "cost model users vs scenario users",
+                expected: scenario.user_count(),
+                found: costs.user_count(),
+            });
+        }
+        if costs.item_count() != scenario.item_count() {
+            return Err(ImdppError::DimensionMismatch {
+                what: "cost model items vs scenario items",
+                expected: scenario.item_count(),
+                found: costs.item_count(),
+            });
         }
         if !budget.is_finite() || budget <= 0.0 {
-            return Err("budget must be positive".to_string());
+            return Err(ImdppError::invalid("budget must be positive"));
         }
         if promotions == 0 {
-            return Err("at least one promotion is required".to_string());
+            return Err(ImdppError::invalid("at least one promotion is required"));
         }
         Ok(ImdppInstance {
             scenario,
@@ -202,7 +205,7 @@ impl ImdppInstance {
     /// Returns a copy of the instance with a different scenario (same costs,
     /// budget and promotion count).  Used by ablations that freeze dynamics
     /// or truncate meta-graphs.
-    pub fn with_scenario(&self, scenario: Scenario) -> Result<ImdppInstance, String> {
+    pub fn with_scenario(&self, scenario: Scenario) -> Result<ImdppInstance, ImdppError> {
         ImdppInstance::new(scenario, self.costs.clone(), self.budget, self.promotions)
     }
 

@@ -1,5 +1,6 @@
 //! Declarative description of a synthetic dataset.
 
+use imdpp_diffusion::ImdppError;
 use serde::{Deserialize, Serialize};
 
 /// The random-graph model used for the friendship topology.
@@ -96,22 +97,34 @@ pub struct DatasetConfig {
 
 impl DatasetConfig {
     /// Basic validation of ranges and sizes.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ImdppError> {
         if self.users == 0 || self.items == 0 {
-            return Err("users and items must be positive".to_string());
+            return Err(ImdppError::invalid("users and items must be positive"));
         }
         if !(0.0..=1.0).contains(&self.avg_influence_strength) {
-            return Err("avg_influence_strength must be in [0, 1]".to_string());
+            return Err(ImdppError::OutOfRange {
+                name: "avg_influence_strength",
+                value: self.avg_influence_strength,
+                min: 0.0,
+                max: 1.0,
+            });
         }
         let (lo, hi) = self.base_preference_range;
         if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
-            return Err("base_preference_range must be a sub-range of [0, 1]".to_string());
+            return Err(ImdppError::invalid(
+                "base_preference_range must be a sub-range of [0, 1]",
+            ));
         }
         if !(0.0..=1.0).contains(&self.related_pair_fraction) {
-            return Err("related_pair_fraction must be in [0, 1]".to_string());
+            return Err(ImdppError::OutOfRange {
+                name: "related_pair_fraction",
+                value: self.related_pair_fraction,
+                min: 0.0,
+                max: 1.0,
+            });
         }
         if self.cost_scale <= 0.0 {
-            return Err("cost_scale must be positive".to_string());
+            return Err(ImdppError::invalid("cost_scale must be positive"));
         }
         Ok(())
     }

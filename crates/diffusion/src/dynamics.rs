@@ -13,6 +13,7 @@
 //! influence strengths, exactly the qualitative behaviour the algorithm
 //! depends on.  See DESIGN.md §3 for the substitution rationale.
 
+use crate::error::ImdppError;
 use imdpp_graph::{ItemId, UserId};
 use imdpp_kg::PersonalPerception;
 use serde::{Deserialize, Serialize};
@@ -79,7 +80,7 @@ impl DynamicsConfig {
     }
 
     /// Validates that every parameter lies in a sensible range.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ImdppError> {
         let checks = [
             ("weight_learning_rate", self.weight_learning_rate, 0.0, 10.0),
             ("preference_gain", self.preference_gain, 0.0, 10.0),
@@ -97,7 +98,12 @@ impl DynamicsConfig {
         ];
         for (name, v, lo, hi) in checks {
             if !v.is_finite() || v < lo || v > hi {
-                return Err(format!("{name} = {v} is outside [{lo}, {hi}]"));
+                return Err(ImdppError::OutOfRange {
+                    name,
+                    value: v,
+                    min: lo,
+                    max: hi,
+                });
             }
         }
         Ok(())

@@ -1,0 +1,162 @@
+//! [`ImdppError`]: the typed error shared by every fallible constructor and
+//! validator in the suite.
+//!
+//! Before this type existed each crate reported failures as `Result<_,
+//! String>`; the enum below replaces those so callers can match on *what*
+//! went wrong (a missing builder component, a dimension mismatch, a
+//! parameter outside its range, an I/O failure) instead of parsing prose.
+//! It is hand-rolled (no `thiserror` in this offline workspace) and lives in
+//! `imdpp-diffusion` — the lowest crate all fallible layers share — and is
+//! re-exported by `imdpp-core`, `imdpp-engine` and the umbrella crate.
+//!
+//! # Example
+//!
+//! ```
+//! use imdpp_diffusion::{ImdppError, Scenario};
+//!
+//! // A builder missing its required components fails with a typed error…
+//! let err = Scenario::builder().build().unwrap_err();
+//! assert!(matches!(err, ImdppError::MissingComponent { .. }));
+//! // …whose Display form stays human-readable.
+//! assert_eq!(err.to_string(), "social graph is required");
+//! ```
+
+use std::fmt;
+
+/// What went wrong while building or validating an IMDPP component.
+///
+/// The variants are deliberately coarse: they distinguish the *classes* of
+/// failure a caller might branch on (retry with other inputs, fix a config
+/// knob, surface an I/O problem) while the payloads carry enough context to
+/// render a precise message.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImdppError {
+    /// A required component was never supplied to a builder
+    /// (e.g. `Scenario::builder()` without a social graph, or
+    /// `Engine::builder(..)` without a budget).
+    MissingComponent {
+        /// The missing component, e.g. `"social graph"`.
+        what: &'static str,
+    },
+    /// Two components disagree on a dimension (user count, item count,
+    /// matrix size).
+    DimensionMismatch {
+        /// What is being compared, e.g. `"cost model users"`.
+        what: &'static str,
+        /// The dimension the rest of the world has.
+        expected: usize,
+        /// The dimension actually found.
+        found: usize,
+    },
+    /// A numeric parameter lies outside its valid (inclusive) range.
+    OutOfRange {
+        /// Parameter name, e.g. `"influence_gain"`.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// A structural invariant that is not a plain range or dimension check
+    /// (e.g. an inverted interval, an update referencing an unknown user,
+    /// an estimator incompatible with the diffusion model).
+    InvalidConfig {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
+    /// An I/O failure while writing experiment output.
+    Io(std::io::Error),
+}
+
+impl ImdppError {
+    /// Shorthand for [`ImdppError::InvalidConfig`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        ImdppError::InvalidConfig {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ImdppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImdppError::MissingComponent { what } => write!(f, "{what} is required"),
+            ImdppError::DimensionMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what}: expected {expected}, found {found}"),
+            ImdppError::OutOfRange {
+                name,
+                value,
+                min,
+                max,
+            } => write!(f, "{name} = {value} is outside [{min}, {max}]"),
+            ImdppError::InvalidConfig { message } => f.write_str(message),
+            ImdppError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImdppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImdppError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImdppError {
+    fn from(e: std::io::Error) -> Self {
+        ImdppError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_stable() {
+        assert_eq!(
+            ImdppError::MissingComponent { what: "budget" }.to_string(),
+            "budget is required"
+        );
+        assert_eq!(
+            ImdppError::DimensionMismatch {
+                what: "cost model users",
+                expected: 6,
+                found: 2
+            }
+            .to_string(),
+            "cost model users: expected 6, found 2"
+        );
+        assert_eq!(
+            ImdppError::OutOfRange {
+                name: "influence_gain",
+                value: 3.0,
+                min: 0.0,
+                max: 1.0
+            }
+            .to_string(),
+            "influence_gain = 3 is outside [0, 1]"
+        );
+        assert_eq!(ImdppError::invalid("broken").to_string(), "broken");
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_a_source() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: ImdppError = io.into();
+        assert!(err.to_string().contains("gone"));
+        assert!(err.source().is_some());
+        assert!(ImdppError::MissingComponent { what: "x" }
+            .source()
+            .is_none());
+    }
+}

@@ -14,6 +14,7 @@
 //!
 //! Crate layout:
 //!
+//! * [`error`] — the suite-wide typed [`ImdppError`],
 //! * [`seeds`] — seeds `(u, x, t)` and seed groups,
 //! * [`models`] — triggering-model variants (IC / LT),
 //! * [`dynamics`] — the four dynamic factors (relevance measurement,
@@ -27,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dynamics;
+pub mod error;
 pub mod models;
 pub mod montecarlo;
 pub mod process;
@@ -36,6 +38,7 @@ pub mod seeds;
 pub mod state;
 
 pub use dynamics::DynamicsConfig;
+pub use error::ImdppError;
 pub use models::DiffusionModel;
 pub use montecarlo::{SpreadEstimate, SpreadEstimator};
 pub use process::{simulate, SimulationOutcome};

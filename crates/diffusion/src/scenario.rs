@@ -3,6 +3,7 @@
 //! base preferences and the dynamics / model configuration.
 
 use crate::dynamics::DynamicsConfig;
+use crate::error::ImdppError;
 use crate::models::DiffusionModel;
 use imdpp_graph::{ItemId, SocialGraph, UserId};
 use imdpp_kg::{ItemCatalog, PersonalPerception, RelevanceModel};
@@ -251,18 +252,24 @@ impl ScenarioBuilder {
     /// Validates and builds the scenario.
     ///
     /// # Errors
-    /// Returns a human-readable message when a required component is missing
-    /// or dimensions / ranges are inconsistent.
-    pub fn build(self) -> Result<Scenario, String> {
-        let social = self.social.ok_or("social graph is required")?;
-        let catalog = self.catalog.ok_or("item catalog is required")?;
-        let relevance = self.relevance.ok_or("relevance model is required")?;
+    /// Returns an [`ImdppError`] when a required component is missing or
+    /// dimensions / ranges are inconsistent.
+    pub fn build(self) -> Result<Scenario, ImdppError> {
+        let social = self.social.ok_or(ImdppError::MissingComponent {
+            what: "social graph",
+        })?;
+        let catalog = self.catalog.ok_or(ImdppError::MissingComponent {
+            what: "item catalog",
+        })?;
+        let relevance = self.relevance.ok_or(ImdppError::MissingComponent {
+            what: "relevance model",
+        })?;
         if relevance.item_count() != catalog.item_count() {
-            return Err(format!(
-                "relevance model covers {} items but the catalog has {}",
-                relevance.item_count(),
-                catalog.item_count()
-            ));
+            return Err(ImdppError::DimensionMismatch {
+                what: "relevance model items vs catalog items",
+                expected: catalog.item_count(),
+                found: relevance.item_count(),
+            });
         }
         self.dynamics.validate()?;
         let user_count = social.user_count();
@@ -275,16 +282,18 @@ impl ScenarioBuilder {
         let perception = match self.initial_perception {
             Some(p) => {
                 if p.user_count() != user_count {
-                    return Err(format!(
-                        "perception covers {} users but the social graph has {}",
-                        p.user_count(),
-                        user_count
-                    ));
+                    return Err(ImdppError::DimensionMismatch {
+                        what: "perception users vs social graph users",
+                        expected: user_count,
+                        found: p.user_count(),
+                    });
                 }
                 if p.metagraph_count() != relevance.len() {
-                    return Err(
-                        "perception and relevance model disagree on meta-graph count".to_string(),
-                    );
+                    return Err(ImdppError::DimensionMismatch {
+                        what: "perception meta-graphs vs relevance model meta-graphs",
+                        expected: relevance.len(),
+                        found: p.metagraph_count(),
+                    });
                 }
                 p
             }
@@ -293,20 +302,30 @@ impl ScenarioBuilder {
         let base_preferences = match (self.base_preferences, self.uniform_base_preference) {
             (Some(prefs), _) => {
                 if prefs.len() != user_count * item_count {
-                    return Err(format!(
-                        "base preference matrix has {} entries, expected {}",
-                        prefs.len(),
-                        user_count * item_count
-                    ));
+                    return Err(ImdppError::DimensionMismatch {
+                        what: "base preference matrix entries",
+                        expected: user_count * item_count,
+                        found: prefs.len(),
+                    });
                 }
-                if prefs.iter().any(|p| !(0.0..=1.0).contains(p)) {
-                    return Err("base preferences must lie in [0, 1]".to_string());
+                if let Some(&bad) = prefs.iter().find(|p| !(0.0..=1.0).contains(*p)) {
+                    return Err(ImdppError::OutOfRange {
+                        name: "base preference",
+                        value: bad,
+                        min: 0.0,
+                        max: 1.0,
+                    });
                 }
                 prefs
             }
             (None, Some(p)) => {
                 if !(0.0..=1.0).contains(&p) {
-                    return Err("uniform base preference must lie in [0, 1]".to_string());
+                    return Err(ImdppError::OutOfRange {
+                        name: "uniform base preference",
+                        value: p,
+                        min: 0.0,
+                        max: 1.0,
+                    });
                 }
                 vec![p; user_count * item_count]
             }
@@ -384,7 +403,8 @@ mod tests {
     #[test]
     fn builder_rejects_missing_components() {
         let err = Scenario::builder().build().unwrap_err();
-        assert!(err.contains("social"));
+        assert!(matches!(err, ImdppError::MissingComponent { .. }));
+        assert!(err.to_string().contains("social"));
     }
 
     #[test]
@@ -397,7 +417,8 @@ mod tests {
             .base_preferences(vec![0.5; 3])
             .build()
             .unwrap_err();
-        assert!(err.contains("entries"));
+        assert!(matches!(err, ImdppError::DimensionMismatch { .. }));
+        assert!(err.to_string().contains("entries"));
     }
 
     #[test]
@@ -410,7 +431,8 @@ mod tests {
             .uniform_base_preference(1.5)
             .build()
             .unwrap_err();
-        assert!(err.contains("[0, 1]"));
+        assert!(matches!(err, ImdppError::OutOfRange { .. }));
+        assert!(err.to_string().contains("[0, 1]"));
     }
 
     #[test]
@@ -422,7 +444,8 @@ mod tests {
             .relevance(s.relevance().clone())
             .build()
             .unwrap_err();
-        assert!(err.contains("items"));
+        assert!(matches!(err, ImdppError::DimensionMismatch { .. }));
+        assert!(err.to_string().contains("items"));
     }
 
     #[test]

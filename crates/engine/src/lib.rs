@@ -1,0 +1,704 @@
+//! # imdpp-engine
+//!
+//! The snapshot-isolated session façade of the IMDPP suite: one long-lived
+//! [`Engine`] replaces the scattered one-shot entry points (the deprecated
+//! `Dysim::run*` family and `imdpp_sketch::pipeline`) with the shape a
+//! serving system needs — *build once, query many times, refresh
+//! incrementally as the world drifts*.
+//!
+//! ## Snapshot isolation
+//!
+//! Internally the engine owns an immutable [`EngineSnapshot`] — the current
+//! [`ImdppInstance`] plus the estimator resolved from
+//! [`OracleKind`] — behind an [`Arc`] that is swapped atomically.  Any
+//! number of reader threads can call [`Engine::spread`] /
+//! [`Engine::solve`] (or pin an epoch explicitly with
+//! [`Engine::snapshot`]) while a single writer applies a
+//! [`ScenarioUpdate`] through [`Engine::apply`]:
+//!
+//! * readers never block on a refresh — the writer prepares the next
+//!   snapshot *outside* the lock (incrementally, via
+//!   [`RefreshableOracle::refresh`])
+//!   and only the pointer swap is synchronized,
+//! * every read observes a *consistent epoch*: scenario and sketch always
+//!   match, never a torn intermediate (property-tested in
+//!   `tests/engine_snapshot.rs`),
+//! * sketch-backed engines refresh by re-sampling only the RR sets an
+//!   update could have touched, and the refreshed snapshot is bit-identical
+//!   to rebuilding from scratch against the drifted world.
+//!
+//! ## Example
+//!
+//! ```
+//! use imdpp_diffusion::scenario::toy_scenario;
+//! use imdpp_engine::Engine;
+//! use imdpp_core::{EdgeUpdate, OracleKind, ScenarioUpdate, UserId};
+//!
+//! let engine = Engine::builder(toy_scenario())
+//!     .budget(3.0)
+//!     .promotions(2)
+//!     .oracle(OracleKind::RrSketch { sets_per_item: 512 })
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Solve and query against epoch 0...
+//! let seeds = engine.solve();
+//! let sigma = engine.spread(&seeds);
+//! assert!(sigma > 0.0);
+//!
+//! // ...then drift the world; the sketch refreshes incrementally and a new
+//! // epoch is published atomically.
+//! let update = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+//!     src: UserId(0),
+//!     dst: UserId(1),
+//!     weight: 0.9,
+//! }]);
+//! let applied = engine.apply(&update).unwrap();
+//! assert_eq!(applied.epoch, 1);
+//! assert!(applied.refresh_fraction < 1.0); // sample reuse, not a rebuild
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use imdpp_core::adaptive::adaptive_dysim_with_oracle;
+use imdpp_core::dysim::Dysim;
+use imdpp_core::nominees::Nominee;
+use imdpp_core::oracle::SpreadOracle;
+use imdpp_core::problem::{CostModel, ImdppInstance};
+use imdpp_core::{Evaluator, RefreshableOracle};
+use imdpp_diffusion::{DiffusionModel, Scenario, SeedGroup};
+use imdpp_graph::EdgeUpdate;
+use std::sync::{Arc, Mutex, RwLock};
+
+pub use imdpp_core::adaptive::AdaptiveReport;
+pub use imdpp_core::dysim::{DysimConfig, DysimReport};
+pub use imdpp_core::oracle::{OracleKind, ScenarioUpdate};
+pub use imdpp_diffusion::ImdppError;
+pub use imdpp_sketch::dispatch::ConfiguredOracle;
+
+/// An immutable, internally consistent view of the engine's world at one
+/// epoch: the instance (scenario + costs + budget + promotions), the
+/// resolved estimator, and the driver configuration.
+///
+/// Snapshots are shared via [`Arc`]: grab one with [`Engine::snapshot`] to
+/// pin an epoch across several queries; single calls on [`Engine`] pin it
+/// implicitly for their duration.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    epoch: u64,
+    instance: ImdppInstance,
+    oracle: ConfiguredOracle,
+    config: DysimConfig,
+}
+
+impl EngineSnapshot {
+    /// The epoch counter: 0 at [`EngineBuilder::build`], +1 per applied
+    /// update.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The instance at this epoch.
+    pub fn instance(&self) -> &ImdppInstance {
+        &self.instance
+    }
+
+    /// The scenario at this epoch.
+    pub fn scenario(&self) -> &Scenario {
+        self.instance.scenario()
+    }
+
+    /// The resolved `f(N)` estimator at this epoch.
+    pub fn oracle(&self) -> &ConfiguredOracle {
+        &self.oracle
+    }
+
+    /// The driver configuration the engine was built with.
+    pub fn config(&self) -> &DysimConfig {
+        &self.config
+    }
+
+    /// Runs the full Dysim pipeline (TMI → DRE → TDSI) against this epoch
+    /// and returns the seed group with diagnostics.
+    pub fn solve_report(&self) -> DysimReport {
+        Dysim::new(self.config.clone()).solve_with(&self.instance, &self.oracle)
+    }
+
+    /// Estimates the importance-aware influence spread `σ(S)` of a seed
+    /// group against this epoch (forward Monte-Carlo over the full
+    /// campaign; deterministic for a fixed engine seed).
+    pub fn spread(&self, seeds: &SeedGroup) -> f64 {
+        Evaluator::new(
+            &self.instance,
+            self.config.mc_samples,
+            self.config.base_seed,
+        )
+        .spread(seeds)
+    }
+
+    /// Estimates the static first-promotion spread `f(N)` of a nominee set
+    /// with this epoch's configured oracle.
+    pub fn static_spread(&self, nominees: &[Nominee]) -> f64 {
+        self.oracle.static_spread(nominees)
+    }
+}
+
+/// Outcome of one [`Engine::apply`] call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApplyReport {
+    /// The epoch of the snapshot the update produced.
+    pub epoch: u64,
+    /// Fraction of the estimator's internal state that had to be recomputed
+    /// (`0.0` = everything reused, `1.0` = a full rebuild; sketch-backed
+    /// engines report their RR-set resample fraction).
+    pub refresh_fraction: f64,
+}
+
+/// A long-lived, snapshot-isolated IMDPP session.
+///
+/// Build one with [`Engine::builder`] (from a scenario) or
+/// [`Engine::for_instance`] (adopting an existing instance's costs, budget
+/// and promotion count).  The engine is `Send + Sync`: share it behind an
+/// `Arc` and call [`Engine::spread`] / [`Engine::solve`] from as many
+/// threads as needed while one writer drives [`Engine::apply`].
+#[derive(Debug)]
+pub struct Engine {
+    current: RwLock<Arc<EngineSnapshot>>,
+    /// Serializes writers so concurrent `apply` calls cannot interleave
+    /// their read-refresh-swap sequences (readers are never blocked by it).
+    writer: Mutex<()>,
+}
+
+impl Engine {
+    /// Starts building an engine around a scenario.
+    pub fn builder(scenario: Scenario) -> EngineBuilder {
+        EngineBuilder {
+            scenario,
+            costs: None,
+            budget: None,
+            promotions: 1,
+            config: DysimConfig::default(),
+        }
+    }
+
+    /// Starts building an engine that adopts `instance`'s scenario, costs,
+    /// budget and promotion count (the migration path from the one-shot
+    /// `run*` entry points, and what the experiments harness uses).
+    pub fn for_instance(instance: &ImdppInstance) -> EngineBuilder {
+        EngineBuilder {
+            scenario: instance.scenario().clone(),
+            costs: Some(instance.costs().clone()),
+            budget: Some(instance.budget()),
+            promotions: instance.promotions(),
+            config: DysimConfig::default(),
+        }
+    }
+
+    /// The current snapshot.  Hold the returned [`Arc`] to keep answering
+    /// queries against one consistent epoch while writers move on.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// The current epoch (0-based; +1 per applied update).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// The driver configuration the engine was built with.
+    pub fn config(&self) -> DysimConfig {
+        self.snapshot().config.clone()
+    }
+
+    /// Runs the full Dysim pipeline against the current snapshot and
+    /// returns the selected seed group.
+    pub fn solve(&self) -> SeedGroup {
+        self.solve_report().seeds
+    }
+
+    /// Runs the full Dysim pipeline against the current snapshot and
+    /// returns the seed group together with diagnostics.
+    pub fn solve_report(&self) -> DysimReport {
+        self.snapshot().solve_report()
+    }
+
+    /// Estimates `σ(S)` for a seed group against the current snapshot.
+    /// Safe to call from any number of threads concurrently with a writer.
+    pub fn spread(&self, seeds: &SeedGroup) -> f64 {
+        self.snapshot().spread(seeds)
+    }
+
+    /// Estimates the static first-promotion spread `f(N)` of a nominee set
+    /// with the configured oracle against the current snapshot.
+    pub fn static_spread(&self, nominees: &[Nominee]) -> f64 {
+        self.snapshot().static_spread(nominees)
+    }
+
+    /// Runs the adaptive Dysim loop (Sec. V-D) for `rounds` promotions
+    /// against the current snapshot, applying `drift[i]` between promotions
+    /// `i + 1` and `i + 2` *inside the simulation*.
+    ///
+    /// The drift is hypothetical: it migrates a private clone of the
+    /// snapshot's oracle round by round and leaves the engine's published
+    /// state untouched.  To make drift durable for subsequent queries, feed
+    /// the same updates through [`Engine::apply`].
+    pub fn adaptive(&self, rounds: u32, drift: &[ScenarioUpdate]) -> AdaptiveReport {
+        let snap = self.snapshot();
+        let instance = snap.instance.with_promotions(rounds);
+        let mut oracle = snap.oracle.clone();
+        adaptive_dysim_with_oracle(&instance, &snap.config, drift, &mut oracle)
+    }
+
+    /// Applies a world update and atomically publishes the refreshed
+    /// snapshot as the next epoch.
+    ///
+    /// The heavy work — applying the update to the scenario and migrating
+    /// the estimator through its incremental sample-reuse paths — happens
+    /// outside the snapshot lock, so concurrent readers keep answering
+    /// against the previous epoch and never observe a half-refreshed world.
+    /// Sketch-backed engines re-sample only the RR sets the update could
+    /// have touched; the published snapshot is bit-identical to one rebuilt
+    /// from scratch against the drifted scenario.
+    ///
+    /// # Errors
+    /// Returns an [`ImdppError`] (and publishes nothing) when the update
+    /// references users or items outside the scenario or carries values
+    /// outside their valid ranges.
+    pub fn apply(&self, update: &ScenarioUpdate) -> Result<ApplyReport, ImdppError> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let snap = self.snapshot();
+        validate_update(snap.scenario(), update)?;
+
+        let epoch = snap.epoch + 1;
+        let report = if update.is_empty() {
+            let next = Arc::new(EngineSnapshot {
+                epoch,
+                ..(*snap).clone()
+            });
+            *self.current.write().expect("snapshot lock poisoned") = next;
+            ApplyReport {
+                epoch,
+                refresh_fraction: 0.0,
+            }
+        } else {
+            let updated = update.apply(snap.scenario());
+            let mut oracle = snap.oracle.clone();
+            // Refresh borrows `updated` before it moves into the instance,
+            // so the writer path copies the scenario exactly once.
+            let refresh_fraction = oracle.refresh(&updated, update);
+            let instance = snap.instance.with_scenario(updated)?;
+            let next = Arc::new(EngineSnapshot {
+                epoch,
+                instance,
+                oracle,
+                config: snap.config.clone(),
+            });
+            *self.current.write().expect("snapshot lock poisoned") = next;
+            ApplyReport {
+                epoch,
+                refresh_fraction,
+            }
+        };
+        Ok(report)
+    }
+}
+
+/// Rejects updates that would panic deeper in the stack (out-of-range ids
+/// or probabilities) with a typed error instead.
+fn validate_update(scenario: &Scenario, update: &ScenarioUpdate) -> Result<(), ImdppError> {
+    let users = scenario.user_count();
+    let items = scenario.item_count();
+    match update {
+        ScenarioUpdate::Preferences(changes) => {
+            for &(u, x, p) in changes {
+                if u.index() >= users {
+                    return Err(ImdppError::invalid(format!(
+                        "preference update references user {u} but the scenario has {users} users"
+                    )));
+                }
+                if x.index() >= items {
+                    return Err(ImdppError::invalid(format!(
+                        "preference update references item {x} but the scenario has {items} items"
+                    )));
+                }
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ImdppError::OutOfRange {
+                        name: "preference",
+                        value: p,
+                        min: 0.0,
+                        max: 1.0,
+                    });
+                }
+            }
+        }
+        ScenarioUpdate::Edges(updates) => {
+            for up in updates {
+                for endpoint in [up.src(), up.dst()] {
+                    if endpoint.index() >= users {
+                        return Err(ImdppError::invalid(format!(
+                            "edge update references user {endpoint} but the scenario has \
+                             {users} users"
+                        )));
+                    }
+                }
+                if let EdgeUpdate::Insert { weight, .. } | EdgeUpdate::Reweight { weight, .. } = up
+                {
+                    if !(0.0..=1.0).contains(weight) {
+                        return Err(ImdppError::OutOfRange {
+                            name: "influence strength",
+                            value: *weight,
+                            min: 0.0,
+                            max: 1.0,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builder for [`Engine`]; see [`Engine::builder`].
+///
+/// # Example
+///
+/// ```
+/// use imdpp_core::{CostModel, ImdppError, OracleKind};
+/// use imdpp_diffusion::scenario::toy_scenario;
+/// use imdpp_engine::Engine;
+///
+/// let scenario = toy_scenario();
+/// let costs = CostModel::degree_over_preference(&scenario, 0.2);
+/// let engine = Engine::builder(scenario)
+///     .costs(costs)
+///     .budget(4.0)
+///     .promotions(3)
+///     .oracle(OracleKind::MonteCarlo)
+///     .seed(42)
+///     .build()
+///     .unwrap();
+/// assert_eq!(engine.epoch(), 0);
+///
+/// // The budget is the one component without a usable default:
+/// let err = Engine::builder(toy_scenario()).build().unwrap_err();
+/// assert!(matches!(err, ImdppError::MissingComponent { what: "budget" }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    scenario: Scenario,
+    costs: Option<CostModel>,
+    budget: Option<f64>,
+    promotions: u32,
+    config: DysimConfig,
+}
+
+impl EngineBuilder {
+    /// Sets the hiring-cost model (default: uniform unit costs).
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = Some(costs);
+        self
+    }
+
+    /// Sets the total budget `b` (required).
+    pub fn budget(mut self, budget: f64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the number of promotions `T` (default 1).
+    pub fn promotions(mut self, promotions: u32) -> Self {
+        self.promotions = promotions;
+        self
+    }
+
+    /// Replaces the whole driver configuration (default:
+    /// [`DysimConfig::default`]).  Call this *before* [`Self::oracle`] /
+    /// [`Self::seed`], which tweak individual fields of it.
+    pub fn config(mut self, config: DysimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the estimator behind nominee selection's `f(N)` queries
+    /// (default: [`OracleKind::MonteCarlo`]).
+    pub fn oracle(mut self, oracle: OracleKind) -> Self {
+        self.config.oracle = oracle;
+        self
+    }
+
+    /// Sets the base random seed shared by the driver, the Monte-Carlo
+    /// estimators and the sketch sampling streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.base_seed = seed;
+        self
+    }
+
+    /// Validates the configuration, resolves the oracle, and publishes
+    /// epoch 0.
+    ///
+    /// # Errors
+    /// [`ImdppError::MissingComponent`] when no budget was set;
+    /// [`ImdppError::DimensionMismatch`] / [`ImdppError::InvalidConfig`]
+    /// when the instance is inconsistent or the RR sketch is requested on a
+    /// Linear Threshold scenario (the sketch encodes the Independent
+    /// Cascade triggering distribution).
+    pub fn build(self) -> Result<Engine, ImdppError> {
+        let budget = self
+            .budget
+            .ok_or(ImdppError::MissingComponent { what: "budget" })?;
+        let costs = self.costs.unwrap_or_else(|| {
+            CostModel::uniform(self.scenario.user_count(), self.scenario.item_count(), 1.0)
+        });
+        let instance = ImdppInstance::new(self.scenario, costs, budget, self.promotions)?;
+        if matches!(self.config.oracle, OracleKind::RrSketch { .. })
+            && instance.scenario().model() != DiffusionModel::IndependentCascade
+        {
+            return Err(ImdppError::invalid(
+                "the RR-sketch oracle requires the Independent Cascade model; \
+                 use OracleKind::MonteCarlo for Linear Threshold scenarios",
+            ));
+        }
+        let oracle = ConfiguredOracle::build(
+            instance.scenario(),
+            self.config.oracle,
+            self.config.mc_samples,
+            self.config.base_seed,
+        );
+        Ok(Engine {
+            current: RwLock::new(Arc::new(EngineSnapshot {
+                epoch: 0,
+                instance,
+                oracle,
+                config: self.config,
+            })),
+            writer: Mutex::new(()),
+        })
+    }
+}
+
+// The whole point of the engine: it must be shareable across reader threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<EngineSnapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdpp_core::{EdgeUpdate, ItemId, UserId};
+    use imdpp_diffusion::scenario::toy_scenario;
+    use imdpp_sketch::{SketchConfig, SketchOracle};
+
+    fn engine(oracle: OracleKind) -> Engine {
+        Engine::builder(toy_scenario())
+            .budget(3.0)
+            .promotions(2)
+            .config(DysimConfig::fast())
+            .oracle(oracle)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_and_required_budget() {
+        let err = Engine::builder(toy_scenario()).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ImdppError::MissingComponent { what: "budget" }
+        ));
+
+        let engine = Engine::builder(toy_scenario()).budget(2.0).build().unwrap();
+        assert_eq!(engine.epoch(), 0);
+        let snap = engine.snapshot();
+        assert_eq!(snap.instance().budget(), 2.0);
+        assert_eq!(snap.instance().promotions(), 1);
+        // Default costs are uniform unit costs.
+        assert_eq!(snap.instance().cost(UserId(0), ItemId(0)), 1.0);
+    }
+
+    #[test]
+    fn builder_rejects_sketch_on_linear_threshold() {
+        let lt = toy_scenario().with_model(DiffusionModel::LinearThreshold);
+        let err = Engine::builder(lt)
+            .budget(2.0)
+            .oracle(OracleKind::RrSketch { sets_per_item: 64 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ImdppError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("Independent Cascade"));
+    }
+
+    #[test]
+    fn solve_matches_the_legacy_monte_carlo_run() {
+        let engine = engine(OracleKind::MonteCarlo);
+        let snap = engine.snapshot();
+        let cfg = snap.config().clone();
+        let ev = Evaluator::new(snap.instance(), cfg.mc_samples, cfg.base_seed);
+        let legacy = Dysim::new(cfg).solve_with(snap.instance(), &ev);
+        let report = engine.solve_report();
+        assert_eq!(report.seeds, legacy.seeds);
+        assert_eq!(report.nominees, legacy.nominees);
+        assert_eq!(engine.solve(), legacy.seeds);
+    }
+
+    #[test]
+    fn sketch_engine_solves_deterministically() {
+        let a = engine(OracleKind::RrSketch { sets_per_item: 512 });
+        let b = engine(OracleKind::RrSketch { sets_per_item: 512 });
+        let seeds = a.solve();
+        assert_eq!(seeds, b.solve());
+        assert!(!seeds.is_empty());
+        assert!(a.snapshot().instance().is_feasible(&seeds));
+        assert!(a.spread(&seeds) > 0.0);
+    }
+
+    #[test]
+    fn apply_advances_the_epoch_and_refreshes_incrementally() {
+        let engine = engine(OracleKind::RrSketch { sets_per_item: 256 });
+        let update = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src: UserId(0),
+            dst: UserId(1),
+            weight: 0.9,
+        }]);
+        let before = engine.snapshot();
+        let applied = engine.apply(&update).unwrap();
+        assert_eq!(applied.epoch, 1);
+        assert!(applied.refresh_fraction > 0.0 && applied.refresh_fraction < 1.0);
+        assert_eq!(engine.epoch(), 1);
+
+        // The pinned pre-update snapshot still answers against epoch 0.
+        assert_eq!(
+            before.scenario().social().influence(UserId(0), UserId(1)),
+            0.6
+        );
+        assert_eq!(
+            engine
+                .snapshot()
+                .scenario()
+                .social()
+                .influence(UserId(0), UserId(1)),
+            0.9
+        );
+    }
+
+    #[test]
+    fn refreshed_snapshot_is_bit_identical_to_a_rebuild() {
+        let engine = engine(OracleKind::RrSketch { sets_per_item: 256 });
+        let updates = vec![
+            ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]),
+            ScenarioUpdate::Edges(vec![EdgeUpdate::Insert {
+                src: UserId(5),
+                dst: UserId(3),
+                weight: 0.4,
+            }]),
+        ];
+        for u in &updates {
+            engine.apply(u).unwrap();
+        }
+        let snap = engine.snapshot();
+        let sketch = snap.oracle().as_sketch().unwrap();
+        let rebuilt = SketchOracle::build(
+            snap.scenario(),
+            SketchConfig::fixed(256).with_base_seed(snap.config().base_seed),
+        );
+        assert!(sketch.stores_equal(&rebuilt));
+    }
+
+    #[test]
+    fn empty_updates_publish_a_new_epoch_without_refreshing() {
+        let engine = engine(OracleKind::MonteCarlo);
+        let applied = engine.apply(&ScenarioUpdate::Edges(Vec::new())).unwrap();
+        assert_eq!(applied.epoch, 1);
+        assert_eq!(applied.refresh_fraction, 0.0);
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected_and_publish_nothing() {
+        let engine = engine(OracleKind::MonteCarlo);
+        let bad_user = ScenarioUpdate::Preferences(vec![(UserId(99), ItemId(0), 0.5)]);
+        assert!(engine.apply(&bad_user).is_err());
+        let bad_pref = ScenarioUpdate::Preferences(vec![(UserId(0), ItemId(0), 1.5)]);
+        assert!(matches!(
+            engine.apply(&bad_pref).unwrap_err(),
+            ImdppError::OutOfRange { .. }
+        ));
+        let bad_edge = ScenarioUpdate::Edges(vec![EdgeUpdate::Insert {
+            src: UserId(0),
+            dst: UserId(42),
+            weight: 0.3,
+        }]);
+        assert!(engine.apply(&bad_edge).is_err());
+        let bad_weight = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src: UserId(0),
+            dst: UserId(1),
+            weight: 7.0,
+        }]);
+        assert!(engine.apply(&bad_weight).is_err());
+        assert_eq!(engine.epoch(), 0, "failed updates must not advance epochs");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn adaptive_matches_the_deprecated_pipeline_dispatch() {
+        let drift = vec![
+            ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+                src: UserId(0),
+                dst: UserId(1),
+                weight: 0.9,
+            }]),
+            ScenarioUpdate::Preferences(vec![(UserId(2), ItemId(0), 0.8)]),
+        ];
+        for oracle in [
+            OracleKind::MonteCarlo,
+            OracleKind::RrSketch { sets_per_item: 256 },
+        ] {
+            let engine = Engine::builder(toy_scenario())
+                .budget(4.0)
+                .promotions(3)
+                .config(DysimConfig::fast())
+                .oracle(oracle)
+                .build()
+                .unwrap();
+            let report = engine.adaptive(3, &drift);
+            let snap = engine.snapshot();
+            let legacy =
+                imdpp_sketch::pipeline::run_adaptive(snap.instance(), snap.config(), &drift);
+            assert_eq!(report.seeds, legacy.seeds);
+            assert_eq!(report.refresh_fractions, legacy.refresh_fractions);
+            // The engine's published state is untouched by hypothetical drift.
+            assert_eq!(engine.epoch(), 0);
+        }
+    }
+
+    #[test]
+    fn for_instance_adopts_costs_budget_and_promotions() {
+        let scenario = toy_scenario();
+        let costs = CostModel::degree_over_preference(&scenario, 0.2);
+        let instance = ImdppInstance::new(scenario, costs, 4.0, 3).unwrap();
+        let engine = Engine::for_instance(&instance).build().unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.instance().budget(), 4.0);
+        assert_eq!(snap.instance().promotions(), 3);
+        assert_eq!(
+            snap.instance().cost(UserId(0), ItemId(0)),
+            instance.cost(UserId(0), ItemId(0))
+        );
+    }
+
+    #[test]
+    fn static_spread_uses_the_configured_oracle() {
+        let engine = engine(OracleKind::RrSketch { sets_per_item: 512 });
+        let direct = SketchOracle::build(
+            engine.snapshot().scenario(),
+            SketchConfig::fixed(512).with_base_seed(engine.config().base_seed),
+        );
+        let nominees = [(UserId(0), ItemId(0))];
+        assert_eq!(
+            engine.static_spread(&nominees),
+            direct.static_spread(&nominees)
+        );
+    }
+}

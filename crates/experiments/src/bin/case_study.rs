@@ -11,10 +11,9 @@
 //!
 //! Usage: `cargo run --release -p imdpp-experiments --bin case_study`
 
-use imdpp_core::Dysim;
 use imdpp_datasets::{generate, DatasetKind};
 use imdpp_diffusion::{simulate, DiffusionState};
-use imdpp_experiments::HarnessConfig;
+use imdpp_experiments::{solve_with_engine, HarnessConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,7 +23,7 @@ fn main() {
     let instance = dataset.instance.with_budget(120.0).with_promotions(5);
     let scenario = instance.scenario();
 
-    let seeds = Dysim::new(config.dysim_config()).run(&instance);
+    let seeds = solve_with_engine(&instance, config.dysim_config());
     println!(
         "campaign: {} seeds over {} promotions (budget {:.0})",
         seeds.len(),

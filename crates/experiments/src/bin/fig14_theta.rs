@@ -4,9 +4,9 @@
 //!
 //! Usage: `cargo run --release -p imdpp-experiments --bin fig14_theta [--quick]`
 
-use imdpp_core::{Dysim, DysimConfig};
+use imdpp_core::DysimConfig;
 use imdpp_datasets::{generate, DatasetKind};
-use imdpp_experiments::{evaluate_spread, write_csv, HarnessConfig, Table};
+use imdpp_experiments::{engine_for, evaluate_spread, write_csv, HarnessConfig, Table};
 use std::time::Instant;
 
 fn main() {
@@ -36,8 +36,9 @@ fn main() {
                 market_overlap_threshold: theta,
                 ..config.dysim_config()
             };
+            let engine = engine_for(&instance, dysim_config);
             let start = Instant::now();
-            let seeds = Dysim::new(dysim_config).run(&instance);
+            let seeds = engine.solve();
             let seconds = start.elapsed().as_secs_f64();
             let sigma = evaluate_spread(&instance, &seeds, &config);
             println!(

@@ -11,6 +11,10 @@
 //!   evaluation (default 100, as in the paper),
 //! * `IMDPP_SELECT_MC` — Monte-Carlo samples used *inside* the selection
 //!   algorithms (default 20),
+//! * `IMDPP_ORACLE` — estimator behind Dysim's nominee selection:
+//!   `monte-carlo` (default), `rr-sketch` (2048 RR sets per item) or
+//!   `rr-sketch:<sets>`; every Dysim run goes through the `imdpp-engine`
+//!   session façade, which honours this knob,
 //! * `IMDPP_OUT`    — directory for CSV output (default `results/`).
 //!
 //! and prints the same rows / series the corresponding paper figure reports.
@@ -22,6 +26,7 @@ pub mod harness;
 pub mod output;
 
 pub use harness::{
-    algorithms, evaluate_spread, run_algorithm, AlgorithmKind, HarnessConfig, RunResult,
+    algorithms, engine_for, evaluate_spread, parse_oracle, run_algorithm, solve_with_engine,
+    AlgorithmKind, HarnessConfig, RunResult,
 };
 pub use output::{write_csv, Table};

@@ -1,5 +1,6 @@
 //! Plain-text tables and CSV output for the experiment binaries.
 
+use imdpp_core::ImdppError;
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
@@ -85,7 +86,10 @@ impl Table {
 
 /// Writes a table to `<out_dir>/<file_name>.csv`, creating the directory if
 /// needed.  Returns the path written to.
-pub fn write_csv(table: &Table, out_dir: &str, file_name: &str) -> std::io::Result<String> {
+///
+/// # Errors
+/// Returns [`ImdppError::Io`] when the directory or file cannot be written.
+pub fn write_csv(table: &Table, out_dir: &str, file_name: &str) -> Result<String, ImdppError> {
     fs::create_dir_all(out_dir)?;
     let path = Path::new(out_dir).join(format!("{file_name}.csv"));
     let mut f = fs::File::create(&path)?;

@@ -1,0 +1,212 @@
+//! The one dispatch point for [`OracleKind`]: [`ConfiguredOracle`] resolves
+//! the estimator knob of a `DysimConfig` to a concrete
+//! [`SpreadOracle`]/[`RefreshableOracle`] implementation.
+//!
+//! `imdpp-core` owns the drivers but cannot construct the RR sketch without
+//! a dependency cycle, so the knob is honoured *here* and consumed by the
+//! `imdpp-engine` `Engine` (and, for backwards compatibility, by the
+//! deprecated `imdpp_sketch::pipeline` shims):
+//!
+//! * [`OracleKind::MonteCarlo`] — the owned forward Monte-Carlo oracle
+//!   ([`MonteCarloOracle`]), the paper's reference estimator,
+//! * [`OracleKind::RrSketch`] — a [`SketchOracle`] with a fixed pool per
+//!   item, built once and *refreshed* through the sample-reuse paths when
+//!   the world drifts.
+//!
+//! # Example
+//!
+//! ```
+//! use imdpp_core::{OracleKind, SpreadOracle};
+//! use imdpp_diffusion::scenario::toy_scenario;
+//! use imdpp_graph::{ItemId, UserId};
+//! use imdpp_sketch::dispatch::ConfiguredOracle;
+//!
+//! let scenario = toy_scenario();
+//! let mc = ConfiguredOracle::build(&scenario, OracleKind::MonteCarlo, 8, 7);
+//! let sk = ConfiguredOracle::build(
+//!     &scenario,
+//!     OracleKind::RrSketch { sets_per_item: 512 },
+//!     8,
+//!     7,
+//! );
+//! let nominees = [(UserId(0), ItemId(0))];
+//! assert!(mc.static_spread(&nominees) >= 1.0);
+//! assert!(sk.static_spread(&nominees) >= 1.0);
+//! ```
+
+use crate::{SketchConfig, SketchOracle};
+use imdpp_core::nominees::Nominee;
+use imdpp_core::oracle::{OracleKind, RefreshableOracle, ScenarioUpdate};
+use imdpp_core::{MonteCarloOracle, SpreadOracle};
+use imdpp_diffusion::Scenario;
+
+/// The sketch configuration an [`OracleKind::RrSketch`] knob resolves to: a
+/// fixed pool (adaptive growth disabled so refreshes stay bit-identical to
+/// rebuilds) seeded from the run's base seed.
+pub fn sketch_config_for(base_seed: u64, sets_per_item: usize) -> SketchConfig {
+    SketchConfig::fixed(sets_per_item).with_base_seed(base_seed)
+}
+
+/// A concrete estimator resolved from an [`OracleKind`] knob.
+///
+/// Both variants implement [`SpreadOracle`] and [`RefreshableOracle`], so a
+/// `ConfiguredOracle` can drive nominee selection, the adaptive loop, and
+/// the engine's incremental refresh regardless of which estimator the
+/// configuration picked.
+#[derive(Clone, Debug)]
+pub enum ConfiguredOracle {
+    /// The owned forward Monte-Carlo estimator.
+    MonteCarlo(MonteCarloOracle),
+    /// The RR-sketch estimator with a fixed per-item pool.
+    RrSketch(SketchOracle),
+}
+
+impl ConfiguredOracle {
+    /// Resolves `kind` against `scenario`.
+    ///
+    /// `mc_samples` and `base_seed` come from the run's `DysimConfig`
+    /// (`mc_samples` only matters for the Monte-Carlo variant; `base_seed`
+    /// seeds both estimators so runs stay deterministic).
+    ///
+    /// # Panics
+    /// With [`OracleKind::RrSketch`] on a Linear Threshold scenario: the RR
+    /// sketch encodes the Independent Cascade triggering distribution (see
+    /// [`SketchOracle::build`]).  The `imdpp-engine` builder rejects that
+    /// combination with a typed error before reaching this point.
+    pub fn build(scenario: &Scenario, kind: OracleKind, mc_samples: usize, base_seed: u64) -> Self {
+        match kind {
+            OracleKind::MonteCarlo => {
+                ConfiguredOracle::MonteCarlo(MonteCarloOracle::new(scenario, mc_samples, base_seed))
+            }
+            OracleKind::RrSketch { sets_per_item } => ConfiguredOracle::RrSketch(
+                SketchOracle::build(scenario, sketch_config_for(base_seed, sets_per_item)),
+            ),
+        }
+    }
+
+    /// The knob this oracle was resolved from.
+    pub fn kind(&self) -> OracleKind {
+        match self {
+            ConfiguredOracle::MonteCarlo(_) => OracleKind::MonteCarlo,
+            ConfiguredOracle::RrSketch(s) => OracleKind::RrSketch {
+                sets_per_item: s.config().initial_sets,
+            },
+        }
+    }
+
+    /// The underlying sketch, when the RR-sketch variant was selected.
+    pub fn as_sketch(&self) -> Option<&SketchOracle> {
+        match self {
+            ConfiguredOracle::RrSketch(s) => Some(s),
+            ConfiguredOracle::MonteCarlo(_) => None,
+        }
+    }
+
+    /// The frozen scenario the estimator currently targets.
+    pub fn scenario(&self) -> &Scenario {
+        match self {
+            ConfiguredOracle::MonteCarlo(o) => o.scenario(),
+            ConfiguredOracle::RrSketch(o) => o.scenario(),
+        }
+    }
+}
+
+impl SpreadOracle for ConfiguredOracle {
+    fn static_spread(&self, nominees: &[Nominee]) -> f64 {
+        match self {
+            ConfiguredOracle::MonteCarlo(o) => o.static_spread(nominees),
+            ConfiguredOracle::RrSketch(o) => o.static_spread(nominees),
+        }
+    }
+
+    fn marginal_gain(&self, base: &[Nominee], candidate: Nominee) -> f64 {
+        match self {
+            ConfiguredOracle::MonteCarlo(o) => o.marginal_gain(base, candidate),
+            ConfiguredOracle::RrSketch(o) => o.marginal_gain(base, candidate),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ConfiguredOracle::MonteCarlo(o) => o.name(),
+            ConfiguredOracle::RrSketch(o) => o.name(),
+        }
+    }
+}
+
+impl RefreshableOracle for ConfiguredOracle {
+    fn refresh(&mut self, updated: &Scenario, update: &ScenarioUpdate) -> f64 {
+        match self {
+            ConfiguredOracle::MonteCarlo(o) => o.refresh(updated, update),
+            ConfiguredOracle::RrSketch(o) => o.refresh(updated, update),
+        }
+    }
+
+    fn begin_round(&mut self, round: u32) {
+        match self {
+            ConfiguredOracle::MonteCarlo(o) => o.begin_round(round),
+            ConfiguredOracle::RrSketch(o) => o.begin_round(round),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdpp_diffusion::scenario::toy_scenario;
+    use imdpp_graph::{ItemId, UserId};
+
+    #[test]
+    fn dispatch_resolves_both_kinds() {
+        let s = toy_scenario();
+        let mc = ConfiguredOracle::build(&s, OracleKind::MonteCarlo, 8, 13);
+        assert_eq!(mc.kind(), OracleKind::MonteCarlo);
+        assert_eq!(mc.name(), "monte-carlo");
+        assert!(mc.as_sketch().is_none());
+
+        let sk = ConfiguredOracle::build(&s, OracleKind::RrSketch { sets_per_item: 128 }, 8, 13);
+        assert_eq!(sk.kind(), OracleKind::RrSketch { sets_per_item: 128 });
+        assert_eq!(sk.name(), "rr-sketch");
+        assert!(sk.as_sketch().is_some());
+    }
+
+    #[test]
+    fn dispatch_matches_the_direct_constructions() {
+        let s = toy_scenario();
+        let nominees = [(UserId(0), ItemId(0)), (UserId(2), ItemId(1))];
+
+        let mc = ConfiguredOracle::build(&s, OracleKind::MonteCarlo, 8, 13);
+        let direct_mc = MonteCarloOracle::new(&s, 8, 13);
+        assert_eq!(
+            mc.static_spread(&nominees),
+            direct_mc.static_spread(&nominees)
+        );
+
+        let sk = ConfiguredOracle::build(&s, OracleKind::RrSketch { sets_per_item: 256 }, 8, 13);
+        let direct_sk = SketchOracle::build(&s, sketch_config_for(13, 256));
+        assert_eq!(
+            sk.static_spread(&nominees),
+            direct_sk.static_spread(&nominees)
+        );
+        assert_eq!(
+            sk.marginal_gain(&nominees[..1], nominees[1]),
+            direct_sk.marginal_gain(&nominees[..1], nominees[1])
+        );
+    }
+
+    #[test]
+    fn refresh_dispatches_to_the_inner_oracle() {
+        let s = toy_scenario();
+        let update = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]);
+        let drifted = update.apply(&s);
+
+        let mut mc = ConfiguredOracle::build(&s, OracleKind::MonteCarlo, 8, 13);
+        assert_eq!(mc.refresh(&drifted, &update), 1.0);
+
+        let mut sk =
+            ConfiguredOracle::build(&s, OracleKind::RrSketch { sets_per_item: 128 }, 8, 13);
+        let fraction = sk.refresh(&drifted, &update);
+        assert!((0.0..1.0).contains(&fraction));
+        assert_eq!(sk.scenario().base_preference(UserId(1), ItemId(2)), 0.9);
+    }
+}

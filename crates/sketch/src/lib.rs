@@ -21,9 +21,11 @@
 //! * [`oracle`] — [`SketchOracle`], the `imdpp_core::SpreadOracle`
 //!   implementation callers plug into nominee selection and baselines; it
 //!   also implements `imdpp_core::RefreshableOracle` for the adaptive loop,
-//! * [`pipeline`] — config-driven Dysim entry points: `DysimConfig::oracle`
-//!   selects Monte-Carlo or sketch estimation for the full pipeline and the
-//!   adaptive variant.
+//! * [`dispatch`] — [`ConfiguredOracle`], the one place the
+//!   `DysimConfig::oracle` knob resolves to a concrete estimator (consumed
+//!   by the `imdpp-engine` `Engine`),
+//! * [`pipeline`] — deprecated config-driven entry points, now thin shims
+//!   over [`dispatch`]; use the `imdpp-engine` `Engine` instead.
 //!
 //! See `docs/ARCHITECTURE.md` for when to pick the sketch oracle over
 //! forward Monte-Carlo, and `docs/QUICKSTART.md` for a guided tour.
@@ -66,6 +68,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adaptive;
+pub mod dispatch;
 pub mod greedy;
 pub mod incremental;
 pub mod oracle;
@@ -74,6 +77,7 @@ pub mod sampler;
 pub mod store;
 
 pub use adaptive::{AdaptiveReport, StoppingRule};
+pub use dispatch::ConfiguredOracle;
 pub use greedy::{greedy_max_coverage, GreedySelection};
 pub use incremental::{affected_heads, edge_update_frontier, RefreshStats};
 pub use oracle::SketchOracle;

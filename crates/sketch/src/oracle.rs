@@ -93,6 +93,19 @@ impl SketchOracle {
         self.stores.iter().map(|s| s.len()).sum()
     }
 
+    /// True when `self` and `other` hold bit-identical RR stores (same item
+    /// count, same set count per item, same members in the same order) —
+    /// the equality the refresh-equals-rebuild invariant is stated in.
+    pub fn stores_equal(&self, other: &SketchOracle) -> bool {
+        self.stores.len() == other.stores.len()
+            && self.stores.iter().zip(&other.stores).all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((_, members_a), (_, members_b))| members_a == members_b)
+            })
+    }
+
     /// Estimated adopters of `item` when `users` are seeded with it in the
     /// first promotion (unweighted by importance).
     pub fn estimate_item_adopters(&self, item: ItemId, users: &[UserId]) -> f64 {

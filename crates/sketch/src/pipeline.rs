@@ -1,110 +1,81 @@
-//! Config-driven Dysim entry points: the dispatch layer that lets
-//! [`DysimConfig::oracle`](imdpp_core::DysimConfig) select the estimator
-//! behind nominee selection for the full pipeline (Algorithm 1) and its
-//! adaptive variant (Sec. V-D).
+//! Deprecated config-driven Dysim entry points, kept as thin shims for
+//! downstream code.
 //!
-//! `imdpp-core` owns the drivers but cannot construct the RR sketch without
-//! a dependency cycle, so the [`OracleKind`] knob is honoured *here*:
-//!
-//! * [`OracleKind::MonteCarlo`] — forward Monte-Carlo, the paper's
-//!   reference ([`imdpp_core::Dysim::run_with_report`] /
-//!   [`imdpp_core::MonteCarloOracle`]),
-//! * [`OracleKind::RrSketch`] — a [`SketchOracle`] with a fixed pool per
-//!   item, built once per run and (in the adaptive loop) *refreshed*
-//!   between rounds through the sample-reuse paths instead of rebuilt.
-//!
-//! # Example: one config knob flips the estimator
-//!
-//! ```
-//! use imdpp_core::{CostModel, DysimConfig, ImdppInstance, OracleKind};
-//! use imdpp_diffusion::scenario::toy_scenario;
-//! use imdpp_sketch::pipeline;
-//!
-//! let scenario = toy_scenario();
-//! let costs = CostModel::uniform(scenario.user_count(), scenario.item_count(), 1.0);
-//! let instance = ImdppInstance::new(scenario, costs, 3.0, 2).unwrap();
-//!
-//! let mc = DysimConfig::fast();
-//! let sketched = DysimConfig::fast().with_oracle(OracleKind::RrSketch { sets_per_item: 512 });
-//!
-//! let mc_report = pipeline::run_dysim(&instance, &mc);
-//! let sk_report = pipeline::run_dysim(&instance, &sketched);
-//! assert!(instance.is_feasible(&mc_report.seeds));
-//! assert!(instance.is_feasible(&sk_report.seeds));
-//! ```
+//! The `OracleKind` dispatch these functions used to own moved to
+//! [`crate::dispatch::ConfiguredOracle`], and the public face of
+//! config-driven runs is now the `imdpp-engine` `Engine`
+//! (`Engine::builder(scenario) … .build()` → `solve_report()` /
+//! `adaptive(..)`), which adds snapshot isolation for concurrent readers on
+//! top of the same dispatch.  Both shims keep the exact behaviour they had
+//! when they owned the plumbing.
 
-use crate::{SketchConfig, SketchOracle};
+use crate::dispatch::ConfiguredOracle;
+use crate::SketchConfig;
 use imdpp_core::adaptive::{adaptive_dysim_with_oracle, AdaptiveReport};
 use imdpp_core::dysim::{Dysim, DysimReport};
-use imdpp_core::oracle::{OracleKind, ScenarioUpdate};
-use imdpp_core::{ImdppInstance, MonteCarloOracle};
+use imdpp_core::oracle::ScenarioUpdate;
+use imdpp_core::ImdppInstance;
 
-/// The sketch configuration a [`DysimConfig`](imdpp_core::DysimConfig)
-/// with [`OracleKind::RrSketch`] resolves to: a fixed pool (adaptive growth
-/// disabled so refreshes stay bit-identical to rebuilds) seeded from the
-/// run's `base_seed`.
+/// The sketch configuration a `DysimConfig` with `OracleKind::RrSketch`
+/// resolves to.
+#[deprecated(
+    since = "0.2.0",
+    note = "use imdpp_sketch::dispatch::sketch_config_for"
+)]
 pub fn sketch_config_for(config: &imdpp_core::DysimConfig, sets_per_item: usize) -> SketchConfig {
-    SketchConfig::fixed(sets_per_item).with_base_seed(config.base_seed)
+    crate::dispatch::sketch_config_for(config.base_seed, sets_per_item)
 }
 
 /// Runs the full Dysim pipeline (TMI → DRE → TDSI) with the estimator
 /// selected by `config.oracle`.
 ///
 /// # Panics
-/// With [`OracleKind::RrSketch`] on a Linear Threshold scenario: the RR
-/// sketch encodes the Independent Cascade triggering distribution (see
-/// [`SketchOracle::build`]).
+/// With `OracleKind::RrSketch` on a Linear Threshold scenario (see
+/// [`crate::SketchOracle::build`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use imdpp_engine::Engine (builder → solve_report)"
+)]
 pub fn run_dysim(instance: &ImdppInstance, config: &imdpp_core::DysimConfig) -> DysimReport {
-    match config.oracle {
-        OracleKind::MonteCarlo => Dysim::new(config.clone()).run_with_report(instance),
-        OracleKind::RrSketch { sets_per_item } => {
-            let oracle = SketchOracle::build(
-                instance.scenario(),
-                sketch_config_for(config, sets_per_item),
-            );
-            Dysim::new(config.clone()).run_with_report_and_oracle(instance, &oracle)
-        }
-    }
+    let oracle = ConfiguredOracle::build(
+        instance.scenario(),
+        config.oracle,
+        config.mc_samples,
+        config.base_seed,
+    );
+    Dysim::new(config.clone()).solve_with(instance, &oracle)
 }
 
 /// Runs the adaptive Dysim loop with the estimator selected by
 /// `config.oracle`, applying `drift[i]` between promotions `i + 1` and
 /// `i + 2`.
 ///
-/// With [`OracleKind::RrSketch`] the sketch is built once and *refreshed*
-/// per round — re-sampling only the RR sets each update could have touched
-/// — instead of rebuilt; the per-round resample fractions are reported in
-/// [`AdaptiveReport::refresh_fractions`] (Monte-Carlo reports `1.0`: no
-/// amortized state to reuse).
-///
 /// # Panics
-/// With [`OracleKind::RrSketch`] on a Linear Threshold scenario (see
-/// [`SketchOracle::build`]).
+/// With `OracleKind::RrSketch` on a Linear Threshold scenario (see
+/// [`crate::SketchOracle::build`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use imdpp_engine::Engine (builder → adaptive)"
+)]
 pub fn run_adaptive(
     instance: &ImdppInstance,
     config: &imdpp_core::DysimConfig,
     drift: &[ScenarioUpdate],
 ) -> AdaptiveReport {
-    match config.oracle {
-        OracleKind::MonteCarlo => {
-            let mut oracle =
-                MonteCarloOracle::new(instance.scenario(), config.mc_samples, config.base_seed);
-            adaptive_dysim_with_oracle(instance, config, drift, &mut oracle)
-        }
-        OracleKind::RrSketch { sets_per_item } => {
-            let mut oracle = SketchOracle::build(
-                instance.scenario(),
-                sketch_config_for(config, sets_per_item),
-            );
-            adaptive_dysim_with_oracle(instance, config, drift, &mut oracle)
-        }
-    }
+    let mut oracle = ConfiguredOracle::build(
+        instance.scenario(),
+        config.oracle,
+        config.mc_samples,
+        config.base_seed,
+    );
+    adaptive_dysim_with_oracle(instance, config, drift, &mut oracle)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use imdpp_core::{CostModel, DysimConfig, EdgeUpdate, ItemId, UserId};
+    use imdpp_core::{CostModel, DysimConfig, Evaluator, OracleKind};
     use imdpp_diffusion::scenario::toy_scenario;
 
     fn instance(budget: f64, promotions: u32) -> ImdppInstance {
@@ -114,28 +85,31 @@ mod tests {
     }
 
     #[test]
-    fn sketch_backed_dysim_is_feasible_and_deterministic() {
-        let inst = instance(3.0, 3);
-        let cfg = DysimConfig::fast().with_oracle(OracleKind::RrSketch { sets_per_item: 512 });
-        let a = run_dysim(&inst, &cfg);
-        let b = run_dysim(&inst, &cfg);
-        assert_eq!(a.seeds, b.seeds);
-        assert!(!a.seeds.is_empty());
-        assert!(inst.is_feasible(&a.seeds));
-        assert!(!a.nominees.is_empty());
+    fn deprecated_shims_still_dispatch_both_kinds() {
+        let inst = instance(3.0, 2);
+        let mc = run_dysim(&inst, &DysimConfig::fast());
+        let sk = run_dysim(
+            &inst,
+            &DysimConfig::fast().with_oracle(OracleKind::RrSketch { sets_per_item: 512 }),
+        );
+        assert!(inst.is_feasible(&mc.seeds));
+        assert!(inst.is_feasible(&sk.seeds));
+        assert!(!mc.seeds.is_empty() && !sk.seeds.is_empty());
     }
 
     #[test]
-    fn monte_carlo_dispatch_matches_the_core_driver() {
+    fn monte_carlo_shim_matches_the_core_driver() {
         let inst = instance(3.0, 2);
         let cfg = DysimConfig::fast();
         let dispatched = run_dysim(&inst, &cfg);
-        let direct = Dysim::new(cfg).run_with_report(&inst);
+        let ev = Evaluator::new(&inst, cfg.mc_samples, cfg.base_seed);
+        let direct = Dysim::new(cfg).solve_with(&inst, &ev);
         assert_eq!(dispatched.seeds, direct.seeds);
     }
 
     #[test]
-    fn sketch_backed_adaptive_refreshes_instead_of_rebuilding() {
+    fn adaptive_shim_reports_refresh_fractions() {
+        use imdpp_core::{EdgeUpdate, ItemId, UserId};
         let inst = instance(4.0, 3);
         let cfg = DysimConfig::fast().with_oracle(OracleKind::RrSketch { sets_per_item: 256 });
         let drift = vec![
@@ -155,18 +129,5 @@ mod tests {
                 "sketch refresh must reuse samples, got {f}"
             );
         }
-    }
-
-    #[test]
-    fn adaptive_monte_carlo_reports_full_rebuilds() {
-        let inst = instance(3.0, 2);
-        let cfg = DysimConfig::fast();
-        let drift = vec![ScenarioUpdate::Preferences(vec![(
-            UserId(1),
-            ItemId(1),
-            0.7,
-        )])];
-        let report = run_adaptive(&inst, &cfg, &drift);
-        assert_eq!(report.refresh_fractions, vec![1.0]);
     }
 }

@@ -4,17 +4,14 @@
 //!
 //! The world also *drifts* between promotions — here an influence edge
 //! strengthens after round 1 and a user's preference moves after round 2 —
-//! and the sketch-backed plan refreshes its RR pool incrementally (re-
+//! and the sketch-backed engine refreshes its RR pool incrementally (re-
 //! sampling only what each update could have touched) instead of rebuilding.
 //!
 //! Run with: `cargo run --release --example adaptive_campaign`
 
-use imdpp_suite::core::adaptive::adaptive_dysim;
-use imdpp_suite::core::{
-    Dysim, DysimConfig, EdgeUpdate, Evaluator, ItemId, OracleKind, ScenarioUpdate, UserId,
-};
+use imdpp_suite::core::{EdgeUpdate, Evaluator, ItemId, OracleKind, ScenarioUpdate, UserId};
 use imdpp_suite::datasets::{generate, DatasetKind};
-use imdpp_suite::sketch::pipeline;
+use imdpp_suite::engine::{DysimConfig, Engine};
 
 fn main() {
     let dataset = generate(&DatasetKind::AmazonTiny.config());
@@ -32,10 +29,16 @@ fn main() {
         ..DysimConfig::default()
     };
 
+    // A Monte-Carlo engine for the reference plans.
+    let mc_engine = Engine::for_instance(&instance)
+        .config(config.clone())
+        .build()
+        .expect("valid engine");
+
     // Non-adaptive Dysim plans the whole campaign up front...
-    let planned = Dysim::new(config.clone()).run(&instance);
+    let planned = mc_engine.solve();
     // ...while the adaptive variant decides each promotion's seeds in turn.
-    let adaptive = adaptive_dysim(&instance, &config);
+    let adaptive = mc_engine.adaptive(instance.promotions(), &[]);
 
     println!(
         "\nadaptive plan (static world): {} seeds, spent {:.1}",
@@ -46,7 +49,7 @@ fn main() {
         println!("  promotion {}: {count} new seed(s)", i + 1);
     }
 
-    // The same loop, sketch-backed and under world drift: one config knob
+    // The same loop, sketch-backed and under world drift: one builder knob
     // swaps the nominee-selection estimator for the RR sketch, which is
     // *refreshed* between rounds instead of rebuilt.
     let scenario = instance.scenario();
@@ -70,10 +73,14 @@ fn main() {
         // After promotion 2: user 3 warms to item 0.
         ScenarioUpdate::Preferences(vec![(UserId(3), ItemId(0), 0.9)]),
     ];
-    let sketched_config = config.clone().with_oracle(OracleKind::RrSketch {
-        sets_per_item: 2048,
-    });
-    let sketched = pipeline::run_adaptive(&instance, &sketched_config, &drift);
+    let sketch_engine = Engine::for_instance(&instance)
+        .config(config)
+        .oracle(OracleKind::RrSketch {
+            sets_per_item: 2048,
+        })
+        .build()
+        .expect("valid engine");
+    let sketched = sketch_engine.adaptive(instance.promotions(), &drift);
 
     println!(
         "\nsketch-backed adaptive plan (drifting world): {} seeds, spent {:.1}",
@@ -89,6 +96,8 @@ fn main() {
         );
     }
 
+    // Final reporting uses a denser Monte-Carlo estimate than the cheap
+    // selection sample count the engines run with.
     let evaluator = Evaluator::new(&instance, 100, 17);
     println!("\nexpected importance-aware spread (initial world):");
     println!(

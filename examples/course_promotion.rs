@@ -7,8 +7,9 @@
 //! Run with: `cargo run --release --example course_promotion`
 
 use imdpp_suite::baselines::{Algorithm, BaselineConfig, Hag};
-use imdpp_suite::core::{Dysim, DysimConfig, Evaluator};
+use imdpp_suite::core::{DysimConfig, Evaluator};
 use imdpp_suite::datasets::{generate_class, ClassSpec};
+use imdpp_suite::engine::Engine;
 
 fn main() {
     // Class A of Table III: 33 students, 293 friendship edges, 30 courses.
@@ -25,11 +26,14 @@ fn main() {
         instance.promotions()
     );
 
-    let report = Dysim::new(DysimConfig {
-        mc_samples: 16,
-        ..DysimConfig::default()
-    })
-    .run_with_report(&instance);
+    let report = Engine::for_instance(&instance)
+        .config(DysimConfig {
+            mc_samples: 16,
+            ..DysimConfig::default()
+        })
+        .build()
+        .expect("valid engine")
+        .solve_report();
 
     println!("\nDysim campaign plan ({} seeds):", report.seeds.len());
     let mut by_promotion: Vec<Vec<String>> = vec![Vec::new(); instance.promotions() as usize];

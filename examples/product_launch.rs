@@ -9,8 +9,9 @@
 //! Run with: `cargo run --release --example product_launch`
 
 use imdpp_suite::baselines::{Algorithm, BaselineConfig, Bgrd, PathScore};
-use imdpp_suite::core::{Dysim, DysimConfig, Evaluator};
+use imdpp_suite::core::{DysimConfig, Evaluator};
 use imdpp_suite::datasets::{generate, DatasetKind};
+use imdpp_suite::engine::Engine;
 
 fn main() {
     // A scaled-down Amazon-shaped dataset (heavy-tailed friendships, items
@@ -42,7 +43,11 @@ fn main() {
                 .with_promotions(promotions);
             let evaluator = Evaluator::new(&instance, 100, 7);
 
-            let dysim = Dysim::new(select.clone()).run(&instance);
+            let dysim = Engine::for_instance(&instance)
+                .config(select.clone())
+                .build()
+                .expect("valid engine")
+                .solve();
             let bgrd = Bgrd::new(baseline_cfg).select(&instance);
             let ps = PathScore::new(baseline_cfg).select(&instance);
 

@@ -1,12 +1,12 @@
-//! Quickstart: build a tiny IMDPP instance around the paper's Fig. 1
-//! knowledge graph, run Dysim, and compare its seeds against a naive
-//! baseline.
+//! Quickstart: build a long-lived IMDPP engine around the paper's Fig. 1
+//! knowledge graph, solve a campaign, query the spread, and drift the world
+//! — the session shape every other example builds on.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use imdpp_suite::core::{CostModel, Dysim, DysimConfig, Evaluator, ImdppInstance};
+use imdpp_suite::core::{CostModel, EdgeUpdate, Evaluator, ScenarioUpdate, Seed, SeedGroup};
 use imdpp_suite::diffusion::scenario::toy_scenario;
-use imdpp_suite::diffusion::{Seed, SeedGroup};
+use imdpp_suite::engine::Engine;
 use imdpp_suite::graph::{ItemId, UserId};
 
 fn main() {
@@ -21,14 +21,21 @@ fn main() {
         scenario.relevance().len()
     );
 
-    // 2. An IMDPP instance adds seeding costs, a budget and the number of
-    //    promotions T.
+    // 2. The engine is the session: scenario + costs + budget + promotions T,
+    //    validated once, then queried as often as needed.
     let costs = CostModel::degree_over_preference(&scenario, 0.2);
-    let instance =
-        ImdppInstance::new(scenario, costs, /* budget */ 4.0, /* T */ 3).expect("valid instance");
+    let engine = Engine::builder(scenario)
+        .costs(costs)
+        .budget(4.0)
+        .promotions(3)
+        .seed(42)
+        .build()
+        .expect("valid engine configuration");
 
-    // 3. Run Dysim.
-    let report = Dysim::new(DysimConfig::default()).run_with_report(&instance);
+    // 3. Solve: the full Dysim pipeline (TMI → DRE → TDSI) on the current
+    //    snapshot.
+    let report = engine.solve_report();
+    let snapshot = engine.snapshot();
     println!(
         "\nDysim selected {} seeds (cost {:.2}):",
         report.seeds.len(),
@@ -38,7 +45,7 @@ fn main() {
         println!(
             "  hire {} to promote {} in promotion {}",
             seed.user,
-            instance.scenario().catalog().name(seed.item),
+            snapshot.scenario().catalog().name(seed.item),
             seed.promotion
         );
     }
@@ -48,9 +55,12 @@ fn main() {
         report.nominees.len()
     );
 
-    // 4. Evaluate the importance-aware influence spread σ(S) with Monte Carlo
-    //    and compare against seeding an arbitrary user with an arbitrary item.
-    let evaluator = Evaluator::new(&instance, 200, 42);
+    // 4. Evaluate the importance-aware influence spread σ(S) and compare
+    //    against seeding an arbitrary user with an arbitrary item.
+    //    `engine.spread` reuses the (cheap) selection sample count; final
+    //    reported numbers deserve a denser Monte-Carlo estimate, so pin the
+    //    snapshot and evaluate it with 200 samples.
+    let evaluator = Evaluator::new(snapshot.instance(), 200, 42);
     let dysim_spread = evaluator.spread(&report.seeds);
     let naive = SeedGroup::from_seeds(vec![Seed::new(UserId(5), ItemId(3), 1)]);
     let naive_spread = evaluator.spread(&naive);
@@ -63,5 +73,26 @@ fn main() {
         } else {
             f64::INFINITY
         }
+    );
+
+    // 5. The world drifts: Alice's influence over Bob strengthens.  `apply`
+    //    publishes a new epoch atomically; readers holding the old snapshot
+    //    keep a consistent view.
+    let applied = engine
+        .apply(&ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src: UserId(0),
+            dst: UserId(1),
+            weight: 0.9,
+        }]))
+        .expect("in-range update");
+    println!(
+        "\napplied drift: now at epoch {} (recomputed {:.0}% of estimator state)",
+        applied.epoch,
+        100.0 * applied.refresh_fraction
+    );
+    let drifted = engine.snapshot();
+    println!(
+        "σ(Dysim) after drift = {:.2}",
+        Evaluator::new(drifted.instance(), 200, 42).spread(&report.seeds)
     );
 }

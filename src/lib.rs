@@ -8,11 +8,14 @@
 //! - [`imdpp_baselines`]: OPT, BGRD, HAG, PS, DRHGA and classic IM baselines
 //! - [`imdpp_sketch`]: RR-sketch influence oracle with incremental sample reuse
 //! - [`imdpp_datasets`]: synthetic dataset generators
+//! - [`imdpp_engine`]: the snapshot-isolated session façade (`Engine`) — the
+//!   recommended entry point for applications
 
 pub use imdpp_baselines as baselines;
 pub use imdpp_core as core;
 pub use imdpp_datasets as datasets;
 pub use imdpp_diffusion as diffusion;
+pub use imdpp_engine as engine;
 pub use imdpp_graph as graph;
 pub use imdpp_kg as kg;
 pub use imdpp_sketch as sketch;

@@ -3,8 +3,9 @@
 //! substitutable items, the benefit of multiple promotions for complementary
 //! chains, and the guard solutions of Theorem 5.
 
-use imdpp_suite::core::{CostModel, Dysim, DysimConfig, Evaluator, ImdppInstance, SeedGroup};
+use imdpp_suite::core::{CostModel, DysimConfig, Evaluator, ImdppInstance, SeedGroup};
 use imdpp_suite::diffusion::{DynamicsConfig, Scenario};
+use imdpp_suite::engine::Engine;
 use imdpp_suite::graph::{ItemId, SocialGraph, UserId};
 use imdpp_suite::kg::hin::KnowledgeGraphBuilder;
 use imdpp_suite::kg::{EdgeType, ItemCatalog, MetaGraph, NodeType, RelevanceModel};
@@ -67,6 +68,15 @@ fn fast() -> DysimConfig {
     }
 }
 
+/// Runs the full Dysim pipeline through the engine façade.
+fn solve(instance: &ImdppInstance, config: DysimConfig) -> SeedGroup {
+    Engine::for_instance(instance)
+        .config(config)
+        .build()
+        .expect("valid engine")
+        .solve()
+}
+
 #[test]
 fn antagonistic_extent_separates_substitute_markets() {
     use imdpp_suite::core::market::TargetMarket;
@@ -106,7 +116,7 @@ fn antagonistic_extent_separates_substitute_markets() {
 #[test]
 fn dysim_beats_a_substitute_heavy_manual_plan() {
     let instance = substitutes_and_complements_instance();
-    let dysim = Dysim::new(fast()).run(&instance);
+    let dysim = solve(&instance, fast());
     // A deliberately bad plan: spend the whole budget promoting the two
     // substitutable cameras to the same pair of users in promotion 1.
     let bad = SeedGroup::from_seeds(vec![
@@ -150,12 +160,14 @@ fn complementary_chain_benefits_from_a_second_promotion() {
 #[test]
 fn guard_solutions_never_make_the_result_worse() {
     let instance = substitutes_and_complements_instance();
-    let with_guard = Dysim::new(fast()).run(&instance);
-    let without_guard = Dysim::new(DysimConfig {
-        use_guard_solutions: false,
-        ..fast()
-    })
-    .run(&instance);
+    let with_guard = solve(&instance, fast());
+    let without_guard = solve(
+        &instance,
+        DysimConfig {
+            use_guard_solutions: false,
+            ..fast()
+        },
+    );
     let ev = Evaluator::new(&instance, 96, 13);
     let guarded = ev.spread(&with_guard);
     let unguarded = ev.spread(&without_guard);
@@ -168,12 +180,14 @@ fn guard_solutions_never_make_the_result_worse() {
 #[test]
 fn full_timing_search_matches_windowed_dysim_on_a_small_instance() {
     let instance = substitutes_and_complements_instance();
-    let windowed = Dysim::new(fast()).run(&instance);
-    let full = Dysim::new(DysimConfig {
-        full_timing_search: true,
-        ..fast()
-    })
-    .run(&instance);
+    let windowed = solve(&instance, fast());
+    let full = solve(
+        &instance,
+        DysimConfig {
+            full_timing_search: true,
+            ..fast()
+        },
+    );
     let ev = Evaluator::new(&instance, 96, 29);
     let sigma_windowed = ev.spread(&windowed);
     let sigma_full = ev.spread(&full);

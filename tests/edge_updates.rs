@@ -7,10 +7,11 @@
 use imdpp_suite::core::{DysimConfig, EdgeUpdate, OracleKind, ScenarioUpdate, SpreadOracle};
 use imdpp_suite::datasets::{generate, DatasetKind};
 use imdpp_suite::diffusion::{DynamicsConfig, Scenario};
+use imdpp_suite::engine::Engine;
 use imdpp_suite::graph::{ItemId, SocialGraph, UserId};
 use imdpp_suite::kg::hin::figure1_knowledge_graph;
 use imdpp_suite::kg::{ItemCatalog, MetaGraph, RelevanceModel};
-use imdpp_suite::sketch::{pipeline, SketchConfig, SketchOracle};
+use imdpp_suite::sketch::{SketchConfig, SketchOracle};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -225,7 +226,11 @@ fn sketch_backed_adaptive_pipeline_reuses_samples() {
     }
     .with_oracle(OracleKind::RrSketch { sets_per_item: 512 });
 
-    let report = pipeline::run_adaptive(&instance, &cfg, &drift);
+    let engine = Engine::for_instance(&instance)
+        .config(cfg)
+        .build()
+        .expect("valid engine");
+    let report = engine.adaptive(instance.promotions(), &drift);
     assert!(instance.is_feasible(&report.seeds));
     assert!(!report.seeds.is_empty());
     assert_eq!(report.refresh_fractions.len(), 2);
@@ -252,13 +257,17 @@ fn config_knob_selects_the_estimator_end_to_end() {
         max_nominees: Some(4),
         ..DysimConfig::default()
     };
-    let mc = pipeline::run_dysim(&instance, &base);
-    let sk = pipeline::run_dysim(
-        &instance,
-        &base.clone().with_oracle(OracleKind::RrSketch {
-            sets_per_item: 2048,
-        }),
-    );
+    let solve = |config: DysimConfig| {
+        Engine::for_instance(&instance)
+            .config(config)
+            .build()
+            .expect("valid engine")
+            .solve_report()
+    };
+    let mc = solve(base.clone());
+    let sk = solve(base.with_oracle(OracleKind::RrSketch {
+        sets_per_item: 2048,
+    }));
     assert!(instance.is_feasible(&mc.seeds) && !mc.seeds.is_empty());
     assert!(instance.is_feasible(&sk.seeds) && !sk.seeds.is_empty());
 }

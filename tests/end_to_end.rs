@@ -3,8 +3,9 @@
 //! reports.
 
 use imdpp_suite::baselines::{Algorithm, BaselineConfig, Bgrd, Drhga, Hag, PathScore};
-use imdpp_suite::core::{Dysim, DysimConfig, Evaluator, ImdppInstance};
+use imdpp_suite::core::{DysimConfig, Evaluator, ImdppInstance, SeedGroup};
 use imdpp_suite::datasets::{generate, generate_class, ClassSpec, DatasetKind};
+use imdpp_suite::engine::Engine;
 
 fn tiny_amazon(budget: f64, promotions: u32) -> ImdppInstance {
     generate(&DatasetKind::AmazonTiny.config())
@@ -21,6 +22,15 @@ fn fast_dysim() -> DysimConfig {
     }
 }
 
+/// Runs the full Dysim pipeline through the engine facade.
+fn solve(instance: &ImdppInstance, config: DysimConfig) -> SeedGroup {
+    Engine::for_instance(instance)
+        .config(config)
+        .build()
+        .expect("valid engine")
+        .solve()
+}
+
 fn fast_baseline() -> BaselineConfig {
     BaselineConfig {
         mc_samples: 8,
@@ -33,7 +43,7 @@ fn fast_baseline() -> BaselineConfig {
 fn all_algorithms_return_feasible_seed_groups_on_synthetic_data() {
     let instance = tiny_amazon(100.0, 3);
     let seeds = vec![
-        ("Dysim", Dysim::new(fast_dysim()).run(&instance)),
+        ("Dysim", solve(&instance, fast_dysim())),
         ("BGRD", Bgrd::new(fast_baseline()).select(&instance)),
         ("HAG", Hag::new(fast_baseline()).select(&instance)),
         ("PS", PathScore::new(fast_baseline()).select(&instance)),
@@ -58,7 +68,7 @@ fn all_algorithms_return_feasible_seed_groups_on_synthetic_data() {
 fn dysim_is_competitive_with_every_baseline() {
     let instance = tiny_amazon(100.0, 3);
     let evaluator = Evaluator::new(&instance, 64, 0xBEEF);
-    let dysim = evaluator.spread(&Dysim::new(fast_dysim()).run(&instance));
+    let dysim = evaluator.spread(&solve(&instance, fast_dysim()));
     let baselines = [
         (
             "BGRD",
@@ -95,9 +105,8 @@ fn dysim_is_competitive_with_every_baseline() {
 fn spread_grows_with_budget_for_dysim() {
     let small = tiny_amazon(60.0, 2);
     let large = tiny_amazon(160.0, 2);
-    let dysim = Dysim::new(fast_dysim());
-    let spread_small = Evaluator::new(&small, 48, 1).spread(&dysim.run(&small));
-    let spread_large = Evaluator::new(&large, 48, 1).spread(&dysim.run(&large));
+    let spread_small = Evaluator::new(&small, 48, 1).spread(&solve(&small, fast_dysim()));
+    let spread_large = Evaluator::new(&large, 48, 1).spread(&solve(&large, fast_dysim()));
     // A 5% relative tolerance absorbs Monte-Carlo noise on the saturated
     // tiny instance; a genuine regression with budget would be much larger.
     assert!(
@@ -112,9 +121,8 @@ fn more_promotions_do_not_hurt_dysim_on_the_course_classes() {
     let base = generate_class(&spec);
     let one = base.with_promotions(1);
     let three = base.with_promotions(3);
-    let dysim = Dysim::new(fast_dysim());
-    let s1 = Evaluator::new(&one, 48, 2).spread(&dysim.run(&one));
-    let s3 = Evaluator::new(&three, 48, 2).spread(&dysim.run(&three));
+    let s1 = Evaluator::new(&one, 48, 2).spread(&solve(&one, fast_dysim()));
+    let s3 = Evaluator::new(&three, 48, 2).spread(&solve(&three, fast_dysim()));
     assert!(
         s3 + 1.0 >= s1,
         "three promotions should not collapse the spread: T=1 {s1:.1}, T=3 {s3:.1}"
@@ -125,9 +133,9 @@ fn more_promotions_do_not_hurt_dysim_on_the_course_classes() {
 fn ablations_do_not_beat_full_dysim_by_a_wide_margin() {
     let instance = tiny_amazon(120.0, 4);
     let evaluator = Evaluator::new(&instance, 48, 3);
-    let full = evaluator.spread(&Dysim::new(fast_dysim()).run(&instance));
-    let no_tm = evaluator.spread(&Dysim::new(fast_dysim().without_target_markets()).run(&instance));
-    let no_ip = evaluator.spread(&Dysim::new(fast_dysim().without_item_priority()).run(&instance));
+    let full = evaluator.spread(&solve(&instance, fast_dysim()));
+    let no_tm = evaluator.spread(&solve(&instance, fast_dysim().without_target_markets()));
+    let no_ip = evaluator.spread(&solve(&instance, fast_dysim().without_item_priority()));
     assert!(
         full * 1.3 + 1.0 >= no_tm,
         "w/o TM ({no_tm:.1}) >> full ({full:.1})"
@@ -144,7 +152,7 @@ fn every_table_two_dataset_supports_an_end_to_end_run() {
         // Aggressively scaled down so the whole loop stays fast.
         let dataset = generate(&kind.config().scaled(0.05));
         let instance = dataset.instance.with_budget(80.0).with_promotions(2);
-        let seeds = Dysim::new(fast_dysim()).run(&instance);
+        let seeds = solve(&instance, fast_dysim());
         assert!(instance.is_feasible(&seeds), "{}", kind.name());
         let spread = Evaluator::new(&instance, 16, 4).spread(&seeds);
         assert!(spread >= 0.0);

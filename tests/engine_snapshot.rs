@@ -1,0 +1,256 @@
+//! Snapshot-isolation property test of the `imdpp-engine` façade: N reader
+//! threads query `spread` while a single writer applies randomized
+//! preference / edge update batches.  Every reader observation must be the
+//! value of *some published epoch* — never a torn intermediate mixing the
+//! pre-update scenario with the post-update estimator (or vice versa) — and
+//! after the run the incrementally refreshed sketch must be bit-identical
+//! to one rebuilt from scratch against the final world *through the
+//! façade*.
+
+use imdpp_suite::core::{
+    DysimConfig, EdgeUpdate, Evaluator, ImdppInstance, ItemId, OracleKind, ScenarioUpdate, Seed,
+    SeedGroup, UserId,
+};
+use imdpp_suite::datasets::{generate, DatasetKind};
+use imdpp_suite::engine::Engine;
+use imdpp_suite::sketch::{SketchConfig, SketchOracle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const READERS: usize = 4;
+const UPDATE_BATCHES: usize = 12;
+const SETS_PER_ITEM: usize = 256;
+
+fn config() -> DysimConfig {
+    DysimConfig {
+        mc_samples: 6,
+        candidate_users: Some(8),
+        max_nominees: Some(3),
+        ..DysimConfig::default()
+    }
+    .with_oracle(OracleKind::RrSketch {
+        sets_per_item: SETS_PER_ITEM,
+    })
+}
+
+fn instance() -> ImdppInstance {
+    generate(&DatasetKind::AmazonTiny.config())
+        .instance
+        .with_budget(60.0)
+        .with_promotions(2)
+}
+
+/// A deterministic stream of randomized update batches: alternating
+/// preference moves and edge reweights/inserts/removals around random
+/// in-range users, occasionally empty (epoch bump without refresh).
+fn randomized_batches(instance: &ImdppInstance, seed: u64) -> Vec<ScenarioUpdate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = instance.scenario().user_count() as u32;
+    let items = instance.scenario().item_count() as u32;
+    (0..UPDATE_BATCHES)
+        .map(|i| {
+            if (i + 1).is_multiple_of(5) {
+                return ScenarioUpdate::Edges(Vec::new());
+            }
+            if i.is_multiple_of(2) {
+                let changes = (0..rng.gen_range(1..4usize))
+                    .map(|_| {
+                        (
+                            UserId(rng.gen_range(0..users)),
+                            ItemId(rng.gen_range(0..items)),
+                            rng.gen_range(0.05f64..0.95f64),
+                        )
+                    })
+                    .collect();
+                ScenarioUpdate::Preferences(changes)
+            } else {
+                let updates = (0..rng.gen_range(1..3usize))
+                    .map(|_| {
+                        let src = UserId(rng.gen_range(0..users));
+                        let mut dst = UserId(rng.gen_range(0..users));
+                        if dst == src {
+                            dst = UserId((dst.0 + 1) % users);
+                        }
+                        match rng.gen_range(0..3u32) {
+                            0 => EdgeUpdate::Insert {
+                                src,
+                                dst,
+                                weight: rng.gen_range(0.05f64..0.9f64),
+                            },
+                            1 => EdgeUpdate::Remove { src, dst },
+                            _ => EdgeUpdate::Reweight {
+                                src,
+                                dst,
+                                weight: rng.gen_range(0.05f64..0.9f64),
+                            },
+                        }
+                    })
+                    .collect();
+                ScenarioUpdate::Edges(updates)
+            }
+        })
+        .collect()
+}
+
+/// The value `Engine::spread` must return at each epoch, computed
+/// independently of the engine by replaying the update stream on the bare
+/// instance (`Engine::spread` is a deterministic function of the snapshot's
+/// scenario for a fixed configuration).
+fn expected_per_epoch(
+    instance: &ImdppInstance,
+    batches: &[ScenarioUpdate],
+    cfg: &DysimConfig,
+    seeds: &SeedGroup,
+) -> Vec<f64> {
+    let mut current = instance.clone();
+    let mut expected = vec![Evaluator::new(&current, cfg.mc_samples, cfg.base_seed).spread(seeds)];
+    for update in batches {
+        if !update.is_empty() {
+            current = current
+                .with_scenario(update.apply(current.scenario()))
+                .expect("updates preserve dimensions");
+        }
+        expected.push(Evaluator::new(&current, cfg.mc_samples, cfg.base_seed).spread(seeds));
+    }
+    expected
+}
+
+#[test]
+fn readers_observe_only_published_epochs_under_concurrent_updates() {
+    let instance = instance();
+    let cfg = config();
+    let batches = randomized_batches(&instance, 0x5EED5);
+    // A fixed probe group (no need for it to be optimal — only deterministic).
+    let probe: SeedGroup = (0..4)
+        .map(|u| {
+            Seed::new(
+                UserId(u),
+                ItemId(u % instance.scenario().item_count() as u32),
+                1,
+            )
+        })
+        .collect();
+    let expected = expected_per_epoch(&instance, &batches, &cfg, &probe);
+
+    let engine = Arc::new(
+        Engine::for_instance(&instance)
+            .config(cfg.clone())
+            .build()
+            .expect("valid engine"),
+    );
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let done = Arc::clone(&done);
+            let probe = probe.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut observations = 0u64;
+                let mut epochs_seen = std::collections::HashSet::new();
+                while !done.load(Ordering::Relaxed) {
+                    // Pin one snapshot: its epoch and its spread value must
+                    // belong together.
+                    let snapshot = engine.snapshot();
+                    let epoch = snapshot.epoch() as usize;
+                    let value = snapshot.spread(&probe);
+                    assert!(
+                        epoch < expected.len(),
+                        "reader observed unpublished epoch {epoch}"
+                    );
+                    assert!(
+                        (value - expected[epoch]).abs() < 1e-9,
+                        "torn read at epoch {epoch}: observed σ = {value}, \
+                         the epoch's consistent value is {}",
+                        expected[epoch]
+                    );
+                    // The engine-level convenience must agree with *some*
+                    // published epoch too (it may race one epoch ahead of
+                    // the pinned snapshot, never to an unpublished state).
+                    let direct = engine.spread(&probe);
+                    assert!(
+                        expected.iter().any(|e| (direct - e).abs() < 1e-9),
+                        "engine.spread returned {direct}, matching no published epoch"
+                    );
+                    epochs_seen.insert(epoch);
+                    observations += 1;
+                }
+                (observations, epochs_seen)
+            })
+        })
+        .collect();
+
+    // The writer: land every batch, yielding so readers interleave.
+    let mut applied_epochs = Vec::new();
+    for update in &batches {
+        let report = engine.apply(update).expect("in-range updates");
+        applied_epochs.push(report.epoch);
+        if update.is_empty() {
+            assert_eq!(report.refresh_fraction, 0.0);
+        } else {
+            assert!(
+                report.refresh_fraction < 1.0,
+                "sketch refresh must reuse samples"
+            );
+        }
+        std::thread::yield_now();
+    }
+    done.store(true, Ordering::Relaxed);
+
+    let mut total_observations = 0;
+    let mut all_epochs = std::collections::HashSet::new();
+    for handle in readers {
+        let (observations, epochs_seen) = handle.join().expect("reader panicked");
+        total_observations += observations;
+        all_epochs.extend(epochs_seen);
+    }
+    assert!(total_observations > 0, "readers never ran");
+    assert_eq!(
+        applied_epochs,
+        (1..=UPDATE_BATCHES as u64).collect::<Vec<_>>(),
+        "writer must advance the epoch by exactly one per batch"
+    );
+    assert_eq!(engine.epoch(), UPDATE_BATCHES as u64);
+
+    // Through the façade, the incrementally refreshed sketch equals one
+    // rebuilt from scratch against the final drifted world.
+    let snapshot = engine.snapshot();
+    let refreshed = snapshot
+        .oracle()
+        .as_sketch()
+        .expect("engine was built sketch-backed");
+    let rebuilt = SketchOracle::build(
+        snapshot.scenario(),
+        SketchConfig::fixed(SETS_PER_ITEM).with_base_seed(cfg.base_seed),
+    );
+    assert!(
+        refreshed.stores_equal(&rebuilt),
+        "refresh drifted from rebuild after {UPDATE_BATCHES} concurrent update batches"
+    );
+}
+
+#[test]
+fn pinned_snapshots_survive_later_updates() {
+    let instance = instance();
+    let cfg = config();
+    let probe: SeedGroup = SeedGroup::from_seeds(vec![Seed::new(UserId(0), ItemId(0), 1)]);
+    let engine = Engine::for_instance(&instance)
+        .config(cfg.clone())
+        .build()
+        .expect("valid engine");
+
+    let pinned = engine.snapshot();
+    let before = pinned.spread(&probe);
+
+    for update in randomized_batches(&instance, 0xA11CE).iter().take(4) {
+        engine.apply(update).expect("in-range updates");
+    }
+
+    // The pinned epoch still answers exactly as before the drift.
+    assert_eq!(pinned.epoch(), 0);
+    assert_eq!(pinned.spread(&probe), before);
+    assert_eq!(engine.epoch(), 4);
+}
