@@ -127,6 +127,7 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
     ];
     let sketched_config = config.clone().with_oracle(OracleKind::RrSketch {
         sets_per_item: SETS_PER_ITEM,
+        shards: 1,
     });
     let engine = Engine::for_instance(&instance)
         .config(sketched_config.clone())
@@ -224,6 +225,55 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
     assert!(
         refreshed.stores_equal(&rebuilt),
         "refresh must equal rebuild at bench scale"
+    );
+
+    // --- Sharded refresh: identical result, no slower than the flat store. -
+    const REFRESH_SHARDS: usize = 4;
+    summary.record("refresh_shard_count", REFRESH_SHARDS as f64);
+    let sharded = SketchOracle::build(
+        scenario,
+        SketchConfig::fixed(SETS_PER_ITEM)
+            .with_base_seed(config.base_seed)
+            .with_shards(REFRESH_SHARDS),
+    );
+    let best_of = |oracle: &SketchOracle| -> (f64, SketchOracle) {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..7 {
+            let mut o = oracle.clone();
+            let t = Instant::now();
+            let stats = o.apply_edge_update(&drifted, &updates);
+            best = best.min(t.elapsed().as_secs_f64());
+            assert_eq!(stats.full_rebuilds, 0, "refresh must patch, not rebuild");
+            result = Some(o);
+        }
+        (best, result.expect("at least one iteration ran"))
+    };
+    let (flat_refresh, flat_refreshed) = best_of(&sketch);
+    let (sharded_refresh, sharded_refreshed) = best_of(&sharded);
+    assert!(
+        sharded_refreshed.stores_equal(&flat_refreshed),
+        "sharded refresh must land on the flat result"
+    );
+    summary.record("flat_refresh_best_seconds", flat_refresh);
+    summary.record("sharded_refresh_best_seconds", sharded_refresh);
+    let ratio = sharded_refresh / flat_refresh.max(1e-9);
+    summary.record("sharded_over_flat_refresh_ratio", ratio);
+    println!(
+        "localized edge refresh on the yelp preset: flat {:.3}ms vs {}-shard {:.3}ms \
+         ({ratio:.2}x)",
+        1e3 * flat_refresh,
+        REFRESH_SHARDS,
+        1e3 * sharded_refresh,
+    );
+    // The gate: sharding is a layout change, so the same frontier must not
+    // get meaningfully slower (1.5x headroom absorbs CI timer noise on
+    // sub-millisecond work).
+    assert!(
+        ratio < 1.5,
+        "sharded refresh regressed vs flat: {:.3}ms vs {:.3}ms",
+        1e3 * sharded_refresh,
+        1e3 * flat_refresh
     );
 
     match summary.write() {

@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 const SETS_PER_ITEM: usize = 1024;
 const MEASURE_WINDOW: Duration = Duration::from_millis(400);
 
-fn build_engine() -> Engine {
+fn build_engine(shards: usize) -> Engine {
     let instance = yelp_instance(0.25, 120.0, 3);
     Engine::for_instance(&instance)
         .config(DysimConfig {
@@ -45,6 +45,7 @@ fn build_engine() -> Engine {
         })
         .oracle(OracleKind::RrSketch {
             sets_per_item: SETS_PER_ITEM,
+            shards,
         })
         .build()
         .expect("yelp instance is valid")
@@ -123,7 +124,8 @@ fn run_readers_under_writes(
 
 fn bench_engine_concurrency(c: &mut Criterion) {
     let mut summary = BenchSummary::new("engine_concurrency");
-    let engine = Arc::new(build_engine());
+    summary.record("engine_shard_count", 1.0);
+    let engine = Arc::new(build_engine(1));
     let seeds = engine.solve();
     assert!(!seeds.is_empty());
     let nominees: Vec<Nominee> = seeds.seeds().iter().map(|s| (s.user, s.item)).collect();
@@ -153,6 +155,29 @@ fn bench_engine_concurrency(c: &mut Criterion) {
         "snapshot isolation must let reader throughput scale with threads \
          while updates land; got {scaling:.2}x"
     );
+
+    // --- Sharded engine: same workload over the partitioned store. --------
+    const ENGINE_SHARDS: usize = 4;
+    summary.record("sharded_engine_shard_count", ENGINE_SHARDS as f64);
+    let sharded_engine = Arc::new(build_engine(ENGINE_SHARDS));
+    assert_eq!(
+        sharded_engine.solve(),
+        seeds,
+        "shard count must not change the engine's solution"
+    );
+    for readers in [1usize, 4] {
+        let (queries, updates) = run_readers_under_writes(&sharded_engine, &nominees, readers);
+        let qps = queries as f64 / MEASURE_WINDOW.as_secs_f64();
+        println!(
+            "{ENGINE_SHARDS}-shard engine, {readers} reader(s) while writing: \
+             {queries} spread queries ({qps:.0}/s) alongside {updates} applied updates"
+        );
+        summary.record(format!("sharded_readers_{readers}_queries_per_second"), qps);
+        summary.record(
+            format!("sharded_readers_{readers}_writer_updates"),
+            updates as f64,
+        );
+    }
 
     // Criterion timing of the single-query and apply paths for the record.
     let mut group = c.benchmark_group("engine");

@@ -104,7 +104,7 @@ pub fn adaptive_dysim_with_oracle<O: RefreshableOracle>(
                     refresh_fractions.push(0.0);
                 } else {
                     let updated = update.apply(current.scenario());
-                    refresh_fractions.push(oracle.refresh(&updated, update));
+                    refresh_fractions.push(oracle.refresh(&updated, update).resampled_fraction());
                     current = current
                         .with_scenario(updated)
                         .expect("scenario updates preserve instance dimensions");

@@ -212,9 +212,15 @@ impl SpreadOracle for MonteCarloOracle {
 }
 
 impl crate::oracle::RefreshableOracle for MonteCarloOracle {
-    fn refresh(&mut self, updated: &Scenario, _update: &crate::oracle::ScenarioUpdate) -> f64 {
+    fn refresh(
+        &mut self,
+        updated: &Scenario,
+        _update: &crate::oracle::ScenarioUpdate,
+    ) -> crate::oracle::RefreshStats {
         self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
-        1.0
+        // Forward Monte-Carlo keeps no amortized state: swapping the
+        // scenario recomputes everything from the next query on.
+        crate::oracle::RefreshStats::full_rebuild()
     }
 
     fn begin_round(&mut self, round: u32) {
@@ -310,7 +316,7 @@ mod tests {
             .with_base_preference(UserId(1), ItemId(0), 0.95);
         let update = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(0), 0.95)]);
         let mut mc2 = mc.clone();
-        assert_eq!(mc2.refresh(&drifted, &update), 1.0);
+        assert_eq!(mc2.refresh(&drifted, &update).resampled_fraction(), 1.0);
         let fresh = MonteCarloOracle::new(&drifted, 16, 4);
         assert_eq!(mc2.static_spread(&nominees), fresh.static_spread(&nominees));
     }

@@ -59,7 +59,7 @@ pub use dysim::{Dysim, DysimConfig};
 pub use eval::{Evaluator, MonteCarloOracle};
 pub use market::TargetMarket;
 pub use nominees::Nominee;
-pub use oracle::{OracleKind, RefreshableOracle, ScenarioUpdate, SpreadOracle};
+pub use oracle::{OracleKind, RefreshStats, RefreshableOracle, ScenarioUpdate, SpreadOracle};
 pub use ordering::MarketOrdering;
 pub use problem::{CostModel, ImdppInstance};
 

@@ -104,7 +104,78 @@ pub enum OracleKind {
     RrSketch {
         /// RR sets sampled per catalogue item.
         sets_per_item: usize,
+        /// Shards each item's RR store is partitioned across (`1` = the
+        /// flat store; `0` is treated as `1`).  Sharding changes memory
+        /// layout and maintenance locality only — estimates and greedy
+        /// selections are shard-count-independent.
+        shards: usize,
     },
+}
+
+/// Statistics of one [`RefreshableOracle::refresh`] — how much amortized
+/// state the update forced the estimator to recompute.
+///
+/// Sketch-backed estimators fill the set counters and the inverted-index
+/// maintenance counters; estimators without amortized state (forward
+/// Monte-Carlo) report [`RefreshStats::full_rebuild`].  The engine surfaces
+/// the value on every `ApplyReport` so tests can pin the maintenance regime
+/// (e.g. `full_rebuilds == 0` on localized updates) instead of only benches
+/// noticing regressions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Total RR sets across the refreshed stores (0 for non-sketch
+    /// estimators).
+    pub total_sets: usize,
+    /// Sets that were invalidated and re-sampled.
+    pub resampled_sets: usize,
+    /// Stores (items) refreshed.
+    pub stores: usize,
+    /// Inverted-index entries tombstoned or appended while patching the
+    /// re-sampled sets in.
+    pub index_entries_patched: u64,
+    /// Full counting-pass index rebuilds the refresh performed — the
+    /// quantity incremental maintenance exists to keep at zero.
+    pub full_rebuilds: u64,
+}
+
+impl RefreshStats {
+    /// What an estimator with no amortized state reports: everything
+    /// recomputed ([`RefreshStats::resampled_fraction`] = 1.0).
+    pub fn full_rebuild() -> Self {
+        RefreshStats {
+            full_rebuilds: 1,
+            ..RefreshStats::default()
+        }
+    }
+
+    /// Fraction of amortized state recomputed: the resampled set fraction
+    /// for sketches, `1.0` for full-rebuild estimators, `0.0` for an empty
+    /// refresh.
+    pub fn resampled_fraction(&self) -> f64 {
+        if self.total_sets == 0 {
+            if self.full_rebuilds > 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.resampled_sets as f64 / self.total_sets as f64
+        }
+    }
+
+    /// Fraction of sets whose samples were reused.
+    pub fn reused_fraction(&self) -> f64 {
+        1.0 - self.resampled_fraction()
+    }
+
+    /// Accumulates another store's refresh into this one.
+    pub fn absorb(&mut self, other: RefreshStats) {
+        self.total_sets += other.total_sets;
+        self.resampled_sets += other.resampled_sets;
+        self.stores += other.stores;
+        self.index_entries_patched += other.index_entries_patched;
+        self.full_rebuilds += other.full_rebuilds;
+    }
 }
 
 /// A description of what changed in the world between two adaptive
@@ -152,10 +223,10 @@ impl ScenarioUpdate {
 pub trait RefreshableOracle: SpreadOracle {
     /// Migrates the oracle to `updated`, which must equal
     /// `update.apply(previous_scenario)` for the scenario the oracle
-    /// currently estimates against.  Returns the fraction of internal state
-    /// that had to be recomputed: `0.0` = everything reused, `1.0` = a full
-    /// rebuild.
-    fn refresh(&mut self, updated: &Scenario, update: &ScenarioUpdate) -> f64;
+    /// currently estimates against.  Returns what the migration cost: see
+    /// [`RefreshStats`] ([`RefreshStats::resampled_fraction`] is `0.0` when
+    /// everything was reused, `1.0` for a full rebuild).
+    fn refresh(&mut self, updated: &Scenario, update: &ScenarioUpdate) -> RefreshStats;
 
     /// Called at the start of each promotion round `t` (1-based) of the
     /// adaptive loop.  Per-query estimators use it to rotate their sampling
@@ -196,6 +267,34 @@ mod tests {
     #[test]
     fn default_oracle_kind_is_monte_carlo() {
         assert_eq!(OracleKind::default(), OracleKind::MonteCarlo);
+    }
+
+    #[test]
+    fn refresh_stats_fractions_and_absorb() {
+        let full = RefreshStats::full_rebuild();
+        assert_eq!(full.resampled_fraction(), 1.0);
+        assert_eq!(RefreshStats::default().resampled_fraction(), 0.0);
+
+        let mut a = RefreshStats {
+            total_sets: 10,
+            resampled_sets: 2,
+            stores: 1,
+            index_entries_patched: 7,
+            full_rebuilds: 0,
+        };
+        a.absorb(RefreshStats {
+            total_sets: 30,
+            resampled_sets: 3,
+            stores: 1,
+            index_entries_patched: 5,
+            full_rebuilds: 0,
+        });
+        assert_eq!(a.total_sets, 40);
+        assert_eq!(a.resampled_sets, 5);
+        assert_eq!(a.stores, 2);
+        assert_eq!(a.index_entries_patched, 12);
+        assert!((a.resampled_fraction() - 0.125).abs() < 1e-12);
+        assert!((a.reused_fraction() - 0.875).abs() < 1e-12);
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //! let engine = Engine::builder(toy_scenario())
 //!     .budget(3.0)
 //!     .promotions(2)
-//!     .oracle(OracleKind::RrSketch { sets_per_item: 512 })
+//!     .oracle(OracleKind::RrSketch { sets_per_item: 512, shards: 2 })
 //!     .seed(7)
 //!     .build()
 //!     .unwrap();
@@ -57,6 +57,7 @@
 //! let applied = engine.apply(&update).unwrap();
 //! assert_eq!(applied.epoch, 1);
 //! assert!(applied.refresh_fraction < 1.0); // sample reuse, not a rebuild
+//! assert_eq!(applied.refresh.full_rebuilds, 0); // index patched, not rebuilt
 //! ```
 
 #![warn(missing_docs)]
@@ -74,7 +75,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 pub use imdpp_core::adaptive::AdaptiveReport;
 pub use imdpp_core::dysim::{DysimConfig, DysimReport};
-pub use imdpp_core::oracle::{OracleKind, ScenarioUpdate};
+pub use imdpp_core::oracle::{OracleKind, RefreshStats, ScenarioUpdate};
 pub use imdpp_diffusion::ImdppError;
 pub use imdpp_sketch::dispatch::ConfiguredOracle;
 
@@ -154,6 +155,11 @@ pub struct ApplyReport {
     /// (`0.0` = everything reused, `1.0` = a full rebuild; sketch-backed
     /// engines report their RR-set resample fraction).
     pub refresh_fraction: f64,
+    /// The full refresh instrumentation: resampled-set counters plus the
+    /// inverted-index maintenance work (`index_entries_patched`,
+    /// `full_rebuilds`).  Tests assert `full_rebuilds == 0` here so a
+    /// regression to full-rebuild behaviour fails tests, not just benches.
+    pub refresh: RefreshStats,
 }
 
 /// A long-lived, snapshot-isolated IMDPP session.
@@ -281,13 +287,14 @@ impl Engine {
             ApplyReport {
                 epoch,
                 refresh_fraction: 0.0,
+                refresh: RefreshStats::default(),
             }
         } else {
             let updated = update.apply(snap.scenario());
             let mut oracle = snap.oracle.clone();
             // Refresh borrows `updated` before it moves into the instance,
             // so the writer path copies the scenario exactly once.
-            let refresh_fraction = oracle.refresh(&updated, update);
+            let refresh = oracle.refresh(&updated, update);
             let instance = snap.instance.with_scenario(updated)?;
             let next = Arc::new(EngineSnapshot {
                 epoch,
@@ -298,7 +305,8 @@ impl Engine {
             *self.current.write().expect("snapshot lock poisoned") = next;
             ApplyReport {
                 epoch,
-                refresh_fraction,
+                refresh_fraction: refresh.resampled_fraction(),
+                refresh,
             }
         };
         Ok(report)
@@ -524,7 +532,10 @@ mod tests {
         let lt = toy_scenario().with_model(DiffusionModel::LinearThreshold);
         let err = Engine::builder(lt)
             .budget(2.0)
-            .oracle(OracleKind::RrSketch { sets_per_item: 64 })
+            .oracle(OracleKind::RrSketch {
+                sets_per_item: 64,
+                shards: 1,
+            })
             .build()
             .unwrap_err();
         assert!(matches!(err, ImdppError::InvalidConfig { .. }));
@@ -546,8 +557,14 @@ mod tests {
 
     #[test]
     fn sketch_engine_solves_deterministically() {
-        let a = engine(OracleKind::RrSketch { sets_per_item: 512 });
-        let b = engine(OracleKind::RrSketch { sets_per_item: 512 });
+        let a = engine(OracleKind::RrSketch {
+            sets_per_item: 512,
+            shards: 1,
+        });
+        let b = engine(OracleKind::RrSketch {
+            sets_per_item: 512,
+            shards: 1,
+        });
         let seeds = a.solve();
         assert_eq!(seeds, b.solve());
         assert!(!seeds.is_empty());
@@ -556,8 +573,34 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_does_not_change_the_solution() {
+        let flat = engine(OracleKind::RrSketch {
+            sets_per_item: 512,
+            shards: 1,
+        });
+        let flat_report = flat.solve_report();
+        let nominees = [(UserId(0), ItemId(0)), (UserId(2), ItemId(1))];
+        for shards in [2usize, 4, 7] {
+            let sharded = engine(OracleKind::RrSketch {
+                sets_per_item: 512,
+                shards,
+            });
+            let report = sharded.solve_report();
+            assert_eq!(report.seeds, flat_report.seeds, "{shards} shards");
+            assert_eq!(report.nominees, flat_report.nominees);
+            assert_eq!(
+                sharded.static_spread(&nominees),
+                flat.static_spread(&nominees)
+            );
+        }
+    }
+
+    #[test]
     fn apply_advances_the_epoch_and_refreshes_incrementally() {
-        let engine = engine(OracleKind::RrSketch { sets_per_item: 256 });
+        let engine = engine(OracleKind::RrSketch {
+            sets_per_item: 256,
+            shards: 1,
+        });
         let update = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
             src: UserId(0),
             dst: UserId(1),
@@ -567,6 +610,19 @@ mod tests {
         let applied = engine.apply(&update).unwrap();
         assert_eq!(applied.epoch, 1);
         assert!(applied.refresh_fraction > 0.0 && applied.refresh_fraction < 1.0);
+        // The refresh instrumentation: some sets re-sampled (index patched
+        // accordingly), zero full index rebuilds.
+        assert!(applied.refresh.resampled_sets > 0);
+        assert!(applied.refresh.index_entries_patched > 0);
+        assert_eq!(applied.refresh.full_rebuilds, 0);
+        assert_eq!(
+            applied.refresh.total_sets,
+            256 * before.scenario().item_count()
+        );
+        assert_eq!(
+            applied.refresh.resampled_fraction(),
+            applied.refresh_fraction
+        );
         assert_eq!(engine.epoch(), 1);
 
         // The pinned pre-update snapshot still answers against epoch 0.
@@ -586,7 +642,13 @@ mod tests {
 
     #[test]
     fn refreshed_snapshot_is_bit_identical_to_a_rebuild() {
-        let engine = engine(OracleKind::RrSketch { sets_per_item: 256 });
+        // Sharded on purpose: the refresh-equals-rebuild invariant (and the
+        // zero-rebuild index maintenance) must hold through the façade for
+        // any shard count.
+        let engine = engine(OracleKind::RrSketch {
+            sets_per_item: 256,
+            shards: 3,
+        });
         let updates = vec![
             ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]),
             ScenarioUpdate::Edges(vec![EdgeUpdate::Insert {
@@ -596,7 +658,8 @@ mod tests {
             }]),
         ];
         for u in &updates {
-            engine.apply(u).unwrap();
+            let applied = engine.apply(u).unwrap();
+            assert_eq!(applied.refresh.full_rebuilds, 0);
         }
         let snap = engine.snapshot();
         let sketch = snap.oracle().as_sketch().unwrap();
@@ -604,7 +667,15 @@ mod tests {
             snap.scenario(),
             SketchConfig::fixed(256).with_base_seed(snap.config().base_seed),
         );
+        // `stores_equal` compares global id order, so the flat rebuild is a
+        // valid reference for the sharded refreshed sketch.
         assert!(sketch.stores_equal(&rebuilt));
+        // Every full index build happened at construction: one per shard
+        // per item, none during the applies.
+        assert_eq!(
+            sketch.index_stats().full_rebuilds,
+            (3 * snap.scenario().item_count()) as u64
+        );
     }
 
     #[test]
@@ -613,6 +684,7 @@ mod tests {
         let applied = engine.apply(&ScenarioUpdate::Edges(Vec::new())).unwrap();
         assert_eq!(applied.epoch, 1);
         assert_eq!(applied.refresh_fraction, 0.0);
+        assert_eq!(applied.refresh, RefreshStats::default());
     }
 
     #[test]
@@ -653,7 +725,10 @@ mod tests {
         ];
         for oracle in [
             OracleKind::MonteCarlo,
-            OracleKind::RrSketch { sets_per_item: 256 },
+            OracleKind::RrSketch {
+                sets_per_item: 256,
+                shards: 1,
+            },
         ] {
             let engine = Engine::builder(toy_scenario())
                 .budget(4.0)
@@ -690,7 +765,10 @@ mod tests {
 
     #[test]
     fn static_spread_uses_the_configured_oracle() {
-        let engine = engine(OracleKind::RrSketch { sets_per_item: 512 });
+        let engine = engine(OracleKind::RrSketch {
+            sets_per_item: 512,
+            shards: 1,
+        });
         let direct = SketchOracle::build(
             engine.snapshot().scenario(),
             SketchConfig::fixed(512).with_base_seed(engine.config().base_seed),

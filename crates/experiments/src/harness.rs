@@ -37,22 +37,31 @@ impl Default for HarnessConfig {
 }
 
 /// Parses the `IMDPP_ORACLE` syntax: `monte-carlo` / `mc`,
-/// `rr-sketch` / `sketch` (2048 RR sets per item), or `rr-sketch:<sets>`.
+/// `rr-sketch` / `sketch` (2048 RR sets per item, 1 shard),
+/// `rr-sketch:<sets>`, or `rr-sketch:<sets>:<shards>`.
 pub fn parse_oracle(value: &str) -> Option<OracleKind> {
     let v = value.trim().to_ascii_lowercase();
     match v.as_str() {
         "monte-carlo" | "montecarlo" | "mc" => Some(OracleKind::MonteCarlo),
         "rr-sketch" | "rrsketch" | "sketch" => Some(OracleKind::RrSketch {
             sets_per_item: 2048,
+            shards: 1,
         }),
         _ => {
-            let sets = v
+            let rest = v
                 .strip_prefix("rr-sketch:")
                 .or_else(|| v.strip_prefix("sketch:"))?;
+            let (sets, shards) = match rest.split_once(':') {
+                Some((sets, shards)) => (sets, shards.parse::<usize>().ok().filter(|&s| s > 0)?),
+                None => (rest, 1),
+            };
             sets.parse::<usize>()
                 .ok()
                 .filter(|&n| n > 0)
-                .map(|sets_per_item| OracleKind::RrSketch { sets_per_item })
+                .map(|sets_per_item| OracleKind::RrSketch {
+                    sets_per_item,
+                    shards,
+                })
         }
     }
 }
@@ -88,8 +97,8 @@ impl HarnessConfig {
             match parse_oracle(&v) {
                 Some(oracle) => cfg.oracle = oracle,
                 None => eprintln!(
-                    "IMDPP_ORACLE = {v:?} not understood \
-                     (expected monte-carlo | rr-sketch | rr-sketch:<sets>); keeping the default"
+                    "IMDPP_ORACLE = {v:?} not understood (expected monte-carlo | rr-sketch | \
+                     rr-sketch:<sets> | rr-sketch:<sets>:<shards>); keeping the default"
                 ),
             }
         }
@@ -322,18 +331,41 @@ mod tests {
         assert_eq!(
             parse_oracle("rr-sketch"),
             Some(OracleKind::RrSketch {
-                sets_per_item: 2048
+                sets_per_item: 2048,
+                shards: 1,
             })
         );
         assert_eq!(
             parse_oracle("rr-sketch:512"),
-            Some(OracleKind::RrSketch { sets_per_item: 512 })
+            Some(OracleKind::RrSketch {
+                sets_per_item: 512,
+                shards: 1
+            })
         );
         assert_eq!(
             parse_oracle("sketch:64"),
-            Some(OracleKind::RrSketch { sets_per_item: 64 })
+            Some(OracleKind::RrSketch {
+                sets_per_item: 64,
+                shards: 1
+            })
+        );
+        assert_eq!(
+            parse_oracle("rr-sketch:512:4"),
+            Some(OracleKind::RrSketch {
+                sets_per_item: 512,
+                shards: 4
+            })
+        );
+        assert_eq!(
+            parse_oracle("sketch:64:2"),
+            Some(OracleKind::RrSketch {
+                sets_per_item: 64,
+                shards: 2
+            })
         );
         assert_eq!(parse_oracle("rr-sketch:0"), None);
+        assert_eq!(parse_oracle("rr-sketch:512:0"), None);
+        assert_eq!(parse_oracle("rr-sketch:512:four"), None);
         assert_eq!(parse_oracle("quantum"), None);
     }
 
@@ -341,7 +373,10 @@ mod tests {
     fn sketch_oracle_config_runs_the_dysim_kinds() {
         let inst = tiny_instance();
         let cfg = HarnessConfig {
-            oracle: OracleKind::RrSketch { sets_per_item: 256 },
+            oracle: OracleKind::RrSketch {
+                sets_per_item: 256,
+                shards: 1,
+            },
             ..tiny_config()
         };
         let result = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg);

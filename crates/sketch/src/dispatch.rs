@@ -25,7 +25,7 @@
 //! let mc = ConfiguredOracle::build(&scenario, OracleKind::MonteCarlo, 8, 7);
 //! let sk = ConfiguredOracle::build(
 //!     &scenario,
-//!     OracleKind::RrSketch { sets_per_item: 512 },
+//!     OracleKind::RrSketch { sets_per_item: 512, shards: 2 },
 //!     8,
 //!     7,
 //! );
@@ -36,15 +36,18 @@
 
 use crate::{SketchConfig, SketchOracle};
 use imdpp_core::nominees::Nominee;
-use imdpp_core::oracle::{OracleKind, RefreshableOracle, ScenarioUpdate};
+use imdpp_core::oracle::{OracleKind, RefreshStats, RefreshableOracle, ScenarioUpdate};
 use imdpp_core::{MonteCarloOracle, SpreadOracle};
 use imdpp_diffusion::Scenario;
 
 /// The sketch configuration an [`OracleKind::RrSketch`] knob resolves to: a
 /// fixed pool (adaptive growth disabled so refreshes stay bit-identical to
-/// rebuilds) seeded from the run's base seed.
-pub fn sketch_config_for(base_seed: u64, sets_per_item: usize) -> SketchConfig {
-    SketchConfig::fixed(sets_per_item).with_base_seed(base_seed)
+/// rebuilds) seeded from the run's base seed and partitioned across
+/// `shards` shards per item (`0` is clamped to `1`, the flat store).
+pub fn sketch_config_for(base_seed: u64, sets_per_item: usize, shards: usize) -> SketchConfig {
+    SketchConfig::fixed(sets_per_item)
+        .with_base_seed(base_seed)
+        .with_shards(shards.max(1))
 }
 
 /// A concrete estimator resolved from an [`OracleKind`] knob.
@@ -78,9 +81,13 @@ impl ConfiguredOracle {
             OracleKind::MonteCarlo => {
                 ConfiguredOracle::MonteCarlo(MonteCarloOracle::new(scenario, mc_samples, base_seed))
             }
-            OracleKind::RrSketch { sets_per_item } => ConfiguredOracle::RrSketch(
-                SketchOracle::build(scenario, sketch_config_for(base_seed, sets_per_item)),
-            ),
+            OracleKind::RrSketch {
+                sets_per_item,
+                shards,
+            } => ConfiguredOracle::RrSketch(SketchOracle::build(
+                scenario,
+                sketch_config_for(base_seed, sets_per_item, shards),
+            )),
         }
     }
 
@@ -90,6 +97,7 @@ impl ConfiguredOracle {
             ConfiguredOracle::MonteCarlo(_) => OracleKind::MonteCarlo,
             ConfiguredOracle::RrSketch(s) => OracleKind::RrSketch {
                 sets_per_item: s.config().initial_sets,
+                shards: s.shard_count(),
             },
         }
     }
@@ -135,7 +143,7 @@ impl SpreadOracle for ConfiguredOracle {
 }
 
 impl RefreshableOracle for ConfiguredOracle {
-    fn refresh(&mut self, updated: &Scenario, update: &ScenarioUpdate) -> f64 {
+    fn refresh(&mut self, updated: &Scenario, update: &ScenarioUpdate) -> RefreshStats {
         match self {
             ConfiguredOracle::MonteCarlo(o) => o.refresh(updated, update),
             ConfiguredOracle::RrSketch(o) => o.refresh(updated, update),
@@ -164,10 +172,58 @@ mod tests {
         assert_eq!(mc.name(), "monte-carlo");
         assert!(mc.as_sketch().is_none());
 
-        let sk = ConfiguredOracle::build(&s, OracleKind::RrSketch { sets_per_item: 128 }, 8, 13);
-        assert_eq!(sk.kind(), OracleKind::RrSketch { sets_per_item: 128 });
+        let sk = ConfiguredOracle::build(
+            &s,
+            OracleKind::RrSketch {
+                sets_per_item: 128,
+                shards: 1,
+            },
+            8,
+            13,
+        );
+        assert_eq!(
+            sk.kind(),
+            OracleKind::RrSketch {
+                sets_per_item: 128,
+                shards: 1,
+            }
+        );
         assert_eq!(sk.name(), "rr-sketch");
         assert!(sk.as_sketch().is_some());
+
+        // The shards knob survives the round-trip (0 clamps to 1).
+        let sharded = ConfiguredOracle::build(
+            &s,
+            OracleKind::RrSketch {
+                sets_per_item: 128,
+                shards: 4,
+            },
+            8,
+            13,
+        );
+        assert_eq!(
+            sharded.kind(),
+            OracleKind::RrSketch {
+                sets_per_item: 128,
+                shards: 4,
+            }
+        );
+        let clamped = ConfiguredOracle::build(
+            &s,
+            OracleKind::RrSketch {
+                sets_per_item: 64,
+                shards: 0,
+            },
+            8,
+            13,
+        );
+        assert_eq!(
+            clamped.kind(),
+            OracleKind::RrSketch {
+                sets_per_item: 64,
+                shards: 1,
+            }
+        );
     }
 
     #[test]
@@ -182,8 +238,16 @@ mod tests {
             direct_mc.static_spread(&nominees)
         );
 
-        let sk = ConfiguredOracle::build(&s, OracleKind::RrSketch { sets_per_item: 256 }, 8, 13);
-        let direct_sk = SketchOracle::build(&s, sketch_config_for(13, 256));
+        let sk = ConfiguredOracle::build(
+            &s,
+            OracleKind::RrSketch {
+                sets_per_item: 256,
+                shards: 2,
+            },
+            8,
+            13,
+        );
+        let direct_sk = SketchOracle::build(&s, sketch_config_for(13, 256, 2));
         assert_eq!(
             sk.static_spread(&nominees),
             direct_sk.static_spread(&nominees)
@@ -201,12 +265,20 @@ mod tests {
         let drifted = update.apply(&s);
 
         let mut mc = ConfiguredOracle::build(&s, OracleKind::MonteCarlo, 8, 13);
-        assert_eq!(mc.refresh(&drifted, &update), 1.0);
+        assert_eq!(mc.refresh(&drifted, &update).resampled_fraction(), 1.0);
 
-        let mut sk =
-            ConfiguredOracle::build(&s, OracleKind::RrSketch { sets_per_item: 128 }, 8, 13);
-        let fraction = sk.refresh(&drifted, &update);
-        assert!((0.0..1.0).contains(&fraction));
+        let mut sk = ConfiguredOracle::build(
+            &s,
+            OracleKind::RrSketch {
+                sets_per_item: 128,
+                shards: 1,
+            },
+            8,
+            13,
+        );
+        let stats = sk.refresh(&drifted, &update);
+        assert!((0.0..1.0).contains(&stats.resampled_fraction()));
+        assert_eq!(stats.full_rebuilds, 0);
         assert_eq!(sk.scenario().base_preference(UserId(1), ItemId(2)), 0.9);
     }
 }

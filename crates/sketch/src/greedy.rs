@@ -9,7 +9,8 @@
 //! (CELF-style lazy bookkeeping specialized to exact coverage counts).
 //! Ties break deterministically toward the smallest user id.
 
-use crate::store::RrStore;
+use crate::sharded::ShardedRrStore;
+use crate::store::{RrStore, SetId};
 use imdpp_graph::UserId;
 
 /// Result of a greedy max-coverage selection.
@@ -38,27 +39,13 @@ pub fn greedy_max_coverage(store: &RrStore, k: usize) -> GreedySelection {
         return GreedySelection::default();
     }
 
-    // One arena scan builds both the dense per-user counts of uncovered sets
-    // and a local inverted index (counting-sort CSR, like the store's own,
-    // but usable without `&mut RrStore`).
-    let mut counts = vec![0u32; n];
-    for (_, set) in store.iter() {
-        for &u in set {
-            counts[u as usize] += 1;
-        }
-    }
-    let mut inv_offsets = vec![0u32; n + 1];
-    for (u, &c) in counts.iter().enumerate() {
-        inv_offsets[u + 1] = inv_offsets[u] + c;
-    }
-    let mut cursors = inv_offsets.clone();
-    let mut inv_sets = vec![0u32; inv_offsets[n] as usize];
-    for (id, set) in store.iter() {
-        for &u in set {
-            inv_sets[cursors[u as usize] as usize] = id;
-            cursors[u as usize] += 1;
-        }
-    }
+    // A local inverted index (counting-sort CSR, like the store's own, but
+    // usable without `&mut RrStore`) plus the dense per-user counts of
+    // uncovered sets it implies.
+    let (inv_offsets, inv_sets) = local_inverted_index(store, n);
+    let mut counts: Vec<u32> = (0..n)
+        .map(|u| inv_offsets[u + 1] - inv_offsets[u])
+        .collect();
 
     let mut covered = vec![false; total];
     let mut covered_count = 0usize;
@@ -101,6 +88,106 @@ pub fn greedy_max_coverage(store: &RrStore, k: usize) -> GreedySelection {
         seeds: chosen,
         covered: covered_count,
     }
+}
+
+/// Selects up to `k` users greedily maximizing RR-set coverage over a
+/// sharded store — the same selection as [`greedy_max_coverage`], computed
+/// from *per-shard partial counters*.
+///
+/// Each shard contributes a local inverted index and local per-user counts;
+/// the argmax runs over the aggregated (summed) counts and covering a set
+/// releases its members' counts shard-locally.  Because the aggregated
+/// counters equal the flat store's counters at every step (the shards
+/// partition the same multiset of sets) the selection — seeds, order, tie
+/// breaks, coverage — is identical to running the flat greedy on the union,
+/// for any shard count.
+pub fn greedy_max_coverage_sharded(store: &ShardedRrStore, k: usize) -> GreedySelection {
+    let n = store.user_count();
+    let total = store.len();
+    let shard_count = store.shard_count();
+    if n == 0 || total == 0 || k == 0 {
+        return GreedySelection::default();
+    }
+
+    // One local inverted index per shard, and the aggregated per-user
+    // counts of uncovered sets (the sum of the per-shard partial counters)
+    // read off the index offsets — no second corpus scan.
+    let shard_invs: Vec<(Vec<u32>, Vec<SetId>)> = (0..shard_count)
+        .map(|si| local_inverted_index(store.shard(si), n))
+        .collect();
+    let mut counts = vec![0u32; n];
+    for (inv_offsets, _) in &shard_invs {
+        for (u, count) in counts.iter_mut().enumerate() {
+            *count += inv_offsets[u + 1] - inv_offsets[u];
+        }
+    }
+
+    // Coverage flags indexed by *global* id so `covered_count` and the
+    // estimate aggregate across shards.
+    let mut covered = vec![false; total];
+    let mut covered_count = 0usize;
+    let mut chosen = Vec::with_capacity(k.min(n));
+
+    for _ in 0..k {
+        let mut best_user = 0usize;
+        let mut best_count = 0u32;
+        for (u, &c) in counts.iter().enumerate() {
+            if c > best_count {
+                best_count = c;
+                best_user = u;
+            }
+        }
+        if best_count == 0 {
+            break;
+        }
+        chosen.push(UserId(best_user as u32));
+        for (si, (inv_offsets, inv_sets)) in shard_invs.iter().enumerate() {
+            let lo = inv_offsets[best_user] as usize;
+            let hi = inv_offsets[best_user + 1] as usize;
+            for &local in &inv_sets[lo..hi] {
+                let global = local as usize * shard_count + si;
+                if covered[global] {
+                    continue;
+                }
+                covered[global] = true;
+                covered_count += 1;
+                for &u in store.shard(si).set(local) {
+                    counts[u as usize] -= 1;
+                }
+            }
+        }
+        debug_assert_eq!(counts[best_user], 0);
+    }
+
+    GreedySelection {
+        estimated_adopters: n as f64 * covered_count as f64 / total as f64,
+        seeds: chosen,
+        covered: covered_count,
+    }
+}
+
+/// One counting-sort pass building a local user → set CSR index over a flat
+/// store (usable without `&mut RrStore`, unlike the store's own index).
+fn local_inverted_index(store: &RrStore, n: usize) -> (Vec<u32>, Vec<SetId>) {
+    let mut counts = vec![0u32; n];
+    for (_, set) in store.iter() {
+        for &u in set {
+            counts[u as usize] += 1;
+        }
+    }
+    let mut inv_offsets = vec![0u32; n + 1];
+    for (u, &c) in counts.iter().enumerate() {
+        inv_offsets[u + 1] = inv_offsets[u] + c;
+    }
+    let mut cursors = inv_offsets.clone();
+    let mut inv_sets = vec![0u32; inv_offsets[n] as usize];
+    for (id, set) in store.iter() {
+        for &u in set {
+            inv_sets[cursors[u as usize] as usize] = id;
+            cursors[u as usize] += 1;
+        }
+    }
+    (inv_offsets, inv_sets)
 }
 
 #[cfg(test)]
@@ -150,6 +237,8 @@ mod tests {
         assert!(greedy_max_coverage(&s, 3).seeds.is_empty());
         let s2 = store_with(4, &[&[0]]);
         assert!(greedy_max_coverage(&s2, 0).seeds.is_empty());
+        let sh = ShardedRrStore::new(ItemId(0), 4, 3);
+        assert!(greedy_max_coverage_sharded(&sh, 3).seeds.is_empty());
     }
 
     #[test]
@@ -175,6 +264,19 @@ mod tests {
         }
         let store = store_with(20, &sets.iter().map(|s| s.as_slice()).collect::<Vec<_>>());
         let fast = greedy_max_coverage(&store, 5);
+
+        // The sharded selection must agree with the flat one (and hence with
+        // the legacy greedy below) for every shard count.
+        for shards in [1usize, 2, 4, 7] {
+            let mut sharded = ShardedRrStore::new(ItemId(0), 20, shards);
+            for set in &sets {
+                sharded.push_set(&users(set));
+            }
+            let sel = greedy_max_coverage_sharded(&sharded, 5);
+            assert_eq!(sel.seeds, fast.seeds, "{shards} shards");
+            assert_eq!(sel.covered, fast.covered);
+            assert_eq!(sel.estimated_adopters, fast.estimated_adopters);
+        }
 
         // Legacy: recount everything each round.
         let mut covered = vec![false; sets.len()];

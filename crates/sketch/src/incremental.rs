@@ -30,45 +30,19 @@
 //! update are just the *destinations* of the edges that actually changed —
 //! see [`edge_update_frontier`] — and a set not containing any such
 //! destination replays to the identical member list.
+//!
+//! Refreshes also patch the store's inverted index incrementally
+//! (tombstone-and-append, see [`crate::store`]): the [`RefreshStats`]
+//! returned per refresh carries the index-maintenance deltas, and in debug
+//! builds every refresh `debug_assert`s the patched index against a full
+//! rebuild.
 
 use crate::sampler;
-use crate::store::RrStore;
+use crate::sharded::ShardedRrStore;
 use imdpp_diffusion::Scenario;
 use imdpp_graph::{EdgeUpdate, UserId};
 
-/// Statistics of one incremental refresh.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RefreshStats {
-    /// Total RR sets across the refreshed stores.
-    pub total_sets: usize,
-    /// Sets that were invalidated and re-sampled.
-    pub resampled_sets: usize,
-    /// Stores (items) refreshed.
-    pub stores: usize,
-}
-
-impl RefreshStats {
-    /// Fraction of sets re-sampled (0.0 for an empty sketch).
-    pub fn resampled_fraction(&self) -> f64 {
-        if self.total_sets == 0 {
-            0.0
-        } else {
-            self.resampled_sets as f64 / self.total_sets as f64
-        }
-    }
-
-    /// Fraction of sets whose samples were reused.
-    pub fn reused_fraction(&self) -> f64 {
-        1.0 - self.resampled_fraction()
-    }
-
-    /// Accumulates another store's refresh into this one.
-    pub fn absorb(&mut self, other: RefreshStats) {
-        self.total_sets += other.total_sets;
-        self.resampled_sets += other.resampled_sets;
-        self.stores += other.stores;
-    }
-}
+pub use imdpp_core::oracle::RefreshStats;
 
 /// Expands a set of perception-changed users to the *affected heads* whose
 /// in-edge draws could change: the users themselves plus their social
@@ -123,29 +97,37 @@ pub fn edge_update_frontier(before: &Scenario, updates: &[EdgeUpdate]) -> Vec<Us
     heads
 }
 
-/// Refreshes one store against `updated` (an already-frozen scenario):
-/// re-samples exactly the sets containing an affected head, replaying each
-/// set's original RNG stream, and reuses everything else.
+/// Refreshes one (sharded) store against `updated` (an already-frozen
+/// scenario): re-samples exactly the sets containing an affected head,
+/// replaying each set's original RNG stream, and reuses everything else.
+/// The owning shards' inverted indexes are patched, never rebuilt.
 pub fn refresh_store(
-    store: &mut RrStore,
+    store: &mut ShardedRrStore,
     updated: &Scenario,
     base_seed: u64,
     heads: &[UserId],
     threads: usize,
 ) -> RefreshStats {
+    let index_before = store.index_stats();
     let invalid = store.sets_touching(heads);
     let streams: Vec<u64> = invalid.iter().map(|&id| id as u64).collect();
     let fresh = sampler::sample_streams(updated, store.item(), base_seed, &streams, threads);
     for (&id, set) in invalid.iter().zip(&fresh) {
         store.replace_set(id, set);
     }
-    // No eager index rebuild: `replace_set` marks the index dirty and the
-    // next membership query rebuilds it lazily, so untouched stores stay
-    // O(1) per update.
+    // The equivalence check the incremental index is specified by: after
+    // patching, membership answers match a from-scratch counting rebuild.
+    debug_assert!(
+        store.index_matches_rebuild(),
+        "patched inverted index diverged from rebuild_index"
+    );
+    let index_delta = store.index_stats().since(index_before);
     RefreshStats {
         total_sets: store.len(),
         resampled_sets: invalid.len(),
         stores: 1,
+        index_entries_patched: index_delta.entries_patched,
+        full_rebuilds: index_delta.full_rebuilds,
     }
 }
 
@@ -227,37 +209,24 @@ mod tests {
     #[test]
     fn refresh_with_unchanged_scenario_is_a_fixed_point() {
         let s = toy_scenario();
-        let mut store = RrStore::new(ItemId(0), s.user_count());
-        for set in sampler::sample_range(&s, ItemId(0), 11, 0, 128, 2) {
-            store.push_set(&set);
+        for shards in [1usize, 3] {
+            let mut store = ShardedRrStore::new(ItemId(0), s.user_count(), shards);
+            for set in sampler::sample_range(&s, ItemId(0), 11, 0, 128, 2) {
+                store.push_set(&set);
+            }
+            store.rebuild_index();
+            let before: Vec<Vec<u32>> = store.iter().map(|(_, set)| set.to_vec()).collect();
+            // "Change" a user but hand the identical scenario: the re-sampled
+            // sets replay their streams and must come out identical.
+            let heads = affected_heads(&s, &[UserId(0)]);
+            let stats = refresh_store(&mut store, &s, 11, &heads, 2);
+            assert_eq!(stats.total_sets, 128);
+            assert!(stats.resampled_sets > 0);
+            assert_eq!(stats.full_rebuilds, 0, "refresh must patch, not rebuild");
+            assert!(stats.index_entries_patched > 0);
+            let after: Vec<Vec<u32>> = store.iter().map(|(_, set)| set.to_vec()).collect();
+            assert_eq!(before, after);
+            assert!((stats.resampled_fraction() + stats.reused_fraction() - 1.0).abs() < 1e-12);
         }
-        let before: Vec<Vec<u32>> = store.iter().map(|(_, set)| set.to_vec()).collect();
-        // "Change" a user but hand the identical scenario: the re-sampled
-        // sets replay their streams and must come out identical.
-        let heads = affected_heads(&s, &[UserId(0)]);
-        let stats = refresh_store(&mut store, &s, 11, &heads, 2);
-        assert_eq!(stats.total_sets, 128);
-        assert!(stats.resampled_sets > 0);
-        let after: Vec<Vec<u32>> = store.iter().map(|(_, set)| set.to_vec()).collect();
-        assert_eq!(before, after);
-        assert!((stats.resampled_fraction() + stats.reused_fraction() - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn stats_absorb_accumulates() {
-        let mut a = RefreshStats {
-            total_sets: 10,
-            resampled_sets: 2,
-            stores: 1,
-        };
-        a.absorb(RefreshStats {
-            total_sets: 30,
-            resampled_sets: 3,
-            stores: 1,
-        });
-        assert_eq!(a.total_sets, 40);
-        assert_eq!(a.resampled_sets, 5);
-        assert_eq!(a.stores, 2);
-        assert!((a.resampled_fraction() - 0.125).abs() < 1e-12);
     }
 }

@@ -9,7 +9,13 @@
 //! Components:
 //!
 //! * [`store`] — the flat, arena-backed [`RrStore`]:
-//!   CSR-style spans into one shared pool plus an inverted user → set index,
+//!   CSR-style spans into one shared pool plus an *incrementally
+//!   maintained* inverted user → set index (tombstone + append + periodic
+//!   compaction, never a post-build counting rebuild),
+//! * [`sharded`] — [`ShardedRrStore`]: the same sets partitioned across
+//!   `S` shards (deterministic `id mod S` placement), each shard owning
+//!   its own arena and index; estimates and selections are
+//!   shard-count-independent,
 //! * [`sampler`] — parallel RR-set generation with deterministic per-sample
 //!   RNG streams (thread-count-independent, replayable in isolation),
 //! * [`adaptive`] — the OPIM-style `(ε, δ)` stopping rule that sizes the
@@ -74,14 +80,16 @@ pub mod incremental;
 pub mod oracle;
 pub mod pipeline;
 pub mod sampler;
+pub mod sharded;
 pub mod store;
 
 pub use adaptive::{AdaptiveReport, StoppingRule};
 pub use dispatch::ConfiguredOracle;
-pub use greedy::{greedy_max_coverage, GreedySelection};
+pub use greedy::{greedy_max_coverage, greedy_max_coverage_sharded, GreedySelection};
 pub use incremental::{affected_heads, edge_update_frontier, RefreshStats};
 pub use oracle::SketchOracle;
-pub use store::{RrStore, SetId};
+pub use sharded::ShardedRrStore;
+pub use store::{IndexStats, RrStore, SetId};
 
 pub use imdpp_core::{RefreshableOracle, ScenarioUpdate, SpreadOracle};
 pub use imdpp_graph::{EdgeUpdate, ItemId, UserId};
@@ -101,6 +109,11 @@ pub struct SketchConfig {
     pub delta: f64,
     /// Worker threads for sampling (0 or 1 = sequential).
     pub threads: usize,
+    /// Shards each item's RR store is partitioned across (`1` = the flat
+    /// store; `0` is treated as `1`).  Set → shard assignment is the pure
+    /// function `id mod shards`, so estimates, greedy selections and
+    /// refresh results are shard-count-independent.
+    pub shards: usize,
 }
 
 impl Default for SketchConfig {
@@ -114,6 +127,7 @@ impl Default for SketchConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            shards: 1,
         }
     }
 }
@@ -140,6 +154,12 @@ impl SketchConfig {
         self.threads = threads;
         self
     }
+
+    /// Replaces the shard count of each item's RR store.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -148,11 +168,15 @@ mod tests {
 
     #[test]
     fn fixed_config_disables_growth() {
-        let c = SketchConfig::fixed(100).with_base_seed(5).with_threads(2);
+        let c = SketchConfig::fixed(100)
+            .with_base_seed(5)
+            .with_threads(2)
+            .with_shards(4);
         assert_eq!(c.initial_sets, 100);
         assert_eq!(c.max_sets, 100);
         assert_eq!(c.base_seed, 5);
         assert_eq!(c.threads, 2);
+        assert_eq!(c.shards, 4);
     }
 
     #[test]
@@ -162,5 +186,6 @@ mod tests {
         assert!(c.max_sets >= c.initial_sets);
         assert!(c.epsilon > 0.0 && c.delta > 0.0);
         assert!(c.threads >= 1);
+        assert_eq!(c.shards, 1);
     }
 }

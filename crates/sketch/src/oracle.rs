@@ -2,10 +2,11 @@
 //! estimation interface of `imdpp-core`.
 
 use crate::adaptive::{AdaptiveReport, StoppingRule};
-use crate::greedy::{greedy_max_coverage, GreedySelection};
+use crate::greedy::{greedy_max_coverage_sharded, GreedySelection};
 use crate::incremental::{affected_heads, edge_update_frontier, refresh_store, RefreshStats};
 use crate::sampler;
-use crate::store::RrStore;
+use crate::sharded::ShardedRrStore;
+use crate::store::IndexStats;
 use crate::SketchConfig;
 use imdpp_core::nominees::Nominee;
 use imdpp_core::oracle::{RefreshableOracle, ScenarioUpdate};
@@ -14,19 +15,21 @@ use imdpp_diffusion::{DynamicsConfig, Scenario};
 use imdpp_graph::{EdgeUpdate, ItemId, UserId};
 
 /// A reverse-reachable-sketch estimator of the static first-promotion
-/// spread `f(N)`, maintaining one [`RrStore`] per catalogue item.
+/// spread `f(N)`, maintaining one [`ShardedRrStore`] per catalogue item
+/// (`config.shards` = 1 degenerates to the flat store).
 ///
 /// Construction freezes the scenario's dynamics (the Lemma 1 restriction
 /// both estimators target) and samples every store in parallel with
 /// deterministic per-set RNG streams.  Between promotions,
 /// [`SketchOracle::apply_update`] migrates the sketch to a drifted scenario
 /// by re-sampling only the RR sets whose traversal could have observed the
-/// change — the incremental sample-reuse path.
+/// change — the incremental sample-reuse path — and patches the inverted
+/// indexes instead of rebuilding them.
 #[derive(Clone, Debug)]
 pub struct SketchOracle {
     frozen: Scenario,
     config: SketchConfig,
-    stores: Vec<RrStore>,
+    stores: Vec<ShardedRrStore>,
 }
 
 impl SketchOracle {
@@ -50,7 +53,7 @@ impl SketchOracle {
         let stores = frozen
             .items()
             .map(|item| {
-                let mut store = RrStore::new(item, frozen.user_count());
+                let mut store = ShardedRrStore::new(item, frozen.user_count(), config.shards);
                 let sets = sampler::sample_range(
                     &frozen,
                     item,
@@ -62,6 +65,8 @@ impl SketchOracle {
                 for set in &sets {
                     store.push_set(set);
                 }
+                // The one (per-shard) full index build; every later
+                // maintenance step patches incrementally.
                 store.rebuild_index();
                 store
             })
@@ -83,14 +88,30 @@ impl SketchOracle {
         &self.config
     }
 
-    /// The RR store of one item.
-    pub fn store(&self, item: ItemId) -> &RrStore {
+    /// The (sharded) RR store of one item.
+    pub fn store(&self, item: ItemId) -> &ShardedRrStore {
         &self.stores[item.index()]
     }
 
     /// Total RR sets across all items.
     pub fn total_sets(&self) -> usize {
         self.stores.iter().map(|s| s.len()).sum()
+    }
+
+    /// Shards per item store (`config.shards`, clamped to ≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.stores.first().map_or(1, |s| s.shard_count())
+    }
+
+    /// Aggregated inverted-index maintenance counters across every item
+    /// store and shard.  `full_rebuilds` equals `items × shards` right
+    /// after construction and — the scale invariant — never grows again.
+    pub fn index_stats(&self) -> IndexStats {
+        let mut stats = IndexStats::default();
+        for store in &self.stores {
+            stats.absorb(store.index_stats());
+        }
+        stats
     }
 
     /// True when `self` and `other` hold bit-identical RR stores (same item
@@ -117,9 +138,10 @@ impl SketchOracle {
         self.stores[item.index()].estimate_std_error(users)
     }
 
-    /// Greedy max-coverage selection of `k` seed users for one item.
+    /// Greedy max-coverage selection of `k` seed users for one item,
+    /// aggregating per-shard partial counters (shard-count-independent).
     pub fn greedy_seeds(&self, item: ItemId, k: usize) -> GreedySelection {
-        greedy_max_coverage(&self.stores[item.index()], k)
+        greedy_max_coverage_sharded(&self.stores[item.index()], k)
     }
 
     /// Grows `item`'s store until the `(ε, δ)` rule certifies the estimate
@@ -156,9 +178,10 @@ impl SketchOracle {
                 self.config.threads,
             );
             for set in &sets {
+                // Grown sets are patched into the inverted index (no
+                // rebuild): growth cost tracks the new sets only.
                 store.push_set(set);
             }
-            store.rebuild_index();
             rounds += 1;
         }
     }
@@ -209,8 +232,8 @@ impl SketchOracle {
             if users.is_empty() {
                 stats.absorb(RefreshStats {
                     total_sets: store.len(),
-                    resampled_sets: 0,
                     stores: 1,
+                    ..RefreshStats::default()
                 });
                 continue;
             }
@@ -253,8 +276,8 @@ impl SketchOracle {
             if heads.is_empty() {
                 stats.absorb(RefreshStats {
                     total_sets: store.len(),
-                    resampled_sets: 0,
                     stores: 1,
+                    ..RefreshStats::default()
                 });
                 continue;
             }
@@ -273,18 +296,18 @@ impl SketchOracle {
 impl RefreshableOracle for SketchOracle {
     /// Dispatches a [`ScenarioUpdate`] to the matching sample-reuse path
     /// ([`SketchOracle::apply_preference_update`] /
-    /// [`SketchOracle::apply_edge_update`]) and reports the resampled
-    /// fraction — the quantity the adaptive loop records per round.
-    fn refresh(&mut self, updated: &Scenario, update: &ScenarioUpdate) -> f64 {
-        let stats = match update {
+    /// [`SketchOracle::apply_edge_update`]) and reports the refresh cost —
+    /// the adaptive loop records its resampled fraction per round and the
+    /// engine surfaces the whole value on `ApplyReport`.
+    fn refresh(&mut self, updated: &Scenario, update: &ScenarioUpdate) -> RefreshStats {
+        match update {
             ScenarioUpdate::Preferences(changes) => {
                 let pairs: Vec<(UserId, ItemId)> =
                     changes.iter().map(|&(u, x, _)| (u, x)).collect();
                 self.apply_preference_update(updated, &pairs)
             }
             ScenarioUpdate::Edges(updates) => self.apply_edge_update(updated, updates),
-        };
-        stats.resampled_fraction()
+        }
     }
 }
 
@@ -530,8 +553,9 @@ mod tests {
 
         let pref = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]);
         let drifted = pref.apply(&s);
-        let f1 = oracle.refresh(&drifted, &pref);
-        assert!((0.0..1.0).contains(&f1));
+        let r1 = oracle.refresh(&drifted, &pref);
+        assert!((0.0..1.0).contains(&r1.resampled_fraction()));
+        assert_eq!(r1.full_rebuilds, 0, "refresh must patch the index");
 
         let edges = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
             src: UserId(0),
@@ -539,9 +563,14 @@ mod tests {
             weight: 0.9,
         }]);
         let drifted2 = edges.apply(&drifted);
-        let f2 = oracle.refresh(&drifted2, &edges);
-        assert!((0.0..1.0).contains(&f2));
-        assert!(f2 > 0.0, "a real strength change must re-sample something");
+        let r2 = oracle.refresh(&drifted2, &edges);
+        assert!((0.0..1.0).contains(&r2.resampled_fraction()));
+        assert!(
+            r2.resampled_sets > 0,
+            "a real strength change must re-sample something"
+        );
+        assert!(r2.index_entries_patched > 0);
+        assert_eq!(r2.full_rebuilds, 0);
 
         // After both refreshes the oracle equals a rebuild of the final world.
         let rebuilt = SketchOracle::build(&drifted2, config);
@@ -561,6 +590,59 @@ mod tests {
     fn linear_threshold_scenarios_are_rejected() {
         let s = toy_scenario().with_model(imdpp_diffusion::DiffusionModel::LinearThreshold);
         let _ = SketchOracle::build(&s, SketchConfig::fixed(8));
+    }
+
+    #[test]
+    fn sharded_oracle_matches_the_flat_oracle() {
+        let s = toy_scenario();
+        let flat = SketchOracle::build(&s, SketchConfig::fixed(256).with_base_seed(41));
+        for shards in [2usize, 4, 7] {
+            let sharded = SketchOracle::build(
+                &s,
+                SketchConfig::fixed(256)
+                    .with_base_seed(41)
+                    .with_shards(shards),
+            );
+            assert_eq!(sharded.shard_count(), shards);
+            assert!(flat.stores_equal(&sharded), "{shards} shards");
+            for item in s.items() {
+                assert_eq!(
+                    flat.estimate_item_adopters(item, &[UserId(0), UserId(3)]),
+                    sharded.estimate_item_adopters(item, &[UserId(0), UserId(3)]),
+                );
+                let a = flat.greedy_seeds(item, 3);
+                let b = sharded.greedy_seeds(item, 3);
+                assert_eq!(a.seeds, b.seeds);
+                assert_eq!(a.covered, b.covered);
+            }
+            // Construction performs exactly one index build per shard.
+            let stats = sharded.index_stats();
+            assert_eq!(stats.full_rebuilds, (shards * s.item_count()) as u64);
+            assert_eq!(stats.compactions, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_refresh_stays_identical_to_a_sharded_rebuild() {
+        let s = toy_scenario();
+        let config = SketchConfig::fixed(192).with_base_seed(43).with_shards(3);
+        let mut oracle = SketchOracle::build(&s, config);
+        let updates = [EdgeUpdate::Reweight {
+            src: UserId(0),
+            dst: UserId(1),
+            weight: 0.95,
+        }];
+        let drifted = s.with_edge_updates(&updates);
+        let stats = oracle.apply_edge_update(&drifted, &updates);
+        assert!(stats.resampled_sets > 0);
+        assert_eq!(stats.full_rebuilds, 0);
+        let rebuilt = SketchOracle::build(&drifted, config);
+        assert!(oracle.stores_equal(&rebuilt));
+        // Construction builds are all the rebuilds the oracle ever did.
+        assert_eq!(
+            oracle.index_stats().full_rebuilds,
+            (3 * s.item_count()) as u64
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@ use imdpp_core::ImdppInstance;
     note = "use imdpp_sketch::dispatch::sketch_config_for"
 )]
 pub fn sketch_config_for(config: &imdpp_core::DysimConfig, sets_per_item: usize) -> SketchConfig {
-    crate::dispatch::sketch_config_for(config.base_seed, sets_per_item)
+    // The shim predates sharding; it always resolved to the flat store.
+    crate::dispatch::sketch_config_for(config.base_seed, sets_per_item, 1)
 }
 
 /// Runs the full Dysim pipeline (TMI → DRE → TDSI) with the estimator
@@ -90,7 +91,10 @@ mod tests {
         let mc = run_dysim(&inst, &DysimConfig::fast());
         let sk = run_dysim(
             &inst,
-            &DysimConfig::fast().with_oracle(OracleKind::RrSketch { sets_per_item: 512 }),
+            &DysimConfig::fast().with_oracle(OracleKind::RrSketch {
+                sets_per_item: 512,
+                shards: 1,
+            }),
         );
         assert!(inst.is_feasible(&mc.seeds));
         assert!(inst.is_feasible(&sk.seeds));
@@ -111,7 +115,10 @@ mod tests {
     fn adaptive_shim_reports_refresh_fractions() {
         use imdpp_core::{EdgeUpdate, ItemId, UserId};
         let inst = instance(4.0, 3);
-        let cfg = DysimConfig::fast().with_oracle(OracleKind::RrSketch { sets_per_item: 256 });
+        let cfg = DysimConfig::fast().with_oracle(OracleKind::RrSketch {
+            sets_per_item: 256,
+            shards: 1,
+        });
         let drift = vec![
             ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
                 src: UserId(0),

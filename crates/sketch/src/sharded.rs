@@ -1,0 +1,335 @@
+//! The sharded RR-set store: one logical pool of RR sets partitioned across
+//! `S` independent shards.
+//!
+//! ## Why shard
+//!
+//! The flat [`RrStore`] keeps one arena and one inverted index per item.
+//! Past ~10⁵ users both structures become large enough that (a) a refresh
+//! touching them stalls on one memory region and (b) parallel generation
+//! cannot write shard-locally.  `ShardedRrStore` partitions the sets across
+//! `S` shards, each owning *its own arena and its own inverted index*, so
+//! maintenance work and (future) parallel generation touch only shard-local
+//! memory — the NUMA-friendly layout the ROADMAP's scale item asks for.
+//!
+//! ## Determinism invariants
+//!
+//! * **Set → shard assignment is a pure function of the set id**:
+//!   `shard(id) = id mod S`, with the shard-local slot `id div S`.  A set's
+//!   id equals its RNG stream id (see [`crate::sampler`]), so a sampling
+//!   stream lands in the same shard no matter when it is (re)played, and a
+//!   sharded store refreshed incrementally holds exactly the sets a rebuilt
+//!   one would.
+//! * **Global iteration order is id order** regardless of `S`, so
+//!   estimates, greedy selections and store-equality checks are
+//!   shard-count-independent, and `S = 1` degenerates to exactly the flat
+//!   store.
+//! * Coverage counting aggregates *per-shard partial counters* (one shared
+//!   user bitmap, one count per shard) and the estimate divides the summed
+//!   coverage by the summed set count — bit-identical to the flat formula
+//!   because both operate on the same integers.
+//!
+//! Index maintenance inherits the flat store's tombstone + append + periodic
+//! compaction scheme per shard; see [`crate::store`] for the invariants and
+//! [`IndexStats`] for the counters proving no post-build rebuilds happen.
+
+use crate::store::{IndexStats, RrStore, SetId};
+use imdpp_graph::{ItemId, UserId};
+
+/// RR sets for one item, partitioned across shards by `id mod S`.
+///
+/// The public surface mirrors [`RrStore`] with *global* set ids; use
+/// [`ShardedRrStore::shard`] to reach the per-shard stores (whose ids are
+/// shard-local).
+#[derive(Clone, Debug)]
+pub struct ShardedRrStore {
+    shards: Vec<RrStore>,
+    /// Global set count (`Σ` shard lengths; next id to assign).
+    total: usize,
+}
+
+impl ShardedRrStore {
+    /// Creates an empty store for `item` over `user_count` users with
+    /// `shard_count` shards (`0` is treated as `1`).
+    pub fn new(item: ItemId, user_count: usize, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        ShardedRrStore {
+            shards: (0..shard_count)
+                .map(|_| RrStore::new(item, user_count))
+                .collect(),
+            total: 0,
+        }
+    }
+
+    /// The item the sets were sampled for.
+    pub fn item(&self) -> ItemId {
+        self.shards[0].item()
+    }
+
+    /// Number of users in the underlying scenario.
+    pub fn user_count(&self) -> usize {
+        self.shards[0].user_count()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's flat store (set ids inside it are shard-local).
+    pub fn shard(&self, shard: usize) -> &RrStore {
+        &self.shards[shard]
+    }
+
+    /// Total number of RR sets across all shards.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when no sets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total live arena entries across all shards.
+    pub fn live_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.live_entries()).sum()
+    }
+
+    /// The shard holding global set `id`.
+    pub fn shard_of(&self, id: SetId) -> usize {
+        id as usize % self.shards.len()
+    }
+
+    /// The shard-local id of global set `id` (the inverse mapping
+    /// `global = local · S + shard` appears inline where iteration already
+    /// borrows the shards mutably).
+    fn local(&self, id: SetId) -> SetId {
+        id / self.shards.len() as SetId
+    }
+
+    /// Aggregated inverted-index maintenance counters across shards.
+    pub fn index_stats(&self) -> IndexStats {
+        let mut stats = IndexStats::default();
+        for shard in &self.shards {
+            stats.absorb(shard.index_stats());
+        }
+        stats
+    }
+
+    /// Appends a new set, returning its global id (always `len() - 1`
+    /// afterwards).  Ids must be assigned densely in order — which they are,
+    /// since this method assigns them — for the `id mod S` placement to
+    /// match the shard-local slot `id div S`.
+    pub fn push_set(&mut self, users: &[UserId]) -> SetId {
+        let id = self.total as SetId;
+        let shard = self.shard_of(id);
+        let local = self.shards[shard].push_set(users);
+        debug_assert_eq!(local, self.local(id));
+        self.total += 1;
+        id
+    }
+
+    /// Replaces the contents of global set `id`, patching the owning
+    /// shard's index incrementally.
+    pub fn replace_set(&mut self, id: SetId, users: &[UserId]) {
+        let shard = self.shard_of(id);
+        let local = self.local(id);
+        self.shards[shard].replace_set(local, users);
+    }
+
+    /// The users of global set `id`.
+    pub fn set(&self, id: SetId) -> &[u32] {
+        self.shards[self.shard_of(id)].set(self.local(id))
+    }
+
+    /// Iterator over `(global id, users)` pairs in global id order —
+    /// independent of the shard count.
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, &[u32])> + '_ {
+        (0..self.total as SetId).map(move |id| (id, self.set(id)))
+    }
+
+    /// Rebuilds every shard's inverted index with a full counting pass.
+    /// Needed once after bulk construction; incremental maintenance takes
+    /// over from there.
+    pub fn rebuild_index(&mut self) {
+        for shard in &mut self.shards {
+            shard.rebuild_index();
+        }
+    }
+
+    /// The sorted, deduplicated *global* ids of all sets containing any of
+    /// `users` — aggregated across shards.  The head list is prepared
+    /// (bounds-filtered, sorted, deduplicated) once, not per shard.
+    pub fn sets_touching(&mut self, users: &[UserId]) -> Vec<SetId> {
+        let heads = crate::store::prepare_heads(users, self.user_count());
+        let shard_count = self.shards.len();
+        let mut ids = Vec::new();
+        for (si, shard) in self.shards.iter_mut().enumerate() {
+            ids.extend(
+                shard
+                    .sets_touching_prepared(&heads)
+                    .into_iter()
+                    .map(|local| local * shard_count as SetId + si as SetId),
+            );
+        }
+        // Shards partition the id space, so cross-shard duplicates cannot
+        // occur; per-shard results are already deduplicated.
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Equivalence of every shard's incrementally maintained index with a
+    /// fresh rebuild (`debug_assert`ed by the refresh paths).
+    pub fn index_matches_rebuild(&self) -> bool {
+        self.shards.iter().all(|s| s.index_matches_rebuild())
+    }
+
+    /// Number of sets hit by the given seed users: per-shard partial
+    /// counters over one shared seed bitmap, summed.
+    pub fn coverage_count(&self, seeds: &[UserId]) -> usize {
+        if self.total == 0 || seeds.is_empty() {
+            return 0;
+        }
+        let user_count = self.user_count();
+        let mut marked = vec![false; user_count];
+        for &u in seeds {
+            if u.index() < user_count {
+                marked[u.index()] = true;
+            }
+        }
+        self.shards
+            .iter()
+            .map(|s| s.coverage_count_marked(&marked))
+            .sum()
+    }
+
+    /// Unbiased estimate of the expected adopters of the store's item when
+    /// `seeds` are seeded in the first promotion — the flat store's formula
+    /// over the aggregated counters, hence shard-count-independent.
+    pub fn estimate_adopters(&self, seeds: &[UserId]) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.user_count() as f64 * self.coverage_count(seeds) as f64 / self.total as f64
+    }
+
+    /// Standard error of [`Self::estimate_adopters`] under the binomial
+    /// coverage model.
+    pub fn estimate_std_error(&self, seeds: &[UserId]) -> f64 {
+        if self.total < 2 {
+            return 0.0;
+        }
+        let p = self.coverage_count(seeds) as f64 / self.total as f64;
+        self.user_count() as f64 * (p * (1.0 - p) / self.total as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users(ids: &[u32]) -> Vec<UserId> {
+        ids.iter().map(|&u| UserId(u)).collect()
+    }
+
+    fn stores_with(shards: usize, sets: &[&[u32]]) -> (RrStore, ShardedRrStore) {
+        let mut flat = RrStore::new(ItemId(0), 8);
+        let mut sharded = ShardedRrStore::new(ItemId(0), 8, shards);
+        for set in sets {
+            flat.push_set(&users(set));
+            sharded.push_set(&users(set));
+        }
+        flat.rebuild_index();
+        sharded.rebuild_index();
+        (flat, sharded)
+    }
+
+    const SETS: &[&[u32]] = &[&[0, 1], &[1, 2], &[3], &[4, 5, 6], &[0, 6], &[2], &[7]];
+
+    #[test]
+    fn single_shard_is_the_flat_store() {
+        let (flat, sharded) = stores_with(1, SETS);
+        assert_eq!(sharded.shard_count(), 1);
+        for (id, set) in flat.iter() {
+            assert_eq!(sharded.set(id), set);
+        }
+        assert_eq!(
+            flat.coverage_count(&users(&[1, 6])),
+            sharded.coverage_count(&users(&[1, 6]))
+        );
+    }
+
+    #[test]
+    fn global_iteration_is_id_ordered_for_any_shard_count() {
+        for shards in [1, 2, 3, 4, 7] {
+            let (flat, sharded) = stores_with(shards, SETS);
+            let flat_view: Vec<(SetId, Vec<u32>)> =
+                flat.iter().map(|(id, s)| (id, s.to_vec())).collect();
+            let sharded_view: Vec<(SetId, Vec<u32>)> =
+                sharded.iter().map(|(id, s)| (id, s.to_vec())).collect();
+            assert_eq!(flat_view, sharded_view, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_id_mod_s() {
+        let (_, sharded) = stores_with(3, SETS);
+        for id in 0..SETS.len() as SetId {
+            assert_eq!(sharded.shard_of(id), id as usize % 3);
+        }
+        // Shard lengths partition the total.
+        let total: usize = (0..3).map(|s| sharded.shard(s).len()).sum();
+        assert_eq!(total, SETS.len());
+    }
+
+    #[test]
+    fn estimates_and_frontiers_match_the_flat_store() {
+        for shards in [2, 4, 7] {
+            let (mut flat, mut sharded) = stores_with(shards, SETS);
+            for probe in [&[1u32][..], &[0, 6], &[7], &[2, 3, 4]] {
+                assert_eq!(
+                    flat.estimate_adopters(&users(probe)),
+                    sharded.estimate_adopters(&users(probe)),
+                );
+                assert_eq!(
+                    flat.estimate_std_error(&users(probe)),
+                    sharded.estimate_std_error(&users(probe)),
+                );
+                assert_eq!(
+                    flat.sets_touching(&users(probe)),
+                    sharded.sets_touching(&users(probe)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replacement_patches_the_owning_shard_only() {
+        let (mut flat, mut sharded) = stores_with(4, SETS);
+        let before = sharded.index_stats();
+        flat.replace_set(3, &users(&[2, 7]));
+        sharded.replace_set(3, &users(&[2, 7]));
+        assert_eq!(sharded.set(3), &[2, 7]);
+        assert_eq!(
+            flat.sets_touching(&users(&[7])),
+            sharded.sets_touching(&users(&[7]))
+        );
+        assert!(sharded.index_matches_rebuild());
+        let delta = sharded.index_stats().since(before);
+        assert_eq!(delta.full_rebuilds, 0);
+        assert!(delta.entries_patched > 0);
+        // Untouched shards did no work.
+        for s in [0usize, 1, 2] {
+            assert_eq!(sharded.shard(s).index_stats().entries_patched, 0);
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let s = ShardedRrStore::new(ItemId(2), 4, 0);
+        assert_eq!(s.shard_count(), 1);
+        assert!(s.is_empty());
+        assert_eq!(s.estimate_adopters(&users(&[0])), 0.0);
+        assert_eq!(s.estimate_std_error(&users(&[0])), 0.0);
+    }
+}

@@ -11,12 +11,98 @@
 //! [`crate::sampler`]); replacing a set appends its new span to the pool and
 //! tombstones the old one.  Dead pool entries are tracked and the arena is
 //! compacted automatically once more than half of it is garbage.
+//!
+//! ## Incremental index maintenance
+//!
+//! The inverted index is *patched*, not rebuilt, when sets change: replacing
+//! set `s` tombstones `s`'s entries in the base CSR rows of its old members
+//! and appends `(user, s)` pairs for the new members to an overflow log.
+//! Queries merge the base rows (skipping tombstones) with the log.  Once
+//! tombstones or the log grow past a fraction of the base index the whole
+//! thing is folded back into a clean CSR — a *compaction*, amortized O(1)
+//! per patched entry.  A full counting rebuild ([`RrStore::rebuild_index`])
+//! only ever happens at construction (or explicitly); [`IndexStats`] counts
+//! rebuilds, compactions and patched entries so tests can pin the
+//! maintenance regime, and [`RrStore::index_matches_rebuild`] is the
+//! `debug_assert`-guarded equivalence check the refresh paths use.
 
 use imdpp_graph::{ItemId, UserId};
 
 /// Identifier of one RR set inside a store.  Stable across replacements and
 /// equal to the RNG stream id that generated the set.
 pub type SetId = u32;
+
+/// Tombstone flag for dead entries in the base rows of the inverted index.
+///
+/// The counting-sort build leaves every base row sorted ascending by set
+/// id; tombstoning an entry sets this high bit and *keeps the id*, so the
+/// row stays sorted under the masked comparison and [`RrStore::unindex`]
+/// can binary-search instead of scanning — O(log row) per patched entry
+/// even for hub users appearing in thousands of sets.  Ids with the high
+/// bit set cannot occur: the `u32` arena offsets overflow long before
+/// 2³¹ sets exist.
+const TOMBSTONE_BIT: SetId = 1 << 31;
+
+/// The set id of a base-row entry, dead or alive.
+#[inline]
+fn entry_id(entry: SetId) -> SetId {
+    entry & !TOMBSTONE_BIT
+}
+
+/// True when a base-row entry is live (not tombstoned).
+#[inline]
+fn entry_live(entry: SetId) -> bool {
+    entry & TOMBSTONE_BIT == 0
+}
+
+/// Bounds-filters, sorts and deduplicates a head list into the form
+/// [`RrStore::sets_touching_prepared`] expects.
+pub(crate) fn prepare_heads(users: &[UserId], user_count: usize) -> Vec<u32> {
+    let mut heads: Vec<u32> = users
+        .iter()
+        .map(|u| u.0)
+        .filter(|&u| (u as usize) < user_count)
+        .collect();
+    heads.sort_unstable();
+    heads.dedup();
+    heads
+}
+
+/// Counters of the inverted-index maintenance work a store has performed.
+///
+/// `full_rebuilds` counts counting-sort passes over the whole corpus
+/// ([`RrStore::rebuild_index`] — construction, or the lazy fallback when the
+/// index was never built); `compactions` counts the amortized fold-backs of
+/// tombstones/overflow into a clean CSR; `entries_patched` counts individual
+/// index entries tombstoned or appended by incremental maintenance.  The
+/// scale tests assert `full_rebuilds` never grows after construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Index entries tombstoned or appended by incremental patching.
+    pub entries_patched: u64,
+    /// Full counting-pass index builds (construction + lazy fallbacks).
+    pub full_rebuilds: u64,
+    /// Amortized compactions folding patches back into a clean CSR.
+    pub compactions: u64,
+}
+
+impl IndexStats {
+    /// Accumulates another store's counters into this one.
+    pub fn absorb(&mut self, other: IndexStats) {
+        self.entries_patched += other.entries_patched;
+        self.full_rebuilds += other.full_rebuilds;
+        self.compactions += other.compactions;
+    }
+
+    /// The difference `self - earlier`, for measuring one operation's work.
+    pub fn since(&self, earlier: IndexStats) -> IndexStats {
+        IndexStats {
+            entries_patched: self.entries_patched - earlier.entries_patched,
+            full_rebuilds: self.full_rebuilds - earlier.full_rebuilds,
+            compactions: self.compactions - earlier.compactions,
+        }
+    }
+}
 
 /// A collection of reverse-reachable sets for one item, stored in a shared
 /// arena with an inverted user → set index.
@@ -32,10 +118,20 @@ pub struct RrStore {
     garbage: usize,
     /// CSR offsets of the inverted index (`user_count + 1` entries).
     inv_offsets: Vec<u32>,
-    /// Set ids, grouped by user according to `inv_offsets`.
+    /// Set ids, grouped by user according to `inv_offsets`.  Each row is
+    /// sorted ascending by [`entry_id`]; dead entries carry
+    /// [`TOMBSTONE_BIT`] (which preserves that order).
     inv_sets: Vec<SetId>,
-    /// Whether the inverted index must be rebuilt before use.
-    inv_dirty: bool,
+    /// Overflow log of `(user index, set)` entries appended since the last
+    /// compaction.
+    inv_extra: Vec<(u32, SetId)>,
+    /// Number of tombstoned entries in `inv_sets`.
+    inv_dead: usize,
+    /// False until the first [`RrStore::rebuild_index`]; patches are only
+    /// tracked once the index exists.
+    inv_built: bool,
+    /// Maintenance counters.
+    index_stats: IndexStats,
 }
 
 impl RrStore {
@@ -49,7 +145,10 @@ impl RrStore {
             garbage: 0,
             inv_offsets: vec![0; user_count + 1],
             inv_sets: Vec::new(),
-            inv_dirty: false,
+            inv_extra: Vec::new(),
+            inv_dead: 0,
+            inv_built: false,
+            index_stats: IndexStats::default(),
         }
     }
 
@@ -87,25 +186,89 @@ impl RrStore {
         }
     }
 
+    /// The inverted-index maintenance counters.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index_stats
+    }
+
     /// Appends a new set, returning its id (always `len() - 1` afterwards).
+    ///
+    /// When the inverted index already exists its entries are patched in
+    /// (append-only — no rebuild).
     pub fn push_set(&mut self, users: &[UserId]) -> SetId {
+        let id = self.spans.len() as SetId;
+        debug_assert!(
+            id < TOMBSTONE_BIT,
+            "set ids must stay below the tombstone bit"
+        );
         let start = self.pool.len() as u32;
         self.pool.extend(users.iter().map(|u| u.0));
         self.spans.push((start, users.len() as u32));
-        self.inv_dirty = true;
-        (self.spans.len() - 1) as SetId
+        if self.inv_built {
+            for u in users {
+                self.inv_extra.push((u.0, id));
+            }
+            self.index_stats.entries_patched += users.len() as u64;
+            self.maybe_compact_index();
+        }
+        id
     }
 
     /// Replaces the contents of set `id`, tombstoning its old span.
+    ///
+    /// The inverted index is patched incrementally: the old members' entries
+    /// are tombstoned and the new members' entries appended to the overflow
+    /// log — no counting pass over the corpus.
     pub fn replace_set(&mut self, id: SetId, users: &[UserId]) {
-        let old_len = self.spans[id as usize].1 as usize;
-        self.garbage += old_len;
+        let (old_start, old_len) = self.spans[id as usize];
+        if self.inv_built {
+            // The old span is still live in the pool here; take a copy so
+            // the index can be patched while the pool is mutated below.
+            let old_members: Vec<u32> =
+                self.pool[old_start as usize..(old_start + old_len) as usize].to_vec();
+            for &u in &old_members {
+                self.unindex(u as usize, id);
+            }
+            self.index_stats.entries_patched += old_len as u64;
+        }
+        self.garbage += old_len as usize;
         let start = self.pool.len() as u32;
         self.pool.extend(users.iter().map(|u| u.0));
         self.spans[id as usize] = (start, users.len() as u32);
-        self.inv_dirty = true;
+        if self.inv_built {
+            for u in users {
+                self.inv_extra.push((u.0, id));
+            }
+            self.index_stats.entries_patched += users.len() as u64;
+            self.maybe_compact_index();
+        }
         if self.garbage_ratio() > 0.5 {
             self.compact();
+        }
+    }
+
+    /// Removes `(user, id)` from the index: tombstoned in the base rows
+    /// (binary search — rows are sorted by [`entry_id`], which tombstoning
+    /// preserves), or swap-removed from the overflow log.
+    fn unindex(&mut self, user: usize, id: SetId) {
+        let lo = self.inv_offsets[user] as usize;
+        let hi = self.inv_offsets[user + 1] as usize;
+        let row = &mut self.inv_sets[lo..hi];
+        let slot = row.partition_point(|&e| entry_id(e) < id);
+        if slot < row.len() && row[slot] == id {
+            row[slot] = id | TOMBSTONE_BIT;
+            self.inv_dead += 1;
+        } else if let Some(pos) = self
+            .inv_extra
+            .iter()
+            .position(|&(u, s)| u as usize == user && s == id)
+        {
+            self.inv_extra.swap_remove(pos);
+        } else {
+            debug_assert!(
+                false,
+                "inverted index is missing the entry (user {user}, set {id})"
+            );
         }
     }
 
@@ -140,8 +303,9 @@ impl RrStore {
         self.garbage = 0;
     }
 
-    /// Rebuilds the inverted user → set index (counting-sort CSR build).
-    pub fn rebuild_index(&mut self) {
+    /// One counting-sort CSR pass over the spans, producing a clean base
+    /// index with no tombstones and an empty overflow log.
+    fn build_index_from_spans(&mut self) {
         let mut counts = vec![0u32; self.user_count + 1];
         for &(start, len) in &self.spans {
             for &u in &self.pool[start as usize..(start + len) as usize] {
@@ -160,37 +324,137 @@ impl RrStore {
                 cursors[u as usize] += 1;
             }
         }
-        self.inv_dirty = false;
+        self.inv_extra.clear();
+        self.inv_dead = 0;
     }
 
-    /// The ids of the sets containing `user` (rebuilds the index if stale).
-    pub fn sets_of(&mut self, user: UserId) -> &[SetId] {
-        if self.inv_dirty {
+    /// Rebuilds the inverted user → set index with a full counting pass.
+    ///
+    /// Called once at construction; afterwards the index maintains itself
+    /// incrementally and this should not be needed (the `full_rebuilds`
+    /// counter exists so tests can prove it was not).
+    pub fn rebuild_index(&mut self) {
+        self.build_index_from_spans();
+        self.inv_built = true;
+        self.index_stats.full_rebuilds += 1;
+    }
+
+    /// Folds tombstones and the overflow log back into a clean CSR once
+    /// they outgrow the base index.  The threshold keeps both the wasted
+    /// memory and the O(|log|) overflow scans of membership queries bounded
+    /// by a constant fraction of the live index, making compaction cost
+    /// amortized O(1) per patched entry.
+    fn maybe_compact_index(&mut self) {
+        let base = self.inv_sets.len();
+        if self.inv_dead * 2 > base || self.inv_extra.len() > base / 2 + 16 {
+            self.build_index_from_spans();
+            self.index_stats.compactions += 1;
+        }
+    }
+
+    /// The sorted ids of the sets containing `user` (builds the index on
+    /// first use; afterwards answers merge the base rows with the overflow
+    /// log).
+    pub fn sets_of(&mut self, user: UserId) -> Vec<SetId> {
+        if !self.inv_built {
             self.rebuild_index();
+        }
+        if user.index() >= self.user_count {
+            return Vec::new();
         }
         let lo = self.inv_offsets[user.index()] as usize;
         let hi = self.inv_offsets[user.index() + 1] as usize;
-        &self.inv_sets[lo..hi]
+        let mut ids: Vec<SetId> = self.inv_sets[lo..hi]
+            .iter()
+            .copied()
+            .filter(|&e| entry_live(e))
+            .collect();
+        ids.extend(
+            self.inv_extra
+                .iter()
+                .filter(|&&(u, _)| u as usize == user.index())
+                .map(|&(_, s)| s),
+        );
+        ids.sort_unstable();
+        ids
     }
 
     /// The sorted, deduplicated ids of all sets containing any of `users`
     /// — the invalidation frontier of an update touching those users.
+    ///
+    /// Cost is proportional to the *touched* rows plus the overflow log
+    /// (`O(Σ row + |log| · log |users|)`) — no corpus- or population-sized
+    /// allocation happens here, so localized frontiers stay cheap at any
+    /// scale.
     pub fn sets_touching(&mut self, users: &[UserId]) -> Vec<SetId> {
-        if self.inv_dirty {
+        let heads = prepare_heads(users, self.user_count);
+        self.sets_touching_prepared(&heads)
+    }
+
+    /// [`RrStore::sets_touching`] over an already prepared (in-range,
+    /// sorted, deduplicated) head list — lets the sharded store prepare the
+    /// frontier once and query every shard with it.
+    pub(crate) fn sets_touching_prepared(&mut self, heads: &[u32]) -> Vec<SetId> {
+        if !self.inv_built {
             self.rebuild_index();
         }
         let mut ids = Vec::new();
-        for &u in users {
-            if u.index() >= self.user_count {
-                continue;
-            }
-            let lo = self.inv_offsets[u.index()] as usize;
-            let hi = self.inv_offsets[u.index() + 1] as usize;
-            ids.extend_from_slice(&self.inv_sets[lo..hi]);
+        for &u in heads {
+            let lo = self.inv_offsets[u as usize] as usize;
+            let hi = self.inv_offsets[u as usize + 1] as usize;
+            ids.extend(
+                self.inv_sets[lo..hi]
+                    .iter()
+                    .copied()
+                    .filter(|&e| entry_live(e)),
+            );
         }
+        ids.extend(
+            self.inv_extra
+                .iter()
+                .filter(|&&(u, _)| heads.binary_search(&u).is_ok())
+                .map(|&(_, s)| s),
+        );
         ids.sort_unstable();
         ids.dedup();
         ids
+    }
+
+    /// Equivalence check of the incrementally maintained index against a
+    /// freshly built one — the invariant the refresh paths `debug_assert`.
+    ///
+    /// O(corpus); intended for `debug_assert!` and tests, not hot paths.
+    pub fn index_matches_rebuild(&self) -> bool {
+        if !self.inv_built {
+            return true;
+        }
+        let mut reference: Vec<Vec<SetId>> = vec![Vec::new(); self.user_count];
+        for (id, set) in self.iter() {
+            for &u in set {
+                reference[u as usize].push(id);
+            }
+        }
+        for (user, expected) in reference.iter().enumerate() {
+            let lo = self.inv_offsets[user] as usize;
+            let hi = self.inv_offsets[user + 1] as usize;
+            let mut got: Vec<SetId> = self.inv_sets[lo..hi]
+                .iter()
+                .copied()
+                .filter(|&e| entry_live(e))
+                .collect();
+            got.extend(
+                self.inv_extra
+                    .iter()
+                    .filter(|&&(u, _)| u as usize == user)
+                    .map(|&(_, s)| s),
+            );
+            got.sort_unstable();
+            // `expected` is already sorted: `iter` ascends by id.
+            if &got != expected {
+                return false;
+            }
+        }
+        true
     }
 
     /// Number of sets hit by the given seed users.
@@ -204,6 +468,13 @@ impl RrStore {
                 marked[u.index()] = true;
             }
         }
+        self.coverage_count_marked(&marked)
+    }
+
+    /// Number of sets containing at least one marked user (`marked` is a
+    /// dense user bitmap).  Lets callers — per-shard aggregation in
+    /// particular — share one bitmap across several stores.
+    pub fn coverage_count_marked(&self, marked: &[bool]) -> usize {
         self.spans
             .iter()
             .filter(|&&(start, len)| {
@@ -267,19 +538,55 @@ mod tests {
         let mut s = store_with(&[&[0, 1], &[1, 2], &[2]]);
         assert_eq!(s.sets_of(UserId(1)), &[0, 1]);
         assert_eq!(s.sets_of(UserId(2)), &[1, 2]);
-        assert_eq!(s.sets_of(UserId(5)), &[] as &[SetId]);
+        assert_eq!(s.sets_of(UserId(5)), Vec::<SetId>::new());
         assert_eq!(s.sets_touching(&users(&[0, 2])), vec![0, 1, 2]);
         assert_eq!(s.sets_touching(&users(&[5])), Vec::<SetId>::new());
+        // The first query built the index; exactly once.
+        assert_eq!(s.index_stats().full_rebuilds, 1);
     }
 
     #[test]
-    fn replace_tombstones_and_reindexes() {
+    fn replace_patches_the_index_without_rebuilding() {
         let mut s = store_with(&[&[0, 1], &[1, 2]]);
+        s.rebuild_index();
+        let rebuilds_after_build = s.index_stats().full_rebuilds;
         s.replace_set(0, &users(&[3]));
         assert_eq!(s.set(0), &[3]);
         assert_eq!(s.sets_of(UserId(1)), &[1]);
         assert_eq!(s.sets_of(UserId(3)), &[0]);
         assert_eq!(s.len(), 2);
+        assert!(s.index_matches_rebuild());
+        assert_eq!(s.index_stats().full_rebuilds, rebuilds_after_build);
+        // 2 tombstoned + 1 appended.
+        assert_eq!(s.index_stats().entries_patched, 3);
+    }
+
+    #[test]
+    fn pushes_after_build_are_patched_in() {
+        let mut s = store_with(&[&[0, 1]]);
+        s.rebuild_index();
+        let id = s.push_set(&users(&[1, 4]));
+        assert_eq!(id, 1);
+        assert_eq!(s.sets_of(UserId(1)), &[0, 1]);
+        assert_eq!(s.sets_of(UserId(4)), &[1]);
+        assert!(s.index_matches_rebuild());
+        assert_eq!(s.index_stats().full_rebuilds, 1);
+    }
+
+    #[test]
+    fn sustained_churn_compacts_but_never_rebuilds() {
+        let mut s = store_with(&[&[0, 1, 2], &[3, 4], &[5], &[0, 5]]);
+        s.rebuild_index();
+        for round in 0u32..50 {
+            let id = round % 4;
+            let members = [(round % 6), (round + 1) % 6];
+            s.replace_set(id, &users(&members));
+            assert!(s.index_matches_rebuild(), "diverged at round {round}");
+        }
+        let stats = s.index_stats();
+        assert_eq!(stats.full_rebuilds, 1, "churn must not trigger rebuilds");
+        assert!(stats.compactions > 0, "churn this heavy must compact");
+        assert!(stats.entries_patched > 0);
     }
 
     #[test]
@@ -313,5 +620,27 @@ mod tests {
     fn out_of_range_seed_users_are_ignored() {
         let s = store_with(&[&[0]]);
         assert_eq!(s.coverage_count(&users(&[99])), 0);
+    }
+
+    #[test]
+    fn index_stats_absorb_and_since() {
+        let mut a = IndexStats {
+            entries_patched: 5,
+            full_rebuilds: 1,
+            compactions: 0,
+        };
+        let earlier = a;
+        a.absorb(IndexStats {
+            entries_patched: 3,
+            full_rebuilds: 0,
+            compactions: 2,
+        });
+        assert_eq!(a.entries_patched, 8);
+        assert_eq!(a.full_rebuilds, 1);
+        assert_eq!(a.compactions, 2);
+        let delta = a.since(earlier);
+        assert_eq!(delta.entries_patched, 3);
+        assert_eq!(delta.full_rebuilds, 0);
+        assert_eq!(delta.compactions, 2);
     }
 }

@@ -77,6 +77,9 @@ fn main() {
         .config(config)
         .oracle(OracleKind::RrSketch {
             sets_per_item: 2048,
+            // Two shards to exercise the partitioned store; estimates and
+            // seeds are identical for any shard count.
+            shards: 2,
         })
         .build()
         .expect("valid engine");

@@ -224,7 +224,10 @@ fn sketch_backed_adaptive_pipeline_reuses_samples() {
         max_nominees: Some(4),
         ..DysimConfig::default()
     }
-    .with_oracle(OracleKind::RrSketch { sets_per_item: 512 });
+    .with_oracle(OracleKind::RrSketch {
+        sets_per_item: 512,
+        shards: 1,
+    });
 
     let engine = Engine::for_instance(&instance)
         .config(cfg)
@@ -267,6 +270,7 @@ fn config_knob_selects_the_estimator_end_to_end() {
     let mc = solve(base.clone());
     let sk = solve(base.with_oracle(OracleKind::RrSketch {
         sets_per_item: 2048,
+        shards: 1,
     }));
     assert!(instance.is_feasible(&mc.seeds) && !mc.seeds.is_empty());
     assert!(instance.is_feasible(&sk.seeds) && !sk.seeds.is_empty());

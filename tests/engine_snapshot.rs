@@ -32,6 +32,9 @@ fn config() -> DysimConfig {
     }
     .with_oracle(OracleKind::RrSketch {
         sets_per_item: SETS_PER_ITEM,
+        // Sharded on purpose: snapshot isolation and the refresh
+        // instrumentation must hold for the partitioned store too.
+        shards: 2,
     })
 }
 
@@ -184,20 +187,41 @@ fn readers_observe_only_published_epochs_under_concurrent_updates() {
         .collect();
 
     // The writer: land every batch, yielding so readers interleave.
+    let item_count = instance.scenario().item_count();
     let mut applied_epochs = Vec::new();
+    let mut entries_patched_total = 0u64;
     for update in &batches {
         let report = engine.apply(update).expect("in-range updates");
         applied_epochs.push(report.epoch);
         if update.is_empty() {
             assert_eq!(report.refresh_fraction, 0.0);
+            assert_eq!(report.refresh.resampled_sets, 0);
         } else {
             assert!(
                 report.refresh_fraction < 1.0,
                 "sketch refresh must reuse samples"
             );
+            // The refresh instrumentation: the fraction derives from the
+            // counters, the whole corpus is accounted for, and — the
+            // regression gate — index maintenance patched entries instead
+            // of falling back to a full counting rebuild.
+            assert_eq!(report.refresh_fraction, report.refresh.resampled_fraction());
+            assert_eq!(report.refresh.total_sets, SETS_PER_ITEM * item_count);
+            assert_eq!(
+                report.refresh.full_rebuilds, 0,
+                "a refresh fell back to rebuild_index"
+            );
+            if report.refresh.resampled_sets > 0 {
+                assert!(report.refresh.index_entries_patched > 0);
+            }
+            entries_patched_total += report.refresh.index_entries_patched;
         }
         std::thread::yield_now();
     }
+    assert!(
+        entries_patched_total > 0,
+        "twelve randomized batches must patch some index entries"
+    );
     done.store(true, Ordering::Relaxed);
 
     let mut total_observations = 0;
@@ -229,6 +253,12 @@ fn readers_observe_only_published_epochs_under_concurrent_updates() {
     assert!(
         refreshed.stores_equal(&rebuilt),
         "refresh drifted from rebuild after {UPDATE_BATCHES} concurrent update batches"
+    );
+    // Cumulatively, the only full index builds are the per-shard
+    // construction passes — every update batch maintained incrementally.
+    assert_eq!(
+        refreshed.index_stats().full_rebuilds,
+        (2 * item_count) as u64
     );
 }
 

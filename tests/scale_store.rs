@@ -1,0 +1,161 @@
+//! Scale smoke test: a 10⁵-user synthetic preset built, refreshed and
+//! solved through `Engine` must never rebuild an inverted index after
+//! construction — update cost tracks the *touched* region, not the corpus.
+//!
+//! Heavy by design, so it is `#[ignore]`d by default.  Run it with
+//!
+//! ```text
+//! cargo test --release --test scale_store -- --ignored
+//! ```
+//!
+//! (the dedicated CI step does exactly this, with its own timeout), or set
+//! `IMDPP_SCALE_TEST=1` to run it through the env-gated wrapper without the
+//! `--ignored` flag.  Either way, use `--release`: debug builds run the
+//! `debug_assert`-guarded index-equivalence check (O(corpus) per refresh by
+//! design) on a 100k-user world and take minutes instead of seconds.
+
+use imdpp_suite::core::{DysimConfig, EdgeUpdate, OracleKind, ScenarioUpdate, UserId};
+use imdpp_suite::datasets::config::{ImportanceDistribution, SocialModel};
+use imdpp_suite::datasets::{generate, DatasetConfig};
+use imdpp_suite::engine::Engine;
+
+const SCALE_USERS: usize = 100_000;
+const SETS_PER_ITEM: usize = 8192;
+const SHARDS: usize = 4;
+
+/// A 10⁵-user preferential-attachment world with a small catalogue: the
+/// regime where a full counting pass per refresh dwarfs the touched region.
+/// Influence strengths, preferences and the cost scale are chosen so the
+/// high-degree candidates are affordable and cover a measurable slice of
+/// the RR pool — the solve must commit real seeds, not degenerate to an
+/// empty selection.
+fn scale_config() -> DatasetConfig {
+    DatasetConfig {
+        name: "scale-100k".to_string(),
+        users: SCALE_USERS,
+        items: 5,
+        directed_friendships: false,
+        social_model: SocialModel::PreferentialAttachment { links_per_node: 3 },
+        avg_influence_strength: 0.1,
+        importance: ImportanceDistribution::Uniform { value: 1.0 },
+        kg_features: 10,
+        kg_brands: 4,
+        kg_categories: 4,
+        kg_keywords: 8,
+        features_per_item: 2,
+        keywords_per_item: 1,
+        related_pair_fraction: 0.2,
+        base_preference_range: (0.1, 0.5),
+        cost_scale: 0.001,
+        initial_metagraph_weight: 0.2,
+        seed: 0x5CA1E,
+    }
+}
+
+fn run_scale_smoke() {
+    let instance = generate(&scale_config())
+        .instance
+        .with_budget(40.0)
+        .with_promotions(2);
+    let scenario_items = instance.scenario().item_count();
+    assert_eq!(instance.scenario().user_count(), SCALE_USERS);
+
+    let config = DysimConfig {
+        mc_samples: 2,
+        candidate_users: Some(12),
+        max_nominees: Some(4),
+        use_guard_solutions: false,
+        ..DysimConfig::default()
+    }
+    .with_oracle(OracleKind::RrSketch {
+        sets_per_item: SETS_PER_ITEM,
+        shards: SHARDS,
+    });
+    let engine = Engine::for_instance(&instance)
+        .config(config)
+        .build()
+        .expect("scale instance is valid");
+
+    // Construction performs exactly one full index build per shard per item
+    // — and that is the last full build the engine ever does.
+    let built = engine
+        .snapshot()
+        .oracle()
+        .as_sketch()
+        .expect("engine is sketch-backed")
+        .index_stats();
+    assert_eq!(built.full_rebuilds, (scenario_items * SHARDS) as u64);
+    assert_eq!(built.compactions, 0);
+
+    // Localized drift: reweight one incoming edge of a low-degree user and
+    // nudge one preference.  Every refresh must patch, never rebuild, and
+    // touch only a sliver of the corpus.
+    let (src, dst) = {
+        let snapshot = engine.snapshot();
+        let scenario = snapshot.scenario();
+        let quiet = scenario
+            .users()
+            .min_by_key(|&u| (scenario.social().out_degree(u), std::cmp::Reverse(u.0)))
+            .expect("preset has users");
+        let (src, _) = scenario
+            .social()
+            .influencers_of(quiet)
+            .next()
+            .expect("preferential-attachment users have neighbours");
+        (src, quiet)
+    };
+    let drift = [
+        ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src,
+            dst,
+            weight: 0.42,
+        }]),
+        ScenarioUpdate::Preferences(vec![(UserId(17), imdpp_suite::core::ItemId(1), 0.8)]),
+        ScenarioUpdate::Edges(vec![EdgeUpdate::Remove { src, dst }]),
+    ];
+    for (i, update) in drift.iter().enumerate() {
+        let applied = engine.apply(update).expect("in-range update");
+        assert_eq!(applied.epoch, i as u64 + 1);
+        assert_eq!(
+            applied.refresh.full_rebuilds, 0,
+            "update {i} fell back to a full index rebuild"
+        );
+        assert!(
+            applied.refresh_fraction < 0.05,
+            "update {i} re-sampled {:.2}% of the corpus — not localized",
+            100.0 * applied.refresh_fraction
+        );
+        assert_eq!(applied.refresh.total_sets, scenario_items * SETS_PER_ITEM);
+    }
+
+    // A full solve over the drifted 10⁵-user world...
+    let seeds = engine.solve();
+    assert!(!seeds.is_empty());
+    assert!(engine.snapshot().instance().is_feasible(&seeds));
+
+    // ...and still zero post-build rebuilds anywhere (the acceptance
+    // criterion: the rebuild counter stays at the initial build only).
+    let final_stats = engine
+        .snapshot()
+        .oracle()
+        .as_sketch()
+        .expect("engine is sketch-backed")
+        .index_stats();
+    assert_eq!(final_stats.full_rebuilds, built.full_rebuilds);
+}
+
+#[test]
+#[ignore = "10^5-user scale smoke test (seconds of work + ~100 MB); run with --ignored or IMDPP_SCALE_TEST=1"]
+fn hundred_thousand_users_refresh_and_solve_without_index_rebuilds() {
+    run_scale_smoke();
+}
+
+/// Env-gated wrapper so opting in does not require `--ignored`:
+/// `IMDPP_SCALE_TEST=1 cargo test --release --test scale_store`
+/// (`--release` matters — see the module docs).
+#[test]
+fn scale_smoke_when_opted_in_via_env() {
+    if std::env::var("IMDPP_SCALE_TEST").as_deref() == Ok("1") {
+        run_scale_smoke();
+    }
+}
