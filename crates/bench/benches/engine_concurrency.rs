@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 const SETS_PER_ITEM: usize = 1024;
 const MEASURE_WINDOW: Duration = Duration::from_millis(400);
 
-fn build_engine(shards: usize) -> Engine {
+fn build_engine(shards: usize, threads: usize) -> Engine {
     let instance = yelp_instance(0.25, 120.0, 3);
     Engine::for_instance(&instance)
         .config(DysimConfig {
@@ -46,6 +46,7 @@ fn build_engine(shards: usize) -> Engine {
         .oracle(OracleKind::RrSketch {
             sets_per_item: SETS_PER_ITEM,
             shards,
+            threads,
         })
         .build()
         .expect("yelp instance is valid")
@@ -125,7 +126,7 @@ fn run_readers_under_writes(
 fn bench_engine_concurrency(c: &mut Criterion) {
     let mut summary = BenchSummary::new("engine_concurrency");
     summary.record("engine_shard_count", 1.0);
-    let engine = Arc::new(build_engine(1));
+    let engine = Arc::new(build_engine(1, 1));
     let seeds = engine.solve();
     assert!(!seeds.is_empty());
     let nominees: Vec<Nominee> = seeds.seeds().iter().map(|s| (s.user, s.item)).collect();
@@ -156,26 +157,48 @@ fn bench_engine_concurrency(c: &mut Criterion) {
          while updates land; got {scaling:.2}x"
     );
 
-    // --- Sharded engine: same workload over the partitioned store. --------
+    // --- Sharded engine: same workload over the partitioned store, with a
+    // --- writer-threads axis (1 vs 4 workers per shard-parallel refresh). -
     const ENGINE_SHARDS: usize = 4;
     summary.record("sharded_engine_shard_count", ENGINE_SHARDS as f64);
-    let sharded_engine = Arc::new(build_engine(ENGINE_SHARDS));
-    assert_eq!(
-        sharded_engine.solve(),
-        seeds,
-        "shard count must not change the engine's solution"
-    );
-    for readers in [1usize, 4] {
-        let (queries, updates) = run_readers_under_writes(&sharded_engine, &nominees, readers);
-        let qps = queries as f64 / MEASURE_WINDOW.as_secs_f64();
-        println!(
-            "{ENGINE_SHARDS}-shard engine, {readers} reader(s) while writing: \
-             {queries} spread queries ({qps:.0}/s) alongside {updates} applied updates"
+    let mut writer_updates_by_threads = Vec::new();
+    for writer_threads in [1usize, 4] {
+        let sharded_engine = Arc::new(build_engine(ENGINE_SHARDS, writer_threads));
+        assert_eq!(
+            sharded_engine.solve(),
+            seeds,
+            "shard count / thread count must not change the engine's solution"
         );
-        summary.record(format!("sharded_readers_{readers}_queries_per_second"), qps);
-        summary.record(
-            format!("sharded_readers_{readers}_writer_updates"),
-            updates as f64,
+        for readers in [1usize, 4] {
+            let (queries, updates) = run_readers_under_writes(&sharded_engine, &nominees, readers);
+            let qps = queries as f64 / MEASURE_WINDOW.as_secs_f64();
+            println!(
+                "{ENGINE_SHARDS}-shard engine (writer threads = {writer_threads}), \
+                 {readers} reader(s) while writing: {queries} spread queries \
+                 ({qps:.0}/s) alongside {updates} applied updates"
+            );
+            summary.record(
+                format!("sharded_threads_{writer_threads}_readers_{readers}_queries_per_second"),
+                qps,
+            );
+            summary.record(
+                format!("sharded_threads_{writer_threads}_readers_{readers}_writer_updates"),
+                updates as f64,
+            );
+            if readers == 1 {
+                writer_updates_by_threads.push(updates);
+            }
+        }
+    }
+    // Recorded, not hard-gated (update throughput on a shared runner is
+    // noisy): how many refreshes the writer landed per window with
+    // sequential vs shard-parallel workers.
+    if let [sequential, parallel] = writer_updates_by_threads[..] {
+        let ratio = parallel as f64 / (sequential as f64).max(1e-9);
+        summary.record("sharded_writer_updates_4_over_1_threads", ratio);
+        println!(
+            "writer refresh throughput, 4 workers over 1: {ratio:.2}x \
+             ({parallel} vs {sequential} updates per window)"
         );
     }
 

@@ -109,6 +109,12 @@ pub enum OracleKind {
         /// layout and maintenance locality only — estimates and greedy
         /// selections are shard-count-independent.
         shards: usize,
+        /// Worker threads for sampling and shard-parallel build/refresh
+        /// (`0` = auto, capped at the machine's cores; the convention is
+        /// defined on `imdpp_sketch::SketchConfig::threads`).  Estimates,
+        /// seeds and refresh statistics are thread-count-independent.
+        #[serde(default)]
+        threads: usize,
     },
 }
 

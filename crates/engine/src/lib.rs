@@ -37,7 +37,7 @@
 //! let engine = Engine::builder(toy_scenario())
 //!     .budget(3.0)
 //!     .promotions(2)
-//!     .oracle(OracleKind::RrSketch { sets_per_item: 512, shards: 2 })
+//!     .oracle(OracleKind::RrSketch { sets_per_item: 512, shards: 2, threads: 0 })
 //!     .seed(7)
 //!     .build()
 //!     .unwrap();
@@ -535,6 +535,7 @@ mod tests {
             .oracle(OracleKind::RrSketch {
                 sets_per_item: 64,
                 shards: 1,
+                threads: 0,
             })
             .build()
             .unwrap_err();
@@ -560,10 +561,12 @@ mod tests {
         let a = engine(OracleKind::RrSketch {
             sets_per_item: 512,
             shards: 1,
+            threads: 0,
         });
         let b = engine(OracleKind::RrSketch {
             sets_per_item: 512,
             shards: 1,
+            threads: 0,
         });
         let seeds = a.solve();
         assert_eq!(seeds, b.solve());
@@ -577,6 +580,7 @@ mod tests {
         let flat = engine(OracleKind::RrSketch {
             sets_per_item: 512,
             shards: 1,
+            threads: 0,
         });
         let flat_report = flat.solve_report();
         let nominees = [(UserId(0), ItemId(0)), (UserId(2), ItemId(1))];
@@ -584,6 +588,7 @@ mod tests {
             let sharded = engine(OracleKind::RrSketch {
                 sets_per_item: 512,
                 shards,
+                threads: 0,
             });
             let report = sharded.solve_report();
             assert_eq!(report.seeds, flat_report.seeds, "{shards} shards");
@@ -600,6 +605,7 @@ mod tests {
         let engine = engine(OracleKind::RrSketch {
             sets_per_item: 256,
             shards: 1,
+            threads: 0,
         });
         let update = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
             src: UserId(0),
@@ -648,6 +654,7 @@ mod tests {
         let engine = engine(OracleKind::RrSketch {
             sets_per_item: 256,
             shards: 3,
+            threads: 0,
         });
         let updates = vec![
             ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]),
@@ -728,6 +735,7 @@ mod tests {
             OracleKind::RrSketch {
                 sets_per_item: 256,
                 shards: 1,
+                threads: 0,
             },
         ] {
             let engine = Engine::builder(toy_scenario())
@@ -768,6 +776,7 @@ mod tests {
         let engine = engine(OracleKind::RrSketch {
             sets_per_item: 512,
             shards: 1,
+            threads: 0,
         });
         let direct = SketchOracle::build(
             engine.snapshot().scenario(),

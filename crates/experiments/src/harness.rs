@@ -37,8 +37,10 @@ impl Default for HarnessConfig {
 }
 
 /// Parses the `IMDPP_ORACLE` syntax: `monte-carlo` / `mc`,
-/// `rr-sketch` / `sketch` (2048 RR sets per item, 1 shard),
-/// `rr-sketch:<sets>`, or `rr-sketch:<sets>:<shards>`.
+/// `rr-sketch` / `sketch` (2048 RR sets per item, 1 shard, auto threads),
+/// `rr-sketch:<sets>`, `rr-sketch:<sets>:<shards>`, or
+/// `rr-sketch:<sets>:<shards>:<threads>` (`threads` may be `0` = auto —
+/// every available core; any other value is capped at the machine's cores).
 pub fn parse_oracle(value: &str) -> Option<OracleKind> {
     let v = value.trim().to_ascii_lowercase();
     match v.as_str() {
@@ -46,22 +48,31 @@ pub fn parse_oracle(value: &str) -> Option<OracleKind> {
         "rr-sketch" | "rrsketch" | "sketch" => Some(OracleKind::RrSketch {
             sets_per_item: 2048,
             shards: 1,
+            threads: 0,
         }),
         _ => {
             let rest = v
                 .strip_prefix("rr-sketch:")
                 .or_else(|| v.strip_prefix("sketch:"))?;
-            let (sets, shards) = match rest.split_once(':') {
-                Some((sets, shards)) => (sets, shards.parse::<usize>().ok().filter(|&s| s > 0)?),
-                None => (rest, 1),
+            let mut parts = rest.split(':');
+            let sets_per_item = parts.next()?.parse::<usize>().ok().filter(|&n| n > 0)?;
+            let shards = match parts.next() {
+                Some(s) => s.parse::<usize>().ok().filter(|&s| s > 0)?,
+                None => 1,
             };
-            sets.parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .map(|sets_per_item| OracleKind::RrSketch {
-                    sets_per_item,
-                    shards,
-                })
+            // Unlike sets and shards, 0 threads is meaningful (= auto).
+            let threads = match parts.next() {
+                Some(t) => t.parse::<usize>().ok()?,
+                None => 0,
+            };
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(OracleKind::RrSketch {
+                sets_per_item,
+                shards,
+                threads,
+            })
         }
     }
 }
@@ -98,7 +109,8 @@ impl HarnessConfig {
                 Some(oracle) => cfg.oracle = oracle,
                 None => eprintln!(
                     "IMDPP_ORACLE = {v:?} not understood (expected monte-carlo | rr-sketch | \
-                     rr-sketch:<sets> | rr-sketch:<sets>:<shards>); keeping the default"
+                     rr-sketch:<sets> | rr-sketch:<sets>:<shards> | \
+                     rr-sketch:<sets>:<shards>:<threads>); keeping the default"
                 ),
             }
         }
@@ -333,39 +345,63 @@ mod tests {
             Some(OracleKind::RrSketch {
                 sets_per_item: 2048,
                 shards: 1,
+                threads: 0,
             })
         );
         assert_eq!(
             parse_oracle("rr-sketch:512"),
             Some(OracleKind::RrSketch {
                 sets_per_item: 512,
-                shards: 1
+                shards: 1,
+                threads: 0,
             })
         );
         assert_eq!(
             parse_oracle("sketch:64"),
             Some(OracleKind::RrSketch {
                 sets_per_item: 64,
-                shards: 1
+                shards: 1,
+                threads: 0,
             })
         );
         assert_eq!(
             parse_oracle("rr-sketch:512:4"),
             Some(OracleKind::RrSketch {
                 sets_per_item: 512,
-                shards: 4
+                shards: 4,
+                threads: 0,
             })
         );
         assert_eq!(
             parse_oracle("sketch:64:2"),
             Some(OracleKind::RrSketch {
                 sets_per_item: 64,
-                shards: 2
+                shards: 2,
+                threads: 0,
+            })
+        );
+        assert_eq!(
+            parse_oracle("rr-sketch:512:4:8"),
+            Some(OracleKind::RrSketch {
+                sets_per_item: 512,
+                shards: 4,
+                threads: 8,
+            })
+        );
+        // 0 threads is the documented auto convention, not an error.
+        assert_eq!(
+            parse_oracle("sketch:64:2:0"),
+            Some(OracleKind::RrSketch {
+                sets_per_item: 64,
+                shards: 2,
+                threads: 0,
             })
         );
         assert_eq!(parse_oracle("rr-sketch:0"), None);
         assert_eq!(parse_oracle("rr-sketch:512:0"), None);
         assert_eq!(parse_oracle("rr-sketch:512:four"), None);
+        assert_eq!(parse_oracle("rr-sketch:512:4:two"), None);
+        assert_eq!(parse_oracle("rr-sketch:512:4:8:9"), None);
         assert_eq!(parse_oracle("quantum"), None);
     }
 
@@ -376,6 +412,7 @@ mod tests {
             oracle: OracleKind::RrSketch {
                 sets_per_item: 256,
                 shards: 1,
+                threads: 0,
             },
             ..tiny_config()
         };

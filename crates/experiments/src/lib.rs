@@ -13,8 +13,9 @@
 //!   algorithms (default 20),
 //! * `IMDPP_ORACLE` — estimator behind Dysim's nominee selection:
 //!   `monte-carlo` (default), `rr-sketch` (2048 RR sets per item) or
-//!   `rr-sketch:<sets>`; every Dysim run goes through the `imdpp-engine`
-//!   session façade, which honours this knob,
+//!   `rr-sketch:<sets>[:<shards>[:<threads>]]` (`threads` `0` = auto);
+//!   every Dysim run goes through the `imdpp-engine` session façade, which
+//!   honours this knob,
 //! * `IMDPP_OUT`    — directory for CSV output (default `results/`).
 //!
 //! and prints the same rows / series the corresponding paper figure reports.

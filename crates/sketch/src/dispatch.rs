@@ -25,7 +25,7 @@
 //! let mc = ConfiguredOracle::build(&scenario, OracleKind::MonteCarlo, 8, 7);
 //! let sk = ConfiguredOracle::build(
 //!     &scenario,
-//!     OracleKind::RrSketch { sets_per_item: 512, shards: 2 },
+//!     OracleKind::RrSketch { sets_per_item: 512, shards: 2, threads: 0 },
 //!     8,
 //!     7,
 //! );
@@ -42,12 +42,20 @@ use imdpp_diffusion::Scenario;
 
 /// The sketch configuration an [`OracleKind::RrSketch`] knob resolves to: a
 /// fixed pool (adaptive growth disabled so refreshes stay bit-identical to
-/// rebuilds) seeded from the run's base seed and partitioned across
-/// `shards` shards per item (`0` is clamped to `1`, the flat store).
-pub fn sketch_config_for(base_seed: u64, sets_per_item: usize, shards: usize) -> SketchConfig {
+/// rebuilds) seeded from the run's base seed, partitioned across `shards`
+/// shards per item (`0` is clamped to `1`, the flat store) and built /
+/// refreshed by `threads` workers (`0` = auto; see
+/// [`SketchConfig::threads`] — results are thread-count-independent).
+pub fn sketch_config_for(
+    base_seed: u64,
+    sets_per_item: usize,
+    shards: usize,
+    threads: usize,
+) -> SketchConfig {
     SketchConfig::fixed(sets_per_item)
         .with_base_seed(base_seed)
         .with_shards(shards.max(1))
+        .with_threads(threads)
 }
 
 /// A concrete estimator resolved from an [`OracleKind`] knob.
@@ -84,9 +92,10 @@ impl ConfiguredOracle {
             OracleKind::RrSketch {
                 sets_per_item,
                 shards,
+                threads,
             } => ConfiguredOracle::RrSketch(SketchOracle::build(
                 scenario,
-                sketch_config_for(base_seed, sets_per_item, shards),
+                sketch_config_for(base_seed, sets_per_item, shards, threads),
             )),
         }
     }
@@ -98,6 +107,7 @@ impl ConfiguredOracle {
             ConfiguredOracle::RrSketch(s) => OracleKind::RrSketch {
                 sets_per_item: s.config().initial_sets,
                 shards: s.shard_count(),
+                threads: s.config().threads,
             },
         }
     }
@@ -177,6 +187,7 @@ mod tests {
             OracleKind::RrSketch {
                 sets_per_item: 128,
                 shards: 1,
+                threads: 0,
             },
             8,
             13,
@@ -186,6 +197,7 @@ mod tests {
             OracleKind::RrSketch {
                 sets_per_item: 128,
                 shards: 1,
+                threads: 0,
             }
         );
         assert_eq!(sk.name(), "rr-sketch");
@@ -197,6 +209,7 @@ mod tests {
             OracleKind::RrSketch {
                 sets_per_item: 128,
                 shards: 4,
+                threads: 0,
             },
             8,
             13,
@@ -206,6 +219,7 @@ mod tests {
             OracleKind::RrSketch {
                 sets_per_item: 128,
                 shards: 4,
+                threads: 0,
             }
         );
         let clamped = ConfiguredOracle::build(
@@ -213,6 +227,7 @@ mod tests {
             OracleKind::RrSketch {
                 sets_per_item: 64,
                 shards: 0,
+                threads: 0,
             },
             8,
             13,
@@ -222,6 +237,7 @@ mod tests {
             OracleKind::RrSketch {
                 sets_per_item: 64,
                 shards: 1,
+                threads: 0,
             }
         );
     }
@@ -243,11 +259,12 @@ mod tests {
             OracleKind::RrSketch {
                 sets_per_item: 256,
                 shards: 2,
+                threads: 0,
             },
             8,
             13,
         );
-        let direct_sk = SketchOracle::build(&s, sketch_config_for(13, 256, 2));
+        let direct_sk = SketchOracle::build(&s, sketch_config_for(13, 256, 2, 0));
         assert_eq!(
             sk.static_spread(&nominees),
             direct_sk.static_spread(&nominees)
@@ -272,6 +289,7 @@ mod tests {
             OracleKind::RrSketch {
                 sets_per_item: 128,
                 shards: 1,
+                threads: 0,
             },
             8,
             13,

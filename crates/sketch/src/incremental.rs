@@ -37,7 +37,6 @@
 //! builds every refresh `debug_assert`s the patched index against a full
 //! rebuild.
 
-use crate::sampler;
 use crate::sharded::ShardedRrStore;
 use imdpp_diffusion::Scenario;
 use imdpp_graph::{EdgeUpdate, UserId};
@@ -101,6 +100,11 @@ pub fn edge_update_frontier(before: &Scenario, updates: &[EdgeUpdate]) -> Vec<Us
 /// scenario): re-samples exactly the sets containing an affected head,
 /// replaying each set's original RNG stream, and reuses everything else.
 /// The owning shards' inverted indexes are patched, never rebuilt.
+///
+/// Delegates to [`ShardedRrStore::refresh`], which fans the frontier out
+/// **per shard** (each shard queried, re-sampled and patched on its own
+/// worker) and merges the per-shard counters; results and stats are
+/// identical for any `(threads, shards)` combination.
 pub fn refresh_store(
     store: &mut ShardedRrStore,
     updated: &Scenario,
@@ -108,32 +112,13 @@ pub fn refresh_store(
     heads: &[UserId],
     threads: usize,
 ) -> RefreshStats {
-    let index_before = store.index_stats();
-    let invalid = store.sets_touching(heads);
-    let streams: Vec<u64> = invalid.iter().map(|&id| id as u64).collect();
-    let fresh = sampler::sample_streams(updated, store.item(), base_seed, &streams, threads);
-    for (&id, set) in invalid.iter().zip(&fresh) {
-        store.replace_set(id, set);
-    }
-    // The equivalence check the incremental index is specified by: after
-    // patching, membership answers match a from-scratch counting rebuild.
-    debug_assert!(
-        store.index_matches_rebuild(),
-        "patched inverted index diverged from rebuild_index"
-    );
-    let index_delta = store.index_stats().since(index_before);
-    RefreshStats {
-        total_sets: store.len(),
-        resampled_sets: invalid.len(),
-        stores: 1,
-        index_entries_patched: index_delta.entries_patched,
-        full_rebuilds: index_delta.full_rebuilds,
-    }
+    store.refresh(updated, base_seed, heads, threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sampler;
     use imdpp_diffusion::scenario::toy_scenario;
     use imdpp_graph::ItemId;
 

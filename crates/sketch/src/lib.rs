@@ -88,6 +88,7 @@ pub use dispatch::ConfiguredOracle;
 pub use greedy::{greedy_max_coverage, greedy_max_coverage_sharded, GreedySelection};
 pub use incremental::{affected_heads, edge_update_frontier, RefreshStats};
 pub use oracle::SketchOracle;
+pub use sampler::effective_threads;
 pub use sharded::ShardedRrStore;
 pub use store::{IndexStats, RrStore, SetId};
 
@@ -107,7 +108,25 @@ pub struct SketchConfig {
     pub epsilon: f64,
     /// Failure probability of the `(ε, δ)` stopping rule.
     pub delta: f64,
-    /// Worker threads for sampling (0 or 1 = sequential).
+    /// Worker threads for sampling and shard-parallel maintenance.
+    ///
+    /// This is *the* definition of the convention every path follows
+    /// (resolved by `sampler::effective_threads`):
+    ///
+    /// * **`0` means auto** — use every core `available_parallelism`
+    ///   reports,
+    /// * any explicit count is capped at `available_parallelism` and at
+    ///   the available work (streams to sample, shards to refresh), and
+    ///   floors at 1 (sequential),
+    /// * on sharded stores the unit of parallelism is the **shard**: each
+    ///   shard builds/refreshes on its own worker, so full utilization
+    ///   wants `shards >= threads`; a single-shard store parallelizes over
+    ///   sampling streams instead.
+    ///
+    /// Results are bit-identical for every value — each RR set is its own
+    /// deterministic RNG stream (`set id == stream id`), so the thread
+    /// count only changes wall-clock, never estimates, seeds or refresh
+    /// statistics.
     pub threads: usize,
     /// Shards each item's RR store is partitioned across (`1` = the flat
     /// store; `0` is treated as `1`).  Set → shard assignment is the pure
@@ -124,9 +143,7 @@ impl Default for SketchConfig {
             max_sets: 32_768,
             epsilon: 0.1,
             delta: 0.01,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: 0, // auto: every available core (see the field docs)
             shards: 1,
         }
     }
@@ -149,7 +166,8 @@ impl SketchConfig {
         self
     }
 
-    /// Replaces the worker-thread count.
+    /// Replaces the worker-thread count (`0` = auto; see
+    /// [`SketchConfig::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -185,7 +203,7 @@ mod tests {
         assert!(c.initial_sets > 0);
         assert!(c.max_sets >= c.initial_sets);
         assert!(c.epsilon > 0.0 && c.delta > 0.0);
-        assert!(c.threads >= 1);
+        assert_eq!(c.threads, 0, "default threads is 0 = auto");
         assert_eq!(c.shards, 1);
     }
 }

@@ -4,7 +4,6 @@
 use crate::adaptive::{AdaptiveReport, StoppingRule};
 use crate::greedy::{greedy_max_coverage_sharded, GreedySelection};
 use crate::incremental::{affected_heads, edge_update_frontier, refresh_store, RefreshStats};
-use crate::sampler;
 use crate::sharded::ShardedRrStore;
 use crate::store::IndexStats;
 use crate::SketchConfig;
@@ -53,22 +52,17 @@ impl SketchOracle {
         let stores = frozen
             .items()
             .map(|item| {
-                let mut store = ShardedRrStore::new(item, frozen.user_count(), config.shards);
-                let sets = sampler::sample_range(
+                // Shard-parallel generation: each shard samples, pushes and
+                // performs its one full index build on its own worker; every
+                // later maintenance step patches incrementally.
+                ShardedRrStore::build(
                     &frozen,
                     item,
+                    config.shards,
                     config.base_seed,
-                    0,
                     config.initial_sets,
                     config.threads,
-                );
-                for set in &sets {
-                    store.push_set(set);
-                }
-                // The one (per-shard) full index build; every later
-                // maintenance step patches incrementally.
-                store.rebuild_index();
-                store
+                )
             })
             .collect();
         SketchOracle {
@@ -169,19 +163,15 @@ impl SketchOracle {
                 };
             }
             let grow = store.len().min(self.config.max_sets - store.len()).max(1);
-            let sets = sampler::sample_range(
+            // Shard-parallel growth; grown sets are patched into the
+            // inverted index (no rebuild), and the `id mod S` stream
+            // partition keeps placement thread-independent.
+            store.extend(
                 &self.frozen,
-                item,
                 self.config.base_seed,
-                store.len() as u64,
                 grow,
                 self.config.threads,
             );
-            for set in &sets {
-                // Grown sets are patched into the inverted index (no
-                // rebuild): growth cost tracks the new sets only.
-                store.push_set(set);
-            }
             rounds += 1;
         }
     }

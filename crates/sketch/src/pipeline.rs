@@ -24,7 +24,7 @@ use imdpp_core::ImdppInstance;
 )]
 pub fn sketch_config_for(config: &imdpp_core::DysimConfig, sets_per_item: usize) -> SketchConfig {
     // The shim predates sharding; it always resolved to the flat store.
-    crate::dispatch::sketch_config_for(config.base_seed, sets_per_item, 1)
+    crate::dispatch::sketch_config_for(config.base_seed, sets_per_item, 1, 0)
 }
 
 /// Runs the full Dysim pipeline (TMI → DRE → TDSI) with the estimator
@@ -94,6 +94,7 @@ mod tests {
             &DysimConfig::fast().with_oracle(OracleKind::RrSketch {
                 sets_per_item: 512,
                 shards: 1,
+                threads: 0,
             }),
         );
         assert!(inst.is_feasible(&mc.seeds));
@@ -118,6 +119,7 @@ mod tests {
         let cfg = DysimConfig::fast().with_oracle(OracleKind::RrSketch {
             sets_per_item: 256,
             shards: 1,
+            threads: 0,
         });
         let drift = vec![
             ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {

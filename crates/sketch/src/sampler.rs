@@ -33,8 +33,32 @@ pub fn stream_seed(base_seed: u64, item: ItemId, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Resolves a requested worker-thread count against the machine and the
+/// amount of work.
+///
+/// This is the **one** place the `threads` knob is interpreted (every
+/// sampling and refresh path funnels through it):
+///
+/// * `0` means *auto* — use every core `available_parallelism` reports
+///   (see the [`crate::SketchConfig::threads`] rustdoc, where the
+///   convention is documented for callers),
+/// * explicit requests are capped at `available_parallelism` — spawning
+///   more CPU-bound workers than cores only adds scheduling overhead —
+///   and at `work_items`, since a worker without work is pure spawn cost,
+/// * the result is never below 1.
+///
+/// Determinism never depends on the resolved value: every RR set is its own
+/// RNG stream, so any worker count produces bit-identical output.
+pub fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let requested = if requested == 0 { cores } else { requested };
+    requested.min(cores).clamp(1, work_items.max(1))
+}
+
 /// Scratch state reused across samples so per-set allocations stay O(|set|).
-struct Scratch {
+pub(crate) struct Scratch {
     /// Stamp-based visited marks (`visited[u] == stamp` ⇔ visited now).
     visited: Vec<u64>,
     stamp: u64,
@@ -42,7 +66,7 @@ struct Scratch {
 }
 
 impl Scratch {
-    fn new(user_count: usize) -> Self {
+    pub(crate) fn new(user_count: usize) -> Self {
         Scratch {
             visited: vec![0; user_count],
             stamp: 0,
@@ -58,7 +82,7 @@ pub fn sample_set(scenario: &Scenario, item: ItemId, base_seed: u64, stream: u64
     sample_set_with(scenario, item, base_seed, stream, &mut scratch)
 }
 
-fn sample_set_with(
+pub(crate) fn sample_set_with(
     scenario: &Scenario,
     item: ItemId,
     base_seed: u64,
@@ -95,8 +119,29 @@ fn sample_set_with(
 }
 
 /// Samples the RR sets of `streams` in parallel, returning them ordered by
-/// stream id.  Deterministic regardless of `threads`.
+/// stream id.  Deterministic regardless of `threads`; the requested count
+/// is resolved by [`effective_threads`] (`0` = auto, capped at the core
+/// count and the stream count).
 pub fn sample_streams(
+    scenario: &Scenario,
+    item: ItemId,
+    base_seed: u64,
+    streams: &[u64],
+    threads: usize,
+) -> Vec<Vec<UserId>> {
+    sample_streams_with_workers(
+        scenario,
+        item,
+        base_seed,
+        streams,
+        effective_threads(threads, streams.len()),
+    )
+}
+
+/// [`sample_streams`] with an already-resolved worker count — `pub(crate)`
+/// so tests can exercise the multi-worker path even on machines whose core
+/// count would cap the public knob to 1.
+pub(crate) fn sample_streams_with_workers(
     scenario: &Scenario,
     item: ItemId,
     base_seed: u64,
@@ -105,7 +150,6 @@ pub fn sample_streams(
 ) -> Vec<Vec<UserId>> {
     let count = streams.len();
     let mut results: Vec<Vec<UserId>> = vec![Vec::new(); count];
-    let threads = threads.max(1).min(count.max(1));
     if threads <= 1 || count <= 1 {
         let mut scratch = Scratch::new(scenario.user_count());
         for (slot, &stream) in results.iter_mut().zip(streams) {
@@ -181,13 +225,36 @@ mod tests {
     #[test]
     fn streams_are_deterministic_and_independent_of_thread_count() {
         let s = toy_scenario();
+        let streams: Vec<u64> = (0..64).collect();
         let sequential = sample_range(&s, ItemId(0), 5, 0, 64, 1);
         let parallel = sample_range(&s, ItemId(0), 5, 0, 64, 4);
         assert_eq!(sequential, parallel);
+        // Force real multi-worker sampling regardless of the machine's core
+        // count (the public knob caps at available_parallelism).
+        for workers in [2usize, 4, 8] {
+            let forced = sample_streams_with_workers(&s, ItemId(0), 5, &streams, workers);
+            assert_eq!(sequential, forced, "{workers} workers");
+        }
         // Replaying one stream in isolation reproduces the batch result.
         for (i, set) in sequential.iter().enumerate() {
             assert_eq!(*set, sample_set(&s, ItemId(0), 5, i as u64));
         }
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto_and_caps() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // 0 = auto: every available core (still capped by the work size).
+        assert_eq!(effective_threads(0, usize::MAX), cores);
+        assert_eq!(effective_threads(0, 1), 1);
+        // Explicit requests cap at the core count...
+        assert_eq!(effective_threads(cores + 7, usize::MAX), cores);
+        // ...and at the number of work items, and never fall below 1.
+        assert_eq!(effective_threads(8, 3), 3.min(cores));
+        assert_eq!(effective_threads(1, 0), 1);
+        assert_eq!(effective_threads(0, 0), 1);
     }
 
     #[test]

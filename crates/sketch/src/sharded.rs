@@ -32,8 +32,59 @@
 //! compaction scheme per shard; see [`crate::store`] for the invariants and
 //! [`IndexStats`] for the counters proving no post-build rebuilds happen.
 
+use crate::incremental::RefreshStats;
+use crate::sampler;
 use crate::store::{IndexStats, RrStore, SetId};
+use imdpp_diffusion::Scenario;
 use imdpp_graph::{ItemId, UserId};
+
+/// Runs `job` once per shard, distributing the shards across up to
+/// `workers` scoped threads (shard order is preserved in the returned
+/// results).  `workers` must already be resolved
+/// ([`sampler::effective_threads`]); `workers <= 1` runs inline.
+///
+/// Each worker owns a contiguous chunk of shards — sets are dealt to shards
+/// round-robin (`id mod S`), so chunks carry near-identical work and static
+/// partitioning wastes nothing.  Because every job only touches its own
+/// shard's arena and index, workers share no mutable state and the result
+/// is identical to the inline loop by construction.
+fn for_each_shard<T: Send>(
+    shards: &mut [RrStore],
+    workers: usize,
+    job: impl Fn(usize, &mut RrStore) -> T + Sync,
+) -> Vec<T> {
+    if workers <= 1 || shards.len() <= 1 {
+        return shards
+            .iter_mut()
+            .enumerate()
+            .map(|(si, shard)| job(si, shard))
+            .collect();
+    }
+    let chunk = shards.len().div_ceil(workers);
+    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(shards.len()).collect();
+    std::thread::scope(|scope| {
+        for (ci, (shard_chunk, result_chunk)) in shards
+            .chunks_mut(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            let job = &job;
+            scope.spawn(move || {
+                for (off, (shard, slot)) in shard_chunk
+                    .iter_mut()
+                    .zip(result_chunk.iter_mut())
+                    .enumerate()
+                {
+                    *slot = Some(job(ci * chunk + off, shard));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every shard job ran"))
+        .collect()
+}
 
 /// RR sets for one item, partitioned across shards by `id mod S`.
 ///
@@ -58,6 +109,156 @@ impl ShardedRrStore {
                 .collect(),
             total: 0,
         }
+    }
+
+    /// Builds a store by sampling RR sets `0..count` for `item` against
+    /// `scenario`, generating **shard-parallel**: each shard's sets are
+    /// sampled, pushed and indexed by one worker, writing only shard-local
+    /// memory (`threads` is resolved by [`sampler::effective_threads`];
+    /// workers are capped at the shard count, so `S = 1` falls back to the
+    /// stream-parallel flat path).
+    ///
+    /// Because shard `s` owns exactly the streams `{s, s + S, …}` and every
+    /// stream is its own RNG, the result is bit-identical to pushing streams
+    /// `0..count` sequentially — for any `(threads, shards)` combination.
+    /// Each worker ends with its shard's one full index build, so the
+    /// aggregated [`IndexStats::full_rebuilds`] is `shard_count` afterwards.
+    pub fn build(
+        scenario: &Scenario,
+        item: ItemId,
+        shard_count: usize,
+        base_seed: u64,
+        count: usize,
+        threads: usize,
+    ) -> Self {
+        let mut store = ShardedRrStore::new(item, scenario.user_count(), shard_count);
+        let shard_count = store.shard_count();
+        if shard_count == 1 {
+            // One shard: the parallel unit degenerates to the stream level.
+            for set in &sampler::sample_range(scenario, item, base_seed, 0, count, threads) {
+                store.shards[0].push_set(set);
+            }
+            store.shards[0].rebuild_index();
+            store.total = count;
+            return store;
+        }
+        let workers = sampler::effective_threads(threads, shard_count);
+        for_each_shard(&mut store.shards, workers, |si, shard| {
+            let mut scratch = sampler::Scratch::new(scenario.user_count());
+            let mut stream = si as u64;
+            while (stream as usize) < count {
+                let set = sampler::sample_set_with(scenario, item, base_seed, stream, &mut scratch);
+                let local = shard.push_set(&set);
+                debug_assert_eq!(local as u64 * shard_count as u64 + si as u64, stream);
+                stream += shard_count as u64;
+            }
+            shard.rebuild_index();
+        });
+        store.total = count;
+        store
+    }
+
+    /// Appends the sets of streams `len()..len() + count`, sampled against
+    /// `scenario`, shard-parallel like [`ShardedRrStore::build`] — the
+    /// growth path of adaptive sizing.  Unlike `build` this patches already
+    /// built indexes incrementally (no rebuild), and the stream → shard
+    /// partition (`id mod S`) is thread-independent, so grown stores stay
+    /// bit-identical to sequentially grown ones.
+    pub fn extend(&mut self, scenario: &Scenario, base_seed: u64, count: usize, threads: usize) {
+        let item = self.item();
+        let first = self.total as u64;
+        let shard_count = self.shards.len();
+        if shard_count == 1 {
+            for set in &sampler::sample_range(scenario, item, base_seed, first, count, threads) {
+                self.shards[0].push_set(set);
+            }
+            self.total += count;
+            return;
+        }
+        let end = first + count as u64;
+        let workers = sampler::effective_threads(threads, shard_count);
+        for_each_shard(&mut self.shards, workers, |si, shard| {
+            let mut scratch = sampler::Scratch::new(scenario.user_count());
+            // The smallest stream ≥ first congruent to si (mod S).
+            let s = shard_count as u64;
+            let mut stream = first + (si as u64 + s - first % s) % s;
+            while stream < end {
+                let set = sampler::sample_set_with(scenario, item, base_seed, stream, &mut scratch);
+                let local = shard.push_set(&set);
+                debug_assert_eq!(local as u64 * s + si as u64, stream);
+                stream += s;
+            }
+        });
+        self.total += count;
+    }
+
+    /// Re-samples exactly the sets containing any of `heads` against
+    /// `updated` (an already-frozen scenario), **refreshing every shard on
+    /// its own worker**: each worker queries its shard's inverted index
+    /// with the shared prepared frontier, replays the invalidated streams,
+    /// and patches its own index — no cross-shard writes, no rebuilds.
+    ///
+    /// Returns the merged per-shard [`RefreshStats`].  The frontier is a
+    /// pure function of `heads` and the (shard-count-independent) set
+    /// contents, and every re-sampled set replays its own RNG stream, so
+    /// the refreshed store *and* the returned counters are bit-identical
+    /// for any `(threads, shards)` combination.
+    pub fn refresh(
+        &mut self,
+        updated: &Scenario,
+        base_seed: u64,
+        heads: &[UserId],
+        threads: usize,
+    ) -> RefreshStats {
+        let prepared = crate::store::prepare_heads(heads, self.user_count());
+        let item = self.item();
+        let shard_count = self.shards.len();
+        let per_shard: Vec<(usize, IndexStats)> = if shard_count == 1 {
+            // One shard: parallelize over the invalidated streams instead.
+            let shard = &mut self.shards[0];
+            let before = shard.index_stats();
+            let invalid = shard.sets_touching_prepared(&prepared);
+            let streams: Vec<u64> = invalid.iter().map(|&id| id as u64).collect();
+            let fresh = sampler::sample_streams(updated, item, base_seed, &streams, threads);
+            for (&id, set) in invalid.iter().zip(&fresh) {
+                shard.replace_set(id, set);
+            }
+            vec![(invalid.len(), shard.index_stats().since(before))]
+        } else {
+            let workers = sampler::effective_threads(threads, shard_count);
+            for_each_shard(&mut self.shards, workers, |si, shard| {
+                let before = shard.index_stats();
+                let invalid = shard.sets_touching_prepared(&prepared);
+                let mut scratch = sampler::Scratch::new(updated.user_count());
+                for &local in &invalid {
+                    let stream = local as u64 * shard_count as u64 + si as u64;
+                    let set =
+                        sampler::sample_set_with(updated, item, base_seed, stream, &mut scratch);
+                    shard.replace_set(local, &set);
+                }
+                (invalid.len(), shard.index_stats().since(before))
+            })
+        };
+        // The equivalence check the incremental index is specified by: after
+        // patching, membership answers match a from-scratch counting rebuild.
+        debug_assert!(
+            self.index_matches_rebuild(),
+            "patched inverted index diverged from rebuild_index"
+        );
+        // Merge the per-shard work into one store-level report.  The set
+        // counters are shard-independent (the frontier partitions across
+        // shards); only compaction timing — not counted here — may differ.
+        let mut stats = RefreshStats {
+            total_sets: self.total,
+            stores: 1,
+            ..RefreshStats::default()
+        };
+        for (resampled, delta) in per_shard {
+            stats.resampled_sets += resampled;
+            stats.index_entries_patched += delta.entries_patched;
+            stats.full_rebuilds += delta.full_rebuilds;
+        }
+        stats
     }
 
     /// The item the sets were sampled for.
@@ -321,6 +522,103 @@ mod tests {
         // Untouched shards did no work.
         for s in [0usize, 1, 2] {
             assert_eq!(sharded.shard(s).index_stats().entries_patched, 0);
+        }
+    }
+
+    #[test]
+    fn for_each_shard_spawns_workers_and_preserves_order() {
+        // Forced worker counts exercise the scoped-spawn path even on
+        // single-core machines (the public knob caps at the core count).
+        for shards in [2usize, 3, 4, 7] {
+            let mut pool: Vec<RrStore> = (0..shards).map(|_| RrStore::new(ItemId(0), 4)).collect();
+            for workers in [1usize, 2, 3, 8] {
+                let indices = for_each_shard(&mut pool, workers, |si, shard| {
+                    shard.push_set(&users(&[si as u32 % 4]));
+                    si
+                });
+                assert_eq!(indices, (0..shards).collect::<Vec<_>>());
+            }
+            // Every job above ran exactly once per shard per worker count.
+            for shard in &pool {
+                assert_eq!(shard.len(), 4);
+            }
+        }
+    }
+
+    fn sequential_reference(
+        scenario: &imdpp_diffusion::Scenario,
+        shards: usize,
+        count: usize,
+    ) -> ShardedRrStore {
+        let mut store = ShardedRrStore::new(ItemId(0), scenario.user_count(), shards);
+        for set in &sampler::sample_range(scenario, ItemId(0), 77, 0, count, 1) {
+            store.push_set(set);
+        }
+        store.rebuild_index();
+        store
+    }
+
+    fn assert_stores_identical(a: &ShardedRrStore, b: &ShardedRrStore, label: &str) {
+        assert_eq!(a.len(), b.len(), "{label}");
+        for (id, set) in a.iter() {
+            assert_eq!(set, b.set(id), "{label}: set {id}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_pushes() {
+        let scenario = imdpp_diffusion::scenario::toy_scenario();
+        for shards in [1usize, 2, 4, 7] {
+            let reference = sequential_reference(&scenario, shards, 96);
+            for threads in [1usize, 2, 4, 8] {
+                let built = ShardedRrStore::build(&scenario, ItemId(0), shards, 77, 96, threads);
+                assert_stores_identical(&built, &reference, &format!("{shards}x{threads}"));
+                assert!(built.index_matches_rebuild());
+                // Exactly one full index build per shard, none beyond.
+                assert_eq!(built.index_stats().full_rebuilds, shards as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_extend_matches_sequential_growth() {
+        let scenario = imdpp_diffusion::scenario::toy_scenario();
+        for shards in [1usize, 3, 4] {
+            let reference = sequential_reference(&scenario, shards, 90);
+            for threads in [1usize, 2, 8] {
+                // Build 32 then grow twice (odd amounts so shard loads skew).
+                let mut grown =
+                    ShardedRrStore::build(&scenario, ItemId(0), shards, 77, 32, threads);
+                grown.extend(&scenario, 77, 13, threads);
+                grown.extend(&scenario, 77, 45, threads);
+                assert_stores_identical(&grown, &reference, &format!("{shards}x{threads}"));
+                assert!(grown.index_matches_rebuild());
+                // Growth patches the index; rebuilds stay at construction.
+                assert_eq!(grown.index_stats().full_rebuilds, shards as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_refresh_matches_flat_refresh_and_merges_stats() {
+        let scenario = imdpp_diffusion::scenario::toy_scenario();
+        let drifted = scenario.with_base_preference(UserId(1), ItemId(0), 0.9);
+        let heads = [UserId(0), UserId(1), UserId(2)];
+        let mut flat = ShardedRrStore::build(&scenario, ItemId(0), 1, 77, 128, 1);
+        let flat_stats = flat.refresh(&drifted, 77, &heads, 1);
+        assert!(flat_stats.resampled_sets > 0);
+        for shards in [2usize, 4, 7] {
+            for threads in [1usize, 2, 8] {
+                let mut store =
+                    ShardedRrStore::build(&scenario, ItemId(0), shards, 77, 128, threads);
+                let stats = store.refresh(&drifted, 77, &heads, threads);
+                assert_stores_identical(&store, &flat, &format!("{shards}x{threads}"));
+                // RefreshStats are bit-identical across the grid: the
+                // frontier partitions across shards and patched-entry
+                // counts depend only on set contents.
+                assert_eq!(stats, flat_stats, "{shards} shards, {threads} threads");
+                assert_eq!(stats.full_rebuilds, 0);
+            }
         }
     }
 

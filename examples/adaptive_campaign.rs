@@ -78,8 +78,9 @@ fn main() {
         .oracle(OracleKind::RrSketch {
             sets_per_item: 2048,
             // Two shards to exercise the partitioned store; estimates and
-            // seeds are identical for any shard count.
+            // seeds are identical for any shard and thread count.
             shards: 2,
+            threads: 0,
         })
         .build()
         .expect("valid engine");

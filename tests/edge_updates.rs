@@ -227,6 +227,7 @@ fn sketch_backed_adaptive_pipeline_reuses_samples() {
     .with_oracle(OracleKind::RrSketch {
         sets_per_item: 512,
         shards: 1,
+        threads: 0,
     });
 
     let engine = Engine::for_instance(&instance)
@@ -271,6 +272,7 @@ fn config_knob_selects_the_estimator_end_to_end() {
     let sk = solve(base.with_oracle(OracleKind::RrSketch {
         sets_per_item: 2048,
         shards: 1,
+        threads: 0,
     }));
     assert!(instance.is_feasible(&mc.seeds) && !mc.seeds.is_empty());
     assert!(instance.is_feasible(&sk.seeds) && !sk.seeds.is_empty());

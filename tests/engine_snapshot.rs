@@ -35,6 +35,7 @@ fn config() -> DysimConfig {
         // Sharded on purpose: snapshot isolation and the refresh
         // instrumentation must hold for the partitioned store too.
         shards: 2,
+        threads: 0,
     })
 }
 

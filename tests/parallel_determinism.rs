@@ -1,0 +1,395 @@
+//! The determinism / concurrency harness of shard-parallel RR generation
+//! and refresh (the PR-5 tentpole): over the full grid
+//! `shards ∈ {1, 2, 4, 7} × threads ∈ {1, 2, 4, 8}`, building a sketch,
+//! growing it and refreshing it through randomized edge / preference churn
+//! must produce **bit-identical** spread estimates, standard errors, greedy
+//! seed sets and [`RefreshStats`] — the invariant the sample-reuse papers
+//! (Yalavarthi & Khan; Zhang et al.) rest on: locally-updated samples are
+//! statistically indistinguishable from fresh ones, which here is the
+//! stronger property that they are *the same bits* no matter how the work
+//! was scheduled.
+//!
+//! A second part stress-tests the engine: `Engine::apply` keeps landing
+//! updates (each refresh fanning out across shard workers) while reader
+//! threads hammer the snapshot path — every read must observe a consistent
+//! epoch and the run must finish with **zero** post-build index rebuilds.
+//!
+//! Run twice in CI — once with the default test scheduler and once under
+//! `RUST_TEST_THREADS=1` — so thread interleavings differ between runs.
+
+use imdpp_suite::core::{
+    DysimConfig, EdgeUpdate, ItemId, OracleKind, RefreshStats, RefreshableOracle, ScenarioUpdate,
+    UserId,
+};
+use imdpp_suite::datasets::{generate, DatasetKind};
+use imdpp_suite::diffusion::{DynamicsConfig, Scenario};
+use imdpp_suite::engine::Engine;
+use imdpp_suite::graph::SocialGraph;
+use imdpp_suite::kg::hin::figure1_knowledge_graph;
+use imdpp_suite::kg::{ItemCatalog, MetaGraph, RelevanceModel};
+use imdpp_suite::sketch::{SketchConfig, SketchOracle};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const SHARD_GRID: [usize; 4] = [1, 2, 4, 7];
+const THREAD_GRID: [usize; 4] = [1, 2, 4, 8];
+const USERS: usize = 10;
+const SETS_PER_ITEM: usize = 128;
+
+/// A random frozen-dynamics scenario over the Fig. 1 catalogue (the same
+/// scaffold the sharded-store and edge-update suites use).
+fn build_scenario(edges: Vec<(u32, u32, f64)>) -> Scenario {
+    let relevance = Arc::new(RelevanceModel::compute(
+        &figure1_knowledge_graph(),
+        MetaGraph::default_set(),
+    ));
+    let social = SocialGraph::from_influence_edges(
+        USERS,
+        edges
+            .into_iter()
+            .map(|(a, b, w)| (UserId(a % USERS as u32), UserId(b % USERS as u32), w))
+            .filter(|(a, b, _)| a != b),
+        true,
+    );
+    Scenario::builder()
+        .social(social)
+        .catalog(ItemCatalog::uniform(4))
+        .relevance(relevance)
+        .uniform_base_preference(0.5)
+        .dynamics(DynamicsConfig::frozen())
+        .build()
+        .expect("generated scenario must be valid")
+}
+
+/// `(kind, src, dst, weight)` tuples decoded into [`EdgeUpdate`]s:
+/// kind 0 = insert/upsert, 1 = remove, 2 = reweight.
+fn decode_updates(raw: &[(u32, u32, u32, f64)]) -> Vec<EdgeUpdate> {
+    raw.iter()
+        .map(|&(kind, src, dst, weight)| {
+            let n = USERS as u32;
+            let (src, dst) = (UserId(src % n), UserId(dst % n));
+            match kind % 3 {
+                0 => EdgeUpdate::Insert { src, dst, weight },
+                1 => EdgeUpdate::Remove { src, dst },
+                _ => EdgeUpdate::Reweight { src, dst, weight },
+            }
+        })
+        .collect()
+}
+
+/// Everything a `(shards, threads)` run observes, in bit-comparable form.
+/// `f64`s are compared through their raw bits: the claim is *identical
+/// computation*, not approximate agreement.
+#[derive(Debug, PartialEq, Eq)]
+struct Observations {
+    estimates: Vec<u64>,
+    std_errors: Vec<u64>,
+    greedy_seeds: Vec<Vec<UserId>>,
+    greedy_covered: Vec<usize>,
+    refresh_stats: Vec<RefreshStats>,
+}
+
+/// Builds a sketch with the given `(shards, threads)`, drives it through
+/// `churn`, and records estimates / errors / greedy selections / refresh
+/// statistics along the way.
+fn observe(
+    start: &Scenario,
+    churn: &[ScenarioUpdate],
+    shards: usize,
+    threads: usize,
+) -> (SketchOracle, Observations) {
+    let config = SketchConfig::fixed(SETS_PER_ITEM)
+        .with_base_seed(61)
+        .with_shards(shards)
+        .with_threads(threads);
+    let mut oracle = SketchOracle::build(start, config);
+    let mut obs = Observations {
+        estimates: Vec::new(),
+        std_errors: Vec::new(),
+        greedy_seeds: Vec::new(),
+        greedy_covered: Vec::new(),
+        refresh_stats: Vec::new(),
+    };
+    let probes: [&[UserId]; 3] = [
+        &[UserId(0)],
+        &[UserId(1), UserId(4)],
+        &[UserId(2), UserId(5), UserId(9)],
+    ];
+    let items: Vec<ItemId> = start.items().collect();
+    let mut scenario = start.clone();
+    let record = |oracle: &SketchOracle, obs: &mut Observations| {
+        for &item in &items {
+            for probe in probes {
+                obs.estimates
+                    .push(oracle.estimate_item_adopters(item, probe).to_bits());
+                obs.std_errors
+                    .push(oracle.estimate_item_std_error(item, probe).to_bits());
+            }
+            let sel = oracle.greedy_seeds(item, 3);
+            obs.greedy_seeds.push(sel.seeds);
+            obs.greedy_covered.push(sel.covered);
+        }
+    };
+    record(&oracle, &mut obs);
+    for update in churn {
+        scenario = update.apply(&scenario);
+        let stats = oracle.refresh(&scenario, update);
+        obs.refresh_stats.push(stats);
+        record(&oracle, &mut obs);
+    }
+    (oracle, obs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole invariant: for randomized worlds and randomized
+    /// edge / preference churn, every `(shards, threads)` combination
+    /// computes the *same bits* as the sequential flat reference —
+    /// estimates, standard errors, greedy seed sets and refresh statistics.
+    #[test]
+    fn grid_of_shards_and_threads_is_bit_identical_under_churn(
+        edges in proptest::collection::vec(
+            (0u32..USERS as u32, 0u32..USERS as u32, 0.05f64..0.9), 0..30,
+        ),
+        raw_edge_churn in proptest::collection::vec(
+            (0u32..3, 0u32..USERS as u32, 0u32..USERS as u32, 0.05f64..0.95),
+            1..5,
+        ),
+        raw_pref_churn in proptest::collection::vec(
+            (0u32..USERS as u32, 0u32..4u32, 0.05f64..0.95),
+            1..4,
+        ),
+    ) {
+        let start = build_scenario(edges);
+        let churn = vec![
+            ScenarioUpdate::Edges(decode_updates(&raw_edge_churn)),
+            ScenarioUpdate::Preferences(
+                raw_pref_churn
+                    .iter()
+                    .map(|&(u, x, p)| (UserId(u), ItemId(x), p))
+                    .collect(),
+            ),
+        ];
+        let (reference_oracle, reference) = observe(&start, &churn, 1, 1);
+        for &shards in &SHARD_GRID {
+            for &threads in &THREAD_GRID {
+                if (shards, threads) == (1, 1) {
+                    continue;
+                }
+                let (oracle, observed) = observe(&start, &churn, shards, threads);
+                prop_assert!(
+                    observed == reference,
+                    "divergence at {} shards x {} threads: {:?} vs {:?}",
+                    shards,
+                    threads,
+                    observed,
+                    reference
+                );
+                prop_assert!(
+                    oracle.stores_equal(&reference_oracle),
+                    "{} shards x {} threads: stores differ from the flat sequential build",
+                    shards,
+                    threads
+                );
+                // No combination ever falls back to a full index rebuild
+                // after its per-shard construction builds.
+                let items = start.item_count();
+                prop_assert_eq!(
+                    oracle.index_stats().full_rebuilds,
+                    (shards * items) as u64
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic update batches for the engine stress test (no proptest:
+/// the nondeterminism under test is the thread scheduler, and CI runs the
+/// binary under two scheduler configurations).
+fn stress_batches(users: u32, items: u32, batches: usize) -> Vec<ScenarioUpdate> {
+    (0..batches)
+        .map(|i| {
+            let k = i as u32;
+            if i % 3 == 2 {
+                ScenarioUpdate::Preferences(vec![(
+                    UserId(k * 7 % users),
+                    ItemId(k % items),
+                    0.1 + 0.05 * f64::from(k % 16),
+                )])
+            } else {
+                let src = UserId(k * 5 % users);
+                let mut dst = UserId((k * 11 + 3) % users);
+                if dst == src {
+                    dst = UserId((dst.0 + 1) % users);
+                }
+                ScenarioUpdate::Edges(vec![if i % 3 == 0 {
+                    EdgeUpdate::Reweight {
+                        src,
+                        dst,
+                        weight: 0.2 + 0.04 * f64::from(k % 16),
+                    }
+                } else {
+                    EdgeUpdate::Insert {
+                        src,
+                        dst,
+                        weight: 0.15 + 0.03 * f64::from(k % 16),
+                    }
+                }])
+            }
+        })
+        .collect()
+}
+
+/// `Engine::apply` racing readers while shard workers are active: a 4-shard,
+/// 4-thread engine refreshes through a stream of updates (each refresh
+/// fanning out one worker per shard) while reader threads pin snapshots and
+/// query them.  Readers must only ever observe internally consistent
+/// epochs, every apply must patch (never rebuild) the inverted indexes, and
+/// the final incrementally-maintained sketch must equal a from-scratch
+/// rebuild of the drifted world.
+#[test]
+fn engine_apply_races_readers_while_shard_workers_are_active() {
+    const READERS: usize = 4;
+    const BATCHES: usize = 18;
+    const SHARDS: usize = 4;
+    const SETS: usize = 256;
+
+    let instance = generate(&DatasetKind::AmazonTiny.config())
+        .instance
+        .with_budget(60.0)
+        .with_promotions(2);
+    let users = instance.scenario().user_count() as u32;
+    let items = instance.scenario().item_count();
+    let cfg = DysimConfig {
+        mc_samples: 6,
+        candidate_users: Some(8),
+        max_nominees: Some(3),
+        ..DysimConfig::default()
+    }
+    .with_oracle(OracleKind::RrSketch {
+        sets_per_item: SETS,
+        shards: SHARDS,
+        threads: 4,
+    });
+    let engine = Arc::new(
+        Engine::for_instance(&instance)
+            .config(cfg.clone())
+            .build()
+            .expect("valid engine"),
+    );
+    let probe = [(UserId(0), ItemId(0)), (UserId(3), ItemId(1))];
+
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let done = Arc::clone(&done);
+            let probe = probe.to_vec();
+            std::thread::spawn(move || {
+                let mut observations = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    // Pin one snapshot; its oracle and scenario must agree
+                    // (querying twice through the pin is the torn-read
+                    // detector: a half-swapped snapshot would differ).
+                    let snapshot = engine.snapshot();
+                    let a = snapshot.static_spread(&probe);
+                    let b = snapshot.static_spread(&probe);
+                    assert!(a.is_finite() && a >= 0.0);
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "snapshot answered differently twice at epoch {}",
+                        snapshot.epoch()
+                    );
+                    observations += 1;
+                }
+                observations
+            })
+        })
+        .collect();
+
+    // The writer: every apply refreshes the 4 shards on their own workers
+    // while the readers above keep querying published snapshots.
+    for (i, update) in stress_batches(users, items as u32, BATCHES)
+        .iter()
+        .enumerate()
+    {
+        let applied = engine.apply(update).expect("in-range update");
+        assert_eq!(applied.epoch, i as u64 + 1);
+        assert_eq!(
+            applied.refresh.full_rebuilds, 0,
+            "batch {i} fell back to a full index rebuild"
+        );
+        assert_eq!(applied.refresh.total_sets, SETS * items);
+        assert!(applied.refresh_fraction < 1.0, "refresh must reuse samples");
+        std::thread::yield_now();
+    }
+    done.store(true, Ordering::Relaxed);
+    let total: u64 = readers
+        .into_iter()
+        .map(|h| h.join().expect("reader panicked"))
+        .sum();
+    assert!(total > 0, "readers never ran");
+
+    // Zero full rebuilds after build: the only counting passes are the
+    // `items x shards` construction builds (the acceptance criterion).
+    let snapshot = engine.snapshot();
+    let sketch = snapshot
+        .oracle()
+        .as_sketch()
+        .expect("engine is sketch-backed");
+    assert_eq!(
+        sketch.index_stats().full_rebuilds,
+        (items * SHARDS) as u64,
+        "an apply performed a post-build index rebuild"
+    );
+
+    // And the maintained sketch is the rebuilt sketch, bit for bit —
+    // regardless of scheduling, shard workers, or reader pressure.
+    let rebuilt = SketchOracle::build(
+        snapshot.scenario(),
+        SketchConfig::fixed(SETS).with_base_seed(cfg.base_seed),
+    );
+    assert!(
+        sketch.stores_equal(&rebuilt),
+        "incremental maintenance drifted from a from-scratch rebuild"
+    );
+}
+
+/// The engine surface of the grid invariant: solutions and reports do not
+/// depend on the `threads` knob (spot-checked on the corners of the grid;
+/// the store-level property test above covers the interior).
+#[test]
+fn engine_solutions_are_thread_count_independent() {
+    let instance = generate(&DatasetKind::AmazonTiny.config())
+        .instance
+        .with_budget(60.0)
+        .with_promotions(2);
+    let build = |shards: usize, threads: usize| {
+        Engine::for_instance(&instance)
+            .config(DysimConfig {
+                mc_samples: 6,
+                candidate_users: Some(8),
+                max_nominees: Some(3),
+                ..DysimConfig::default()
+            })
+            .oracle(OracleKind::RrSketch {
+                sets_per_item: 256,
+                shards,
+                threads,
+            })
+            .build()
+            .expect("valid engine")
+    };
+    let reference = build(1, 1).solve_report();
+    for (shards, threads) in [(1, 8), (4, 1), (4, 4), (7, 8)] {
+        let report = build(shards, threads).solve_report();
+        assert_eq!(
+            report.seeds, reference.seeds,
+            "{shards} shards x {threads} threads changed the solution"
+        );
+        assert_eq!(report.nominees, reference.nominees);
+    }
+}

@@ -60,21 +60,96 @@ fn run_scale_smoke() {
     let scenario_items = instance.scenario().item_count();
     assert_eq!(instance.scenario().user_count(), SCALE_USERS);
 
-    let config = DysimConfig {
-        mc_samples: 2,
-        candidate_users: Some(12),
-        max_nominees: Some(4),
-        use_guard_solutions: false,
-        ..DysimConfig::default()
-    }
-    .with_oracle(OracleKind::RrSketch {
-        sets_per_item: SETS_PER_ITEM,
-        shards: SHARDS,
-    });
+    // Shard-parallel construction at scale: the 4-shard build with 4
+    // workers vs the same build driven sequentially.  Wall-clock is
+    // *recorded*, not flaky-gated — on a loaded single-core CI runner the
+    // parallel build can legitimately tie or lose by scheduling noise — but
+    // both builds must land on identical stores with the rebuild counter
+    // pinned at `items x shards`.  The sequential engine is reduced to a
+    // content digest and dropped before the parallel build so the test's
+    // peak memory stays at one 100k-user world.
+    let engine_config = |threads: usize| {
+        DysimConfig {
+            mc_samples: 2,
+            candidate_users: Some(12),
+            max_nominees: Some(4),
+            use_guard_solutions: false,
+            ..DysimConfig::default()
+        }
+        .with_oracle(OracleKind::RrSketch {
+            sets_per_item: SETS_PER_ITEM,
+            shards: SHARDS,
+            threads,
+        })
+    };
+    // FNV-1a over every (item, set id, members) triple in global id order —
+    // two sketches digest equal iff their stores are bit-identical.
+    let sketch_digest = |engine: &Engine| -> u64 {
+        let snapshot = engine.snapshot();
+        let sketch = snapshot.oracle().as_sketch().expect("sketch-backed");
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        let mut mix = |v: u64| {
+            hash ^= v;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for item in snapshot.scenario().items() {
+            mix(u64::from(item.0));
+            for (id, set) in sketch.store(item).iter() {
+                mix(u64::from(id));
+                mix(set.len() as u64);
+                for &u in set {
+                    mix(u64::from(u));
+                }
+            }
+        }
+        hash
+    };
+    let (sequential_build, sequential_digest) = {
+        let start = std::time::Instant::now();
+        let sequential_engine = Engine::for_instance(&instance)
+            .config(engine_config(1))
+            .build()
+            .expect("scale instance is valid");
+        let elapsed = start.elapsed();
+        // The sequential build performed exactly the per-shard passes too.
+        assert_eq!(
+            sequential_engine
+                .snapshot()
+                .oracle()
+                .as_sketch()
+                .expect("sketch-backed")
+                .index_stats()
+                .full_rebuilds,
+            (scenario_items * SHARDS) as u64
+        );
+        (elapsed, sketch_digest(&sequential_engine))
+    };
+
+    let parallel_start = std::time::Instant::now();
     let engine = Engine::for_instance(&instance)
-        .config(config)
+        .config(engine_config(4))
         .build()
         .expect("scale instance is valid");
+    let parallel_build = parallel_start.elapsed();
+    println!(
+        "100k-user {SHARDS}-shard build: sequential {:.2}s vs threads=4 {:.2}s ({:.2}x)",
+        sequential_build.as_secs_f64(),
+        parallel_build.as_secs_f64(),
+        sequential_build.as_secs_f64() / parallel_build.as_secs_f64().max(1e-9),
+    );
+    if parallel_build > sequential_build {
+        eprintln!(
+            "WARNING: parallel build was slower than sequential on this run \
+             ({:.2}s vs {:.2}s)",
+            parallel_build.as_secs_f64(),
+            sequential_build.as_secs_f64()
+        );
+    }
+    assert_eq!(
+        sketch_digest(&engine),
+        sequential_digest,
+        "threads=4 build diverged from the sequential build"
+    );
 
     // Construction performs exactly one full index build per shard per item
     // — and that is the last full build the engine ever does.
