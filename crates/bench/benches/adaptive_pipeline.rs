@@ -137,6 +137,14 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
     let report = engine.adaptive(instance.promotions(), &drift);
     assert!(instance.is_feasible(&report.seeds));
     assert_eq!(report.refresh_fractions.len(), drift.len());
+    // `IMDPP_METRICS=<path>`: dump the engine's telemetry snapshot (counters,
+    // gauges, latency histograms) accumulated by the adaptive run above.
+    if let Some(path) = imdpp_obs::metrics_env_path() {
+        match engine.telemetry().write_to(&path) {
+            Ok(()) => println!("telemetry snapshot written to {}", path.display()),
+            Err(e) => eprintln!("IMDPP_METRICS: failed to write {}: {e}", path.display()),
+        }
+    }
     for (round, &fraction) in report.refresh_fractions.iter().enumerate() {
         println!(
             "adaptive round {}: refreshed {:.2}% of RR sets (reused {:.2}%)",
@@ -302,6 +310,7 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
         1e3 * sharded_refresh
     );
 
+    summary.record_peak_rss();
     match summary.write() {
         Ok(path) => println!("bench summary written to {}", path.display()),
         Err(e) => eprintln!("could not write bench summary: {e}"),

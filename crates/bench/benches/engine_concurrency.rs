@@ -18,7 +18,10 @@
 //! * aggregate reader throughput with 4 threads beats a single thread (a
 //!   deliberately loose 1.2× gate: CI runners may pin the process to very
 //!   few cores, but snapshot isolation must never *serialize* readers —
-//!   full serialization under a busy writer shows up as ≤ 1.0×).
+//!   full serialization under a busy writer shows up as ≤ 1.0×),
+//! * telemetry recording (the default engine) costs at most 5% of
+//!   single-reader throughput against an engine built with
+//!   `Telemetry::disabled()` (best-of-5 windows on each side).
 //!
 //! Key measurements are written to `results/bench_engine_concurrency.json`.
 
@@ -26,7 +29,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use imdpp_bench::{yelp_instance, BenchSummary};
 use imdpp_core::nominees::Nominee;
 use imdpp_core::{DysimConfig, EdgeUpdate, OracleKind, ScenarioUpdate};
-use imdpp_engine::Engine;
+use imdpp_engine::{Engine, Telemetry};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,6 +38,10 @@ const SETS_PER_ITEM: usize = 1024;
 const MEASURE_WINDOW: Duration = Duration::from_millis(400);
 
 fn build_engine(shards: usize, threads: usize) -> Engine {
+    build_engine_with(shards, threads, Telemetry::default())
+}
+
+fn build_engine_with(shards: usize, threads: usize, telemetry: Telemetry) -> Engine {
     let instance = yelp_instance(0.25, 120.0, 3);
     Engine::for_instance(&instance)
         .config(DysimConfig {
@@ -48,6 +55,7 @@ fn build_engine(shards: usize, threads: usize) -> Engine {
             shards,
             threads,
         })
+        .telemetry(telemetry)
         .build()
         .expect("yelp instance is valid")
 }
@@ -157,6 +165,49 @@ fn bench_engine_concurrency(c: &mut Criterion) {
          while updates land; got {scaling:.2}x"
     );
 
+    // --- Telemetry overhead: the default (recording) engine vs one built
+    // --- with `Telemetry::disabled()`, on the pure snapshot-read path. ----
+    // No concurrent writer here: on a single-core runner the scheduler's
+    // reader/writer split swamps any per-query cost, and the quantity under
+    // test is the recording overhead itself (one branch + a relaxed atomic
+    // per event).  Rounds alternate live/disabled so load drift hits both
+    // sides equally; best-of-5 absorbs the residual noise before the 5%
+    // gate fires.
+    let dark = Arc::new(build_engine_with(1, 1, Telemetry::disabled()));
+    assert!(!dark.telemetry_handle().is_enabled());
+    assert_eq!(dark.solve(), seeds, "telemetry must not change results");
+    let read_qps_window = |engine: &Arc<Engine>| -> f64 {
+        let start = Instant::now();
+        let mut queries = 0u64;
+        while start.elapsed() < MEASURE_WINDOW {
+            let f = engine.static_spread(&nominees);
+            assert!(f.is_finite() && f >= 0.0);
+            queries += 1;
+        }
+        queries as f64 / start.elapsed().as_secs_f64()
+    };
+    let mut live_qps = 0.0f64;
+    let mut dark_qps = 0.0f64;
+    for _ in 0..5 {
+        live_qps = live_qps.max(read_qps_window(&engine));
+        dark_qps = dark_qps.max(read_qps_window(&dark));
+    }
+    let overhead = 1.0 - live_qps / dark_qps.max(1e-9);
+    summary.record("telemetry_live_queries_per_second", live_qps);
+    summary.record("telemetry_disabled_queries_per_second", dark_qps);
+    summary.record("telemetry_overhead_fraction", overhead);
+    println!(
+        "telemetry overhead on single-reader qps: {live_qps:.0}/s recording vs \
+         {dark_qps:.0}/s disabled ({:.1}%)",
+        100.0 * overhead
+    );
+    assert!(
+        live_qps >= 0.95 * dark_qps,
+        "telemetry recording must cost <= 5% of reader throughput, \
+         measured {:.1}% ({live_qps:.0}/s vs {dark_qps:.0}/s)",
+        100.0 * overhead
+    );
+
     // --- Sharded engine: same workload over the partitioned store, with a
     // --- writer-threads axis (1 vs 4 workers per shard-parallel refresh). -
     const ENGINE_SHARDS: usize = 4;
@@ -224,6 +275,7 @@ fn bench_engine_concurrency(c: &mut Criterion) {
     });
     group.finish();
 
+    summary.record_peak_rss();
     match summary.write() {
         Ok(path) => println!("bench summary written to {}", path.display()),
         Err(e) => eprintln!("could not write bench summary: {e}"),

@@ -138,6 +138,7 @@ fn bench_sketch_oracle(c: &mut Criterion) {
     });
     greedy.finish();
 
+    summary.record_peak_rss();
     match summary.write() {
         Ok(path) => println!("bench summary written to {}", path.display()),
         Err(e) => eprintln!("could not write bench summary: {e}"),

@@ -46,6 +46,17 @@ impl BenchSummary {
         self
     }
 
+    /// Records the process's peak resident set size (`VmHWM`) as a
+    /// `peak_rss_bytes` metric.  A no-op on platforms without
+    /// `/proc/self/status` (see [`imdpp_obs::peak_rss_bytes`]), so summaries
+    /// stay comparable across OSes rather than carrying a `null`.
+    pub fn record_peak_rss(&mut self) -> &mut Self {
+        if let Some(bytes) = imdpp_obs::peak_rss_bytes() {
+            self.record("peak_rss_bytes", bytes as f64);
+        }
+        self
+    }
+
     /// Number of recorded metrics.
     pub fn len(&self) -> usize {
         self.metrics.len()
@@ -127,6 +138,18 @@ mod tests {
         assert!(json.find("alpha_seconds").unwrap() < json.find("beta_count").unwrap());
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_recorded_on_linux() {
+        let mut s = BenchSummary::new("demo");
+        s.record_peak_rss();
+        assert_eq!(s.len(), 1);
+        // Any real process has touched at least a megabyte by now.
+        let json = s.to_json();
+        assert!(json.contains("\"peak_rss_bytes\": "));
+        assert!(!json.contains("\"peak_rss_bytes\": null"));
     }
 
     #[test]

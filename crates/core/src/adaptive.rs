@@ -24,7 +24,7 @@
 //! applies it to the instance and hands it to the oracle.
 
 use crate::dysim::DysimConfig;
-use crate::eval::{Evaluator, MonteCarloOracle};
+use crate::eval::Evaluator;
 use crate::market::TargetMarket;
 use crate::nominees::{select_nominees_with_oracle, NomineeSelectionConfig};
 use crate::oracle::{RefreshableOracle, ScenarioUpdate};
@@ -47,20 +47,6 @@ pub struct AdaptiveReport {
     /// update, `1.0` for a full rebuild; sketch-backed oracles report
     /// their resample fraction.
     pub refresh_fractions: Vec<f64>,
-}
-
-/// Runs the adaptive variant of Dysim with the forward Monte-Carlo
-/// estimator and a static world: budget is *not* pre-allocated to
-/// promotions; each promotion's seeds are decided after the previous
-/// promotions are (simulated as) observed.
-#[deprecated(
-    since = "0.2.0",
-    note = "use imdpp_engine::Engine::adaptive (or adaptive_dysim_with_oracle)"
-)]
-pub fn adaptive_dysim(instance: &ImdppInstance, config: &DysimConfig) -> AdaptiveReport {
-    let mut oracle =
-        MonteCarloOracle::new(instance.scenario(), config.mc_samples, config.base_seed);
-    adaptive_dysim_with_oracle(instance, config, &[], &mut oracle)
 }
 
 /// Runs the adaptive Dysim loop with `oracle` answering the static `f(N)`
@@ -215,6 +201,7 @@ fn whole_population_market(instance: &ImdppInstance) -> TargetMarket {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::MonteCarloOracle;
     use crate::problem::CostModel;
     use imdpp_diffusion::scenario::toy_scenario;
     use imdpp_graph::{EdgeUpdate, ItemId, UserId};
@@ -225,8 +212,8 @@ mod tests {
         ImdppInstance::new(scenario, costs, budget, promotions).unwrap()
     }
 
-    /// The static-world Monte-Carlo loop (what the deprecated
-    /// `adaptive_dysim` wrapped).
+    /// The static-world Monte-Carlo loop (the paper's reference
+    /// configuration).
     fn adaptive_mc(inst: &ImdppInstance, config: &DysimConfig) -> AdaptiveReport {
         let mut oracle =
             MonteCarloOracle::new(inst.scenario(), config.mc_samples, config.base_seed);
@@ -321,17 +308,5 @@ mod tests {
         // One entry per consumed drift slot: the empty update refreshes
         // nothing, the real one is a full MC "rebuild".
         assert_eq!(report.refresh_fractions, vec![0.0, 1.0]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn static_world_runs_agree_between_entry_points() {
-        let inst = instance(3.0, 2);
-        let cfg = DysimConfig::fast();
-        let a = adaptive_dysim(&inst, &cfg);
-        let mut oracle = MonteCarloOracle::new(inst.scenario(), cfg.mc_samples, cfg.base_seed);
-        let b = adaptive_dysim_with_oracle(&inst, &cfg, &[], &mut oracle);
-        assert_eq!(a.seeds, b.seeds);
-        assert_eq!(a.per_promotion, b.per_promotion);
     }
 }

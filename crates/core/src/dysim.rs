@@ -7,8 +7,8 @@
 //! RR-sketch oracle of `imdpp-sketch`.  Applications should not call the
 //! driver directly: the `imdpp-engine` crate's `Engine` owns oracle
 //! construction (via [`DysimConfig::oracle`]), snapshotting and refresh, and
-//! is the public face of the suite; the legacy `run*` methods survive as
-//! deprecated wrappers.  The DRE and TDSI stages always use Monte-Carlo:
+//! is the public face of the suite.  The DRE and TDSI stages always use
+//! Monte-Carlo:
 //! they query *dynamic* quantities (`σ_τ`, `π_τ`, expected perceptions)
 //! that the static sketch does not target.
 //!
@@ -101,10 +101,9 @@ pub struct DysimConfig {
     pub impact_user_cap: usize,
     /// Which estimator answers nominee selection's static `f(N)` queries.
     ///
-    /// Honoured by the config-driven `imdpp-engine` `Engine` (and the
-    /// deprecated `imdpp_sketch::pipeline` shims); [`Dysim::solve_with`]
-    /// itself takes the oracle as an argument (this crate cannot construct
-    /// the sketch without a dependency cycle).
+    /// Honoured by the config-driven `imdpp-engine` `Engine`;
+    /// [`Dysim::solve_with`] itself takes the oracle as an argument (this
+    /// crate cannot construct the sketch without a dependency cycle).
     pub oracle: OracleKind,
 }
 
@@ -191,62 +190,16 @@ impl Dysim {
         &self.config
     }
 
-    /// Runs Dysim on an instance and returns the selected seed group.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use imdpp_engine::Engine::solve (or Dysim::solve_with for a custom oracle)"
-    )]
-    pub fn run(&self, instance: &ImdppInstance) -> SeedGroup {
-        let evaluator = Evaluator::new(instance, self.config.mc_samples, self.config.base_seed);
-        self.solve_with(instance, &evaluator).seeds
-    }
-
-    /// Runs Dysim and returns the seed group together with diagnostics,
-    /// estimating `f(N)` with the forward Monte-Carlo [`Evaluator`] (the
-    /// paper's reference configuration).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use imdpp_engine::Engine::solve_report (or Dysim::solve_with for a custom oracle)"
-    )]
-    pub fn run_with_report(&self, instance: &ImdppInstance) -> DysimReport {
-        let evaluator = Evaluator::new(instance, self.config.mc_samples, self.config.base_seed);
-        self.solve_with(instance, &evaluator)
-    }
-
-    /// Runs Dysim with `nominee_oracle` answering the static `f(N)` queries
-    /// of the TMI nominee-selection stage, returning the seed group.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use imdpp_engine::Engine::solve (or Dysim::solve_with for a custom oracle)"
-    )]
-    pub fn run_with_oracle(
-        &self,
-        instance: &ImdppInstance,
-        nominee_oracle: &dyn SpreadOracle,
-    ) -> SeedGroup {
-        self.solve_with(instance, nominee_oracle).seeds
-    }
-
-    /// Runs Dysim with `nominee_oracle` answering the static `f(N)` queries
-    /// of the TMI nominee-selection stage (Procedure 2) and returns the seed
-    /// group together with diagnostics.
-    #[deprecated(since = "0.2.0", note = "renamed to Dysim::solve_with")]
-    pub fn run_with_report_and_oracle(
-        &self,
-        instance: &ImdppInstance,
-        nominee_oracle: &dyn SpreadOracle,
-    ) -> DysimReport {
-        self.solve_with(instance, nominee_oracle)
-    }
-
     /// Runs Dysim with `nominee_oracle` answering the static `f(N)` queries
     /// of the TMI nominee-selection stage (Procedure 2) and returns the seed
     /// group together with diagnostics.
     ///
-    /// This is the one driver entry point; the deprecated `run*` methods are
-    /// thin wrappers over it.  Applications normally reach it through
-    /// `imdpp_engine::Engine`, which constructs the oracle selected by
-    /// [`DysimConfig::oracle`] and snapshots it for concurrent readers.
+    /// This is the one driver entry point (the old `run*` wrappers were
+    /// removed after their deprecation cycle).  Applications normally reach
+    /// it through `imdpp_engine::Engine`, which constructs the oracle
+    /// selected by [`DysimConfig::oracle`] and snapshots it for concurrent
+    /// readers; for the reference Monte-Carlo configuration pass an
+    /// [`Evaluator`] built from the instance.
     ///
     /// Only nominee selection is oracle-generic: the DRE and TDSI stages
     /// query dynamic quantities (`σ_τ`, `π_τ`, expected perceptions) that
@@ -426,7 +379,7 @@ mod tests {
     }
 
     /// The reference configuration: `solve_with` driven by the Monte-Carlo
-    /// evaluator (what the deprecated `run_with_report` wrapped).
+    /// evaluator.
     fn solve(config: DysimConfig, inst: &ImdppInstance) -> DysimReport {
         let dysim = Dysim::new(config);
         let ev = Evaluator::new(inst, dysim.config().mc_samples, dysim.config().base_seed);
@@ -517,23 +470,6 @@ mod tests {
         let via_oracle = Dysim::new(cfg).solve_with(&inst, &oracle);
         assert_eq!(default_report.seeds, via_oracle.seeds);
         assert_eq!(default_report.nominees, via_oracle.nominees);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_run_wrappers_match_solve_with() {
-        let inst = instance(3.0, 2);
-        let cfg = DysimConfig::fast();
-        let canonical = solve(cfg.clone(), &inst);
-        let dysim = Dysim::new(cfg.clone());
-        let ev = Evaluator::new(&inst, cfg.mc_samples, cfg.base_seed);
-        assert_eq!(dysim.run(&inst), canonical.seeds);
-        assert_eq!(dysim.run_with_report(&inst).seeds, canonical.seeds);
-        assert_eq!(dysim.run_with_oracle(&inst, &ev), canonical.seeds);
-        assert_eq!(
-            dysim.run_with_report_and_oracle(&inst, &ev).seeds,
-            canonical.seeds
-        );
     }
 
     #[test]

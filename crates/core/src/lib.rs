@@ -52,8 +52,6 @@ pub mod submodular;
 pub mod tdsi;
 pub mod theory;
 
-#[allow(deprecated)]
-pub use adaptive::adaptive_dysim;
 pub use adaptive::{adaptive_dysim_with_oracle, AdaptiveReport};
 pub use dysim::{Dysim, DysimConfig};
 pub use eval::{Evaluator, MonteCarloOracle};

@@ -1,10 +1,10 @@
 //! # imdpp-engine
 //!
 //! The snapshot-isolated session façade of the IMDPP suite: one long-lived
-//! [`Engine`] replaces the scattered one-shot entry points (the deprecated
-//! `Dysim::run*` family and `imdpp_sketch::pipeline`) with the shape a
-//! serving system needs — *build once, query many times, refresh
-//! incrementally as the world drifts*.
+//! [`Engine`] replaces the removed one-shot entry points (the `Dysim::run*`
+//! family and `imdpp_sketch::pipeline`, deleted after their deprecation
+//! cycle) with the shape a serving system needs — *build once, query many
+//! times, refresh incrementally as the world drifts*.
 //!
 //! ## Snapshot isolation
 //!
@@ -26,6 +26,21 @@
 //! * sketch-backed engines refresh by re-sampling only the RR sets an
 //!   update could have touched, and the refreshed snapshot is bit-identical
 //!   to rebuilding from scratch against the drifted world.
+//!
+//! ## Observability
+//!
+//! Every engine carries an `imdpp-obs` [`Telemetry`] registry (live by
+//! default; pass [`Telemetry::disabled`] to [`EngineBuilder::telemetry`]
+//! for a one-branch no-op).  The hot paths record solve / spread /
+//! static-spread / apply latencies, writer-queue wait, refresh and
+//! epoch-swap durations, snapshot pins, and fold each apply's
+//! [`RefreshStats`] into registry counters; the sketch behind an
+//! [`OracleKind::RrSketch`] engine records its per-shard build / extend /
+//! refresh wall-clock into the same registry.  Read it all back with
+//! [`Engine::telemetry`].  Recording is write-only — it never feeds the RNG
+//! or alters control flow, so seeds, estimates and refresh statistics stay
+//! bit-identical with telemetry on, off, or sharded differently
+//! (`tests/parallel_determinism.rs` asserts this across the grid).
 //!
 //! ## Example
 //!
@@ -71,12 +86,15 @@ use imdpp_core::problem::{CostModel, ImdppInstance};
 use imdpp_core::{Evaluator, RefreshableOracle};
 use imdpp_diffusion::{DiffusionModel, Scenario, SeedGroup};
 use imdpp_graph::EdgeUpdate;
+use imdpp_obs::{Counter, Gauge, Histogram};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 pub use imdpp_core::adaptive::AdaptiveReport;
 pub use imdpp_core::dysim::{DysimConfig, DysimReport};
 pub use imdpp_core::oracle::{OracleKind, RefreshStats, ScenarioUpdate};
 pub use imdpp_diffusion::ImdppError;
+pub use imdpp_obs::{Telemetry, TelemetrySnapshot};
 pub use imdpp_sketch::dispatch::ConfiguredOracle;
 
 /// An immutable, internally consistent view of the engine's world at one
@@ -160,6 +178,62 @@ pub struct ApplyReport {
     /// `full_rebuilds`).  Tests assert `full_rebuilds == 0` here so a
     /// regression to full-rebuild behaviour fails tests, not just benches.
     pub refresh: RefreshStats,
+    /// Wall-clock of the estimator refresh, measured around the out-of-lock
+    /// [`RefreshableOracle::refresh`] call (zero for empty updates, which
+    /// refresh nothing).  Reported per update so callers get the dominant
+    /// write-path cost without reading the full telemetry registry.
+    pub refresh_wall: Duration,
+    /// Wall-clock of publishing the new epoch: the write-lock acquisition
+    /// plus the atomic snapshot-pointer swap.  This is the only interval in
+    /// which readers can contend with the writer.
+    pub swap_wall: Duration,
+}
+
+/// The engine's pre-resolved telemetry handles: registered once at build so
+/// the read and write paths never touch the registry lock.
+#[derive(Debug)]
+struct EngineMetrics {
+    solve_ns: Histogram,
+    spread_ns: Histogram,
+    static_spread_ns: Histogram,
+    apply_ns: Histogram,
+    refresh_ns: Histogram,
+    swap_ns: Histogram,
+    writer_wait_ns: Histogram,
+    snapshot_pins: Counter,
+    solves: Counter,
+    spreads: Counter,
+    static_spreads: Counter,
+    applies: Counter,
+    refresh_sets_total: Counter,
+    refresh_sets_resampled: Counter,
+    refresh_entries_patched: Counter,
+    refresh_full_rebuilds: Counter,
+    epoch: Gauge,
+}
+
+impl EngineMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        EngineMetrics {
+            solve_ns: telemetry.histogram("engine.solve_ns"),
+            spread_ns: telemetry.histogram("engine.spread_ns"),
+            static_spread_ns: telemetry.histogram("engine.static_spread_ns"),
+            apply_ns: telemetry.histogram("engine.apply_ns"),
+            refresh_ns: telemetry.histogram("engine.refresh_ns"),
+            swap_ns: telemetry.histogram("engine.swap_ns"),
+            writer_wait_ns: telemetry.histogram("engine.writer_wait_ns"),
+            snapshot_pins: telemetry.counter("engine.snapshot_pins"),
+            solves: telemetry.counter("engine.solves"),
+            spreads: telemetry.counter("engine.spreads"),
+            static_spreads: telemetry.counter("engine.static_spreads"),
+            applies: telemetry.counter("engine.applies"),
+            refresh_sets_total: telemetry.counter("engine.refresh.sets_total"),
+            refresh_sets_resampled: telemetry.counter("engine.refresh.sets_resampled"),
+            refresh_entries_patched: telemetry.counter("engine.refresh.entries_patched"),
+            refresh_full_rebuilds: telemetry.counter("engine.refresh.full_rebuilds"),
+            epoch: telemetry.gauge("engine.epoch"),
+        }
+    }
 }
 
 /// A long-lived, snapshot-isolated IMDPP session.
@@ -175,6 +249,10 @@ pub struct Engine {
     /// Serializes writers so concurrent `apply` calls cannot interleave
     /// their read-refresh-swap sequences (readers are never blocked by it).
     writer: Mutex<()>,
+    /// The registry behind [`Engine::telemetry`]; the sketch (if any)
+    /// records into the same registry through its own handles.
+    telemetry: Telemetry,
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -186,6 +264,7 @@ impl Engine {
             budget: None,
             promotions: 1,
             config: DysimConfig::default(),
+            telemetry: None,
         }
     }
 
@@ -199,23 +278,50 @@ impl Engine {
             budget: Some(instance.budget()),
             promotions: instance.promotions(),
             config: DysimConfig::default(),
+            telemetry: None,
         }
     }
 
     /// The current snapshot.  Hold the returned [`Arc`] to keep answering
     /// queries against one consistent epoch while writers move on.
+    ///
+    /// Each call is counted as `engine.snapshot_pins` — the number of
+    /// epochs handed out for *caller-held* pinning.  The engine's own query
+    /// methods read the snapshot internally without recording a pin.
     pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.metrics.snapshot_pins.incr();
+        self.read_snapshot()
+    }
+
+    /// The snapshot read every query path shares, off the pin counter's
+    /// books (one lock round-trip + one `Arc` bump, nothing else).
+    fn read_snapshot(&self) -> Arc<EngineSnapshot> {
         self.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// A point-in-time copy of every metric the engine (and, for
+    /// sketch-backed engines, the sketch and its shard workers) has
+    /// recorded.  Empty when the engine was built with
+    /// [`Telemetry::disabled`].
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// The live registry itself — for sharing with other components or
+    /// checking [`Telemetry::is_enabled`]; use [`Engine::telemetry`] to
+    /// read values.
+    pub fn telemetry_handle(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The current epoch (0-based; +1 per applied update).
     pub fn epoch(&self) -> u64 {
-        self.snapshot().epoch
+        self.read_snapshot().epoch
     }
 
     /// The driver configuration the engine was built with.
     pub fn config(&self) -> DysimConfig {
-        self.snapshot().config.clone()
+        self.read_snapshot().config.clone()
     }
 
     /// Runs the full Dysim pipeline against the current snapshot and
@@ -227,19 +333,28 @@ impl Engine {
     /// Runs the full Dysim pipeline against the current snapshot and
     /// returns the seed group together with diagnostics.
     pub fn solve_report(&self) -> DysimReport {
-        self.snapshot().solve_report()
+        let snap = self.read_snapshot();
+        self.metrics.solves.incr();
+        let _span = self.metrics.solve_ns.start();
+        snap.solve_report()
     }
 
     /// Estimates `σ(S)` for a seed group against the current snapshot.
     /// Safe to call from any number of threads concurrently with a writer.
     pub fn spread(&self, seeds: &SeedGroup) -> f64 {
-        self.snapshot().spread(seeds)
+        let snap = self.read_snapshot();
+        self.metrics.spreads.incr();
+        let _span = self.metrics.spread_ns.start();
+        snap.spread(seeds)
     }
 
     /// Estimates the static first-promotion spread `f(N)` of a nominee set
     /// with the configured oracle against the current snapshot.
     pub fn static_spread(&self, nominees: &[Nominee]) -> f64 {
-        self.snapshot().static_spread(nominees)
+        let snap = self.read_snapshot();
+        self.metrics.static_spreads.incr();
+        let _span = self.metrics.static_spread_ns.start();
+        snap.static_spread(nominees)
     }
 
     /// Runs the adaptive Dysim loop (Sec. V-D) for `rounds` promotions
@@ -251,7 +366,7 @@ impl Engine {
     /// state untouched.  To make drift durable for subsequent queries, feed
     /// the same updates through [`Engine::apply`].
     pub fn adaptive(&self, rounds: u32, drift: &[ScenarioUpdate]) -> AdaptiveReport {
-        let snap = self.snapshot();
+        let snap = self.read_snapshot();
         let instance = snap.instance.with_promotions(rounds);
         let mut oracle = snap.oracle.clone();
         adaptive_dysim_with_oracle(&instance, &snap.config, drift, &mut oracle)
@@ -273,9 +388,12 @@ impl Engine {
     /// references users or items outside the scenario or carries values
     /// outside their valid ranges.
     pub fn apply(&self, update: &ScenarioUpdate) -> Result<ApplyReport, ImdppError> {
+        let wait_span = self.metrics.writer_wait_ns.start();
         let _writer = self.writer.lock().expect("writer lock poisoned");
-        let snap = self.snapshot();
+        drop(wait_span);
+        let snap = self.read_snapshot();
         validate_update(snap.scenario(), update)?;
+        let _apply_span = self.metrics.apply_ns.start();
 
         let epoch = snap.epoch + 1;
         let report = if update.is_empty() {
@@ -283,18 +401,26 @@ impl Engine {
                 epoch,
                 ..(*snap).clone()
             });
+            let swap_started = Instant::now();
             *self.current.write().expect("snapshot lock poisoned") = next;
+            let swap_wall = swap_started.elapsed();
+            self.metrics.swap_ns.record_duration(swap_wall);
             ApplyReport {
                 epoch,
                 refresh_fraction: 0.0,
                 refresh: RefreshStats::default(),
+                refresh_wall: Duration::ZERO,
+                swap_wall,
             }
         } else {
             let updated = update.apply(snap.scenario());
             let mut oracle = snap.oracle.clone();
             // Refresh borrows `updated` before it moves into the instance,
             // so the writer path copies the scenario exactly once.
+            let refresh_started = Instant::now();
             let refresh = oracle.refresh(&updated, update);
+            let refresh_wall = refresh_started.elapsed();
+            self.metrics.refresh_ns.record_duration(refresh_wall);
             let instance = snap.instance.with_scenario(updated)?;
             let next = Arc::new(EngineSnapshot {
                 epoch,
@@ -302,13 +428,32 @@ impl Engine {
                 oracle,
                 config: snap.config.clone(),
             });
+            let swap_started = Instant::now();
             *self.current.write().expect("snapshot lock poisoned") = next;
+            let swap_wall = swap_started.elapsed();
+            self.metrics.swap_ns.record_duration(swap_wall);
+            self.metrics
+                .refresh_sets_total
+                .add(refresh.total_sets as u64);
+            self.metrics
+                .refresh_sets_resampled
+                .add(refresh.resampled_sets as u64);
+            self.metrics
+                .refresh_entries_patched
+                .add(refresh.index_entries_patched);
+            self.metrics
+                .refresh_full_rebuilds
+                .add(refresh.full_rebuilds);
             ApplyReport {
                 epoch,
                 refresh_fraction: refresh.resampled_fraction(),
                 refresh,
+                refresh_wall,
+                swap_wall,
             }
         };
+        self.metrics.applies.incr();
+        self.metrics.epoch.set(epoch);
         Ok(report)
     }
 }
@@ -400,6 +545,7 @@ pub struct EngineBuilder {
     budget: Option<f64>,
     promotions: u32,
     config: DysimConfig,
+    telemetry: Option<Telemetry>,
 }
 
 impl EngineBuilder {
@@ -443,6 +589,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Replaces the telemetry registry (default: a fresh live
+    /// [`Telemetry::new`]).  Pass [`Telemetry::disabled`] to strip the
+    /// engine's instrumentation down to one branch per record site, or a
+    /// shared registry to aggregate several engines into one snapshot.
+    /// Telemetry never affects results — only whether timings and counters
+    /// are collected.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Validates the configuration, resolves the oracle, and publishes
     /// epoch 0.
     ///
@@ -468,12 +625,15 @@ impl EngineBuilder {
                  use OracleKind::MonteCarlo for Linear Threshold scenarios",
             ));
         }
-        let oracle = ConfiguredOracle::build(
+        let telemetry = self.telemetry.unwrap_or_default();
+        let oracle = ConfiguredOracle::build_with_telemetry(
             instance.scenario(),
             self.config.oracle,
             self.config.mc_samples,
             self.config.base_seed,
+            &telemetry,
         );
+        let metrics = EngineMetrics::new(&telemetry);
         Ok(Engine {
             current: RwLock::new(Arc::new(EngineSnapshot {
                 epoch: 0,
@@ -482,6 +642,8 @@ impl EngineBuilder {
                 config: self.config,
             })),
             writer: Mutex::new(()),
+            telemetry,
+            metrics,
         })
     }
 }
@@ -720,8 +882,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn adaptive_matches_the_deprecated_pipeline_dispatch() {
+    fn adaptive_matches_the_direct_adaptive_driver() {
         let drift = vec![
             ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
                 src: UserId(0),
@@ -747,13 +908,145 @@ mod tests {
                 .unwrap();
             let report = engine.adaptive(3, &drift);
             let snap = engine.snapshot();
-            let legacy =
-                imdpp_sketch::pipeline::run_adaptive(snap.instance(), snap.config(), &drift);
-            assert_eq!(report.seeds, legacy.seeds);
-            assert_eq!(report.refresh_fractions, legacy.refresh_fractions);
+            let cfg = snap.config();
+            let instance = snap.instance().with_promotions(3);
+            let mut direct_oracle =
+                ConfiguredOracle::build(snap.scenario(), cfg.oracle, cfg.mc_samples, cfg.base_seed);
+            let direct = adaptive_dysim_with_oracle(&instance, cfg, &drift, &mut direct_oracle);
+            assert_eq!(report.seeds, direct.seeds);
+            assert_eq!(report.refresh_fractions, direct.refresh_fractions);
             // The engine's published state is untouched by hypothetical drift.
             assert_eq!(engine.epoch(), 0);
         }
+    }
+
+    #[test]
+    fn telemetry_is_populated_after_solve_and_apply() {
+        let engine = engine(OracleKind::RrSketch {
+            sets_per_item: 256,
+            shards: 3,
+            threads: 0,
+        });
+        let seeds = engine.solve();
+        let _sigma = engine.spread(&seeds);
+        let _f = engine.static_spread(&[(UserId(0), ItemId(0))]);
+        let update = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src: UserId(0),
+            dst: UserId(1),
+            weight: 0.9,
+        }]);
+        let applied = engine.apply(&update).unwrap();
+
+        // Per-update wall-clock is reported without the registry...
+        assert!(applied.refresh_wall > Duration::ZERO);
+        assert!(
+            applied.swap_wall < applied.refresh_wall + applied.swap_wall + Duration::from_secs(1)
+        );
+
+        // ...and the registry saw every path.
+        let snap = engine.telemetry();
+        for hist in [
+            "engine.solve_ns",
+            "engine.spread_ns",
+            "engine.static_spread_ns",
+            "engine.apply_ns",
+            "engine.refresh_ns",
+            "engine.swap_ns",
+            "engine.writer_wait_ns",
+        ] {
+            let h = snap
+                .histogram(hist)
+                .unwrap_or_else(|| panic!("{hist} missing"));
+            assert_eq!(h.count, 1, "{hist}");
+        }
+        assert!(snap.histogram("engine.solve_ns").unwrap().sum > 0);
+        assert_eq!(snap.counter("engine.solves"), Some(1));
+        assert_eq!(snap.counter("engine.spreads"), Some(1));
+        assert_eq!(snap.counter("engine.static_spreads"), Some(1));
+        assert_eq!(snap.counter("engine.applies"), Some(1));
+        assert_eq!(snap.gauge("engine.epoch"), Some(1));
+        // Pins count *explicit* `Engine::snapshot()` calls only; the four
+        // query/apply calls above read their epoch off the books.
+        assert_eq!(snap.counter("engine.snapshot_pins"), Some(0));
+
+        // Counter totals match the returned RefreshStats exactly.
+        assert_eq!(
+            snap.counter("engine.refresh.sets_resampled"),
+            Some(applied.refresh.resampled_sets as u64)
+        );
+        assert_eq!(
+            snap.counter("engine.refresh.sets_total"),
+            Some(applied.refresh.total_sets as u64)
+        );
+        assert_eq!(
+            snap.counter("engine.refresh.entries_patched"),
+            Some(applied.refresh.index_entries_patched)
+        );
+        assert_eq!(snap.counter("engine.refresh.full_rebuilds"), Some(0));
+
+        // The sketch recorded into the same registry: one build observation
+        // per shard per item at construction, one refresh observation per
+        // shard per item at apply, and its resample counter agrees with the
+        // engine-level fold.
+        let items = engine.snapshot().scenario().item_count();
+        assert_eq!(
+            engine.telemetry().counter("engine.snapshot_pins"),
+            Some(1),
+            "an explicit snapshot() call is exactly one pin"
+        );
+        assert_eq!(
+            snap.histogram("sketch.shard_build_ns").unwrap().count,
+            (3 * items) as u64
+        );
+        assert_eq!(
+            snap.histogram("sketch.shard_refresh_ns").unwrap().count,
+            (3 * items) as u64
+        );
+        assert_eq!(
+            snap.counter("sketch.sets_resampled"),
+            Some(applied.refresh.resampled_sets as u64)
+        );
+        assert_eq!(
+            snap.counter("sketch.sets_sampled"),
+            Some((256 * items) as u64)
+        );
+        // Valid JSON comes out of the snapshot.
+        let json = snap.to_json();
+        assert!(json.contains("\"engine.applies\": 1"));
+    }
+
+    #[test]
+    fn disabled_telemetry_snapshots_empty_and_changes_nothing() {
+        let live = engine(OracleKind::RrSketch {
+            sets_per_item: 256,
+            shards: 2,
+            threads: 0,
+        });
+        let dark = Engine::builder(toy_scenario())
+            .budget(3.0)
+            .promotions(2)
+            .config(DysimConfig::fast())
+            .oracle(OracleKind::RrSketch {
+                sets_per_item: 256,
+                shards: 2,
+                threads: 0,
+            })
+            .telemetry(Telemetry::disabled())
+            .build()
+            .unwrap();
+        assert!(!dark.telemetry_handle().is_enabled());
+        assert!(live.telemetry_handle().is_enabled());
+
+        // Identical results with recording on or off.
+        assert_eq!(live.solve(), dark.solve());
+        let update = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]);
+        let a = live.apply(&update).unwrap();
+        let b = dark.apply(&update).unwrap();
+        assert_eq!(a.refresh, b.refresh);
+
+        // The dark engine recorded nothing.
+        assert!(dark.telemetry().is_empty());
+        assert!(!live.telemetry().is_empty());
     }
 
     #[test]

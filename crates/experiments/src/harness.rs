@@ -4,6 +4,7 @@
 use imdpp_baselines::{Algorithm, BaselineConfig, Bgrd, Drhga, Hag, Opt, PathScore};
 use imdpp_core::{DysimConfig, Evaluator, ImdppInstance, MarketOrdering, OracleKind, SeedGroup};
 use imdpp_engine::Engine;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Environment-driven configuration of an experiment run.
@@ -21,6 +22,13 @@ pub struct HarnessConfig {
     pub out_dir: String,
     /// Estimator behind Dysim's nominee selection (`IMDPP_ORACLE`).
     pub oracle: OracleKind,
+    /// Where to dump the engine telemetry snapshot (`IMDPP_METRICS`).
+    ///
+    /// `None` (the default) disables the dump.  When set, every
+    /// engine-backed run rewrites the file with that run's snapshot, so
+    /// after a multi-algorithm sweep the file holds the *last* Dysim run's
+    /// telemetry — pass a distinct path per invocation to keep them all.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for HarnessConfig {
@@ -32,6 +40,7 @@ impl Default for HarnessConfig {
             candidate_users: Some(48),
             out_dir: "results".to_string(),
             oracle: OracleKind::MonteCarlo,
+            metrics_out: None,
         }
     }
 }
@@ -114,6 +123,7 @@ impl HarnessConfig {
                 ),
             }
         }
+        cfg.metrics_out = imdpp_obs::metrics_env_path();
         cfg
     }
 
@@ -232,12 +242,27 @@ pub fn run_algorithm(
         (None, _) => unreachable!("every Dysim kind builds an engine above"),
     };
     let seconds = start.elapsed().as_secs_f64();
+    if let Some(engine) = &engine {
+        dump_metrics(engine, config);
+    }
     let spread = evaluate_spread(instance, &seeds, config);
     RunResult {
         algorithm: kind.name(),
         seeds,
         spread,
         seconds,
+    }
+}
+
+/// Writes `engine`'s telemetry snapshot to [`HarnessConfig::metrics_out`]
+/// (the `IMDPP_METRICS` knob); a no-op when the knob is unset.  Failures
+/// are reported on stderr, never fatal — metrics must not sink a run.
+pub fn dump_metrics(engine: &Engine, config: &HarnessConfig) {
+    let Some(path) = &config.metrics_out else {
+        return;
+    };
+    if let Err(e) = engine.telemetry().write_to(path) {
+        eprintln!("IMDPP_METRICS: failed to write {}: {e}", path.display());
     }
 }
 
@@ -277,6 +302,7 @@ pub fn run_dysim_with_ordering(
     let start = Instant::now();
     let seeds = engine.solve();
     let seconds = start.elapsed().as_secs_f64();
+    dump_metrics(&engine, config);
     let spread = evaluate_spread(instance, &seeds, config);
     RunResult {
         algorithm: ordering.name(),
@@ -306,6 +332,7 @@ mod tests {
             candidate_users: Some(8),
             out_dir: "/tmp/imdpp-test-results".to_string(),
             oracle: OracleKind::MonteCarlo,
+            metrics_out: None,
         }
     }
 
@@ -419,6 +446,32 @@ mod tests {
         let result = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg);
         assert!(inst.is_feasible(&result.seeds));
         assert!(!result.seeds.is_empty());
+    }
+
+    #[test]
+    fn metrics_knob_writes_a_telemetry_snapshot() {
+        let inst = tiny_instance();
+        let path = std::env::temp_dir().join("imdpp-harness-metrics-test.json");
+        let _ = std::fs::remove_file(&path);
+        let cfg = HarnessConfig {
+            metrics_out: Some(path.clone()),
+            ..tiny_config()
+        };
+        let result = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg);
+        assert!(inst.is_feasible(&result.seeds));
+        let json = std::fs::read_to_string(&path).expect("metrics file written");
+        assert!(json.contains("\"engine.solves\": 1"));
+        assert!(json.contains("\"histograms\""));
+        std::fs::remove_file(&path).unwrap();
+
+        // Baseline runs have no engine and leave the file alone.
+        let missing = std::env::temp_dir().join("imdpp-harness-metrics-none.json");
+        let cfg = HarnessConfig {
+            metrics_out: Some(missing.clone()),
+            ..tiny_config()
+        };
+        let _ = run_algorithm(AlgorithmKind::Bgrd, &inst, &cfg);
+        assert!(!missing.exists());
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! The shared base-2 histogram cell behind [`crate::Histogram`] handles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Bucket `0` holds the value `0`; bucket `k ≥ 1` holds `[2^(k-1), 2^k - 1]`.
+/// 65 buckets cover the whole `u64` range.
+pub(crate) const NUM_BUCKETS: usize = 65;
+
+/// The bucket index of `value`: the bit width of `value` (0 for 0).
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` can hold.
+pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        k => (1u64 << k) - 1,
+    }
+}
+
+/// The lock-free histogram cell: per-bucket counts plus exact sum / max,
+/// all maintained with relaxed atomics (recording order carries no
+/// meaning; totals are exact because every op is a read-modify-write).
+/// The observation count is not stored — every record increments exactly
+/// one bucket, so readers derive it as the bucket-count sum, keeping the
+/// hot record path at three atomic ops.
+#[derive(Debug)]
+pub(crate) struct HistCell {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistCell {
+    #[inline]
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.buckets.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy with the quantiles resolved from the bucket
+    /// counts.  A quantile reports its bucket's upper bound clamped to the
+    /// observed maximum, so `p50 ≤ p90 ≤ p99 ≤ max` always holds and the
+    /// relative error stays within the 2× bucket width.
+    pub(crate) fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let buckets: Vec<(u8, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then_some((i as u8, count))
+            })
+            .collect();
+        let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // The rank of the q-quantile observation, 1-based.
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0;
+            for &(index, c) in &buckets {
+                seen += c;
+                if seen >= target {
+                    return bucket_upper_bound(index as usize).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket k ≥ 1 spans exactly [2^(k-1), 2^k - 1].
+        for k in 1..64usize {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(bucket_index(lo), k, "lower edge of bucket {k}");
+            assert_eq!(bucket_index(hi), k, "upper edge of bucket {k}");
+            assert_eq!(bucket_upper_bound(k), hi);
+        }
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_reports_exact_count_sum_max() {
+        let cell = HistCell::default();
+        for v in [0u64, 1, 1, 3, 900] {
+            cell.record(v);
+        }
+        let snap = cell.snapshot("h");
+        assert_eq!(snap.name, "h");
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 905);
+        assert_eq!(snap.max, 900);
+        // 0 → bucket 0; the two 1s → bucket 1; 3 → bucket 2; 900 → bucket 10.
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 2), (2, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets_and_clamp_to_max() {
+        let cell = HistCell::default();
+        // 98 small values and 2 large ones.
+        for _ in 0..98 {
+            cell.record(5); // bucket 3, upper bound 7
+        }
+        cell.record(1000); // bucket 10
+        cell.record(1500); // bucket 11, upper bound 2047 — clamped to max
+        let snap = cell.snapshot("h");
+        assert_eq!(snap.p50, 7);
+        assert_eq!(snap.p90, 7);
+        assert_eq!(snap.p99, 1023);
+        assert_eq!(snap.max, 1500);
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99 && snap.p99 <= snap.max);
+
+        // A single observation pins every quantile to the max.
+        let one = HistCell::default();
+        one.record(42);
+        let snap = one.snapshot("one");
+        assert_eq!((snap.p50, snap.p90, snap.p99), (42, 42, 42));
+
+        // Empty histograms report zeros.
+        let empty = HistCell::default().snapshot("empty");
+        assert_eq!((empty.count, empty.p50, empty.p99, empty.max), (0, 0, 0, 0));
+    }
+}

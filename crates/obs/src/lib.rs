@@ -1,0 +1,440 @@
+//! # imdpp-obs
+//!
+//! Zero-dependency telemetry for the IMDPP suite: lock-free atomic
+//! counters, fixed-bucket base-2 latency histograms, gauge cells and a
+//! span-timer RAII guard, all hanging off a cloneable [`Telemetry`]
+//! registry.
+//!
+//! ## Design
+//!
+//! * **Registration is rare, recording is hot.**  [`Telemetry::counter`] /
+//!   [`Telemetry::gauge`] / [`Telemetry::histogram`] take a `Mutex` once to
+//!   intern the metric by name and hand back a cheap cloneable handle; every
+//!   subsequent [`Counter::add`] / [`Histogram::record`] is a single relaxed
+//!   atomic op on the shared cell — safe to call from shard workers.
+//! * **Disabled mode costs one branch.**  [`Telemetry::disabled`] carries no
+//!   registry at all; handles resolved from it hold `None` and every record
+//!   call is one `Option` test.  [`Histogram::start`] on a disabled handle
+//!   never even reads the clock.
+//! * **Telemetry never feeds the RNG or alters control flow.**  The suite's
+//!   determinism invariant — semantic counters bit-identical across the
+//!   shards × threads grid — holds *through* this crate because recording
+//!   only ever folds values into atomics; nothing downstream reads them.
+//!
+//! ## Example
+//!
+//! ```
+//! use imdpp_obs::Telemetry;
+//!
+//! let telemetry = Telemetry::new();
+//! let solves = telemetry.counter("engine.solves");
+//! let latency = telemetry.histogram("engine.solve_ns");
+//!
+//! {
+//!     let _span = latency.start(); // records on drop
+//!     solves.incr();
+//! }
+//!
+//! let snap = telemetry.snapshot();
+//! assert_eq!(snap.counter("engine.solves"), Some(1));
+//! assert_eq!(snap.histogram("engine.solve_ns").unwrap().count, 1);
+//! assert!(snap.to_json().starts_with('{'));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod hist;
+mod rss;
+mod snapshot;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hist::HistCell;
+
+pub use rss::peak_rss_bytes;
+pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
+
+/// The environment variable naming a file path to dump a
+/// [`TelemetrySnapshot`] to (see [`metrics_env_path`]).
+pub const METRICS_ENV: &str = "IMDPP_METRICS";
+
+/// The metrics dump path requested via the `IMDPP_METRICS` environment
+/// variable, if set and non-empty.  Harnesses call this once per run and
+/// pair it with [`TelemetrySnapshot::write_to`].
+pub fn metrics_env_path() -> Option<std::path::PathBuf> {
+    match std::env::var(METRICS_ENV) {
+        Ok(path) if !path.is_empty() => Some(std::path::PathBuf::from(path)),
+        _ => None,
+    }
+}
+
+/// The interned metric cells, keyed by name.  Maps hold `Arc`s to the cells
+/// so handles can record without touching the registry lock again.
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistCell>>>,
+}
+
+/// A cloneable telemetry registry.
+///
+/// Clones share one set of metric cells ([`Telemetry`] is a shallow `Arc`
+/// handle), so a registry threaded through the engine, the sketch and the
+/// shard workers aggregates into a single [`TelemetrySnapshot`].  The
+/// [`Telemetry::disabled`] form carries no registry; see the crate docs for
+/// the cost model.  `Default` is the *live* form ([`Telemetry::new`]) —
+/// opting out of recording is always explicit.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A live registry: handles resolved from it record for real.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A no-op registry: every handle resolved from it is a no-op whose
+    /// record path is a single branch, and [`Telemetry::snapshot`] is empty.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolves (registering on first use) the monotonic counter `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            let mut map = inner.counters.lock().expect("telemetry registry poisoned");
+            Arc::clone(map.entry(name).or_default())
+        }))
+    }
+
+    /// Resolves (registering on first use) the last-value gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            let mut map = inner.gauges.lock().expect("telemetry registry poisoned");
+            Arc::clone(map.entry(name).or_default())
+        }))
+    }
+
+    /// Resolves (registering on first use) the base-2 histogram `name`.
+    /// Values are whatever unit the recorder chooses; latency metrics in the
+    /// suite record nanoseconds (and are named `*_ns`).
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            let mut map = inner
+                .histograms
+                .lock()
+                .expect("telemetry registry poisoned");
+            Arc::clone(map.entry(name).or_default())
+        }))
+    }
+
+    /// A consistent-enough point-in-time copy of every registered metric
+    /// (values are read with relaxed ordering; concurrent recorders may or
+    /// may not be included).  Disabled registries snapshot empty.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(inner) = &self.inner else {
+            return TelemetrySnapshot::default();
+        };
+        let read_map = |map: &Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>| {
+            map.lock()
+                .expect("telemetry registry poisoned")
+                .iter()
+                .map(|(&name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+                .collect()
+        };
+        TelemetrySnapshot {
+            counters: read_map(&inner.counters),
+            gauges: read_map(&inner.gauges),
+            histograms: inner
+                .histograms
+                .lock()
+                .expect("telemetry registry poisoned")
+                .iter()
+                .map(|(&name, cell)| cell.snapshot(name))
+                .collect(),
+        }
+    }
+}
+
+/// A monotonic counter handle; cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached no-op counter (what a disabled registry resolves to).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total (0 on a no-op handle).
+    pub fn value(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value gauge handle; cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A detached no-op gauge (what a disabled registry resolves to).
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Overwrites the gauge value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0 on a no-op handle).
+    pub fn value(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A base-2 histogram handle; cloning shares the cell.
+///
+/// Bucket `0` holds the value `0` and bucket `k ≥ 1` holds
+/// `[2^(k-1), 2^k - 1]`, so 65 buckets cover the whole `u64` range with
+/// ≤ 2× relative quantile error — plenty for latency distributions.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistCell>>);
+
+impl Histogram {
+    /// A detached no-op histogram (what a disabled registry resolves to).
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.record(value);
+        }
+    }
+
+    /// Records a duration in nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a span whose elapsed nanoseconds are recorded when the guard
+    /// drops.  On a no-op handle the clock is never read.  The guard borrows
+    /// this handle (no refcount traffic on the hot path), so the handle must
+    /// outlive the span — which it does naturally when handles live in a
+    /// metrics struct and spans are method-scoped.
+    #[must_use = "the span records on drop; binding it to `_` drops immediately"]
+    pub fn start(&self) -> SpanTimer<'_> {
+        SpanTimer {
+            span: self.0.as_deref().map(|cell| (Instant::now(), cell)),
+        }
+    }
+
+    /// Number of recorded observations (0 on a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.count())
+    }
+}
+
+/// RAII guard started by [`Histogram::start`]: records the span's elapsed
+/// nanoseconds into the histogram when dropped.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    span: Option<(Instant, &'a HistCell)>,
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some((started, cell)) = self.span.take() {
+            cell.record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let t = Telemetry::new();
+        assert!(t.is_enabled());
+        let c = t.counter("c");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        // Re-resolving by name shares the cell; so does cloning the handle.
+        t.counter("c").add(1);
+        c.clone().add(1);
+        assert_eq!(c.value(), 7);
+
+        let g = t.gauge("g");
+        g.set(9);
+        g.set(3);
+        assert_eq!(g.value(), 3);
+
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("c"), Some(7));
+        assert_eq!(snap.gauge("g"), Some(3));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let t = Telemetry::new();
+        let c = t.clone().counter("shared");
+        c.add(2);
+        assert_eq!(t.snapshot().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn default_is_the_live_registry() {
+        let t = Telemetry::default();
+        assert!(t.is_enabled());
+        t.counter("c").incr();
+        assert_eq!(t.snapshot().counter("c"), Some(1));
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let c = t.counter("c");
+        let g = t.gauge("g");
+        let h = t.histogram("h");
+        c.add(10);
+        g.set(10);
+        h.record(10);
+        drop(h.start());
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0);
+        assert_eq!(h.count(), 0);
+        let snap = t.snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.counter("c"), None);
+    }
+
+    #[test]
+    fn noop_handles_match_disabled_resolution() {
+        Counter::noop().incr();
+        Gauge::noop().set(1);
+        Histogram::noop().record(1);
+        assert_eq!(Counter::noop().value(), 0);
+        assert_eq!(Histogram::noop().count(), 0);
+        // Default handles are no-ops too.
+        Counter::default().incr();
+        assert_eq!(Counter::default().value(), 0);
+    }
+
+    #[test]
+    fn span_timer_records_elapsed_nanos() {
+        let t = Telemetry::new();
+        let h = t.histogram("span_ns");
+        {
+            let _span = h.start();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = t.snapshot();
+        let hist = snap.histogram("span_ns").unwrap();
+        assert_eq!(hist.count, 1);
+        assert!(hist.sum >= 1_000_000, "slept ≥ 1ms, recorded {}", hist.sum);
+        assert!(hist.max >= 1_000_000);
+    }
+
+    #[test]
+    fn record_duration_uses_nanoseconds() {
+        let t = Telemetry::new();
+        let h = t.histogram("d");
+        h.record_duration(Duration::from_micros(3));
+        assert_eq!(t.snapshot().histogram("d").unwrap().sum, 3_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let t = Telemetry::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = t.counter("hits");
+                let h = t.histogram("vals");
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        c.incr();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        let snap = t.snapshot();
+        let total = threads * per_thread;
+        assert_eq!(snap.counter("hits"), Some(total));
+        let hist = snap.histogram("vals").unwrap();
+        assert_eq!(hist.count, total);
+        assert_eq!(hist.max, per_thread - 1);
+        assert_eq!(
+            hist.sum,
+            threads * (per_thread * (per_thread - 1) / 2),
+            "per-bucket sums must not lose concurrent increments"
+        );
+    }
+
+    #[test]
+    fn metrics_env_path_requires_a_non_empty_value() {
+        // Process-global env: run all three cases in one test body.
+        std::env::remove_var(METRICS_ENV);
+        assert_eq!(metrics_env_path(), None);
+        std::env::set_var(METRICS_ENV, "");
+        assert_eq!(metrics_env_path(), None);
+        std::env::set_var(METRICS_ENV, "/tmp/metrics.json");
+        assert_eq!(
+            metrics_env_path(),
+            Some(std::path::PathBuf::from("/tmp/metrics.json"))
+        );
+        std::env::remove_var(METRICS_ENV);
+    }
+}

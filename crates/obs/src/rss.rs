@@ -1,0 +1,48 @@
+//! Process peak-RSS readout for the bench summaries.
+
+/// The peak resident set size (`VmHWM`) of the current process in bytes,
+/// read from `/proc/self/status`.  Returns `None` off Linux (the procfs
+/// read simply fails) or when the field is missing or malformed.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Extracts `VmHWM` from a `/proc/<pid>/status` document.  The kernel
+/// reports the value in kibibytes (`VmHWM:   123456 kB`).
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kib * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_kernel_format() {
+        let status = "Name:\tbench\nVmPeak:\t  999 kB\nVmHWM:\t  123456 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(123456 * 1024));
+    }
+
+    #[test]
+    fn missing_or_malformed_fields_yield_none() {
+        assert_eq!(parse_vm_hwm(""), None);
+        assert_eq!(parse_vm_hwm("VmPeak:\t 1 kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_readout_reports_a_positive_peak() {
+        let peak = peak_rss_bytes().expect("Linux exposes /proc/self/status");
+        assert!(peak > 0);
+    }
+}

@@ -4,8 +4,7 @@
 //!
 //! `imdpp-core` owns the drivers but cannot construct the RR sketch without
 //! a dependency cycle, so the knob is honoured *here* and consumed by the
-//! `imdpp-engine` `Engine` (and, for backwards compatibility, by the
-//! deprecated `imdpp_sketch::pipeline` shims):
+//! `imdpp-engine` `Engine`:
 //!
 //! * [`OracleKind::MonteCarlo`] — the owned forward Monte-Carlo oracle
 //!   ([`MonteCarloOracle`]), the paper's reference estimator,
@@ -39,6 +38,7 @@ use imdpp_core::nominees::Nominee;
 use imdpp_core::oracle::{OracleKind, RefreshStats, RefreshableOracle, ScenarioUpdate};
 use imdpp_core::{MonteCarloOracle, SpreadOracle};
 use imdpp_diffusion::Scenario;
+use imdpp_obs::Telemetry;
 
 /// The sketch configuration an [`OracleKind::RrSketch`] knob resolves to: a
 /// fixed pool (adaptive growth disabled so refreshes stay bit-identical to
@@ -85,6 +85,30 @@ impl ConfiguredOracle {
     /// [`SketchOracle::build`]).  The `imdpp-engine` builder rejects that
     /// combination with a typed error before reaching this point.
     pub fn build(scenario: &Scenario, kind: OracleKind, mc_samples: usize, base_seed: u64) -> Self {
+        Self::build_with_telemetry(
+            scenario,
+            kind,
+            mc_samples,
+            base_seed,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// [`ConfiguredOracle::build`] recording into `telemetry` (the engine's
+    /// path).  The Monte-Carlo variant carries no sketch-side metrics; the
+    /// RR-sketch variant resolves its [`crate::SketchMetrics`] against the
+    /// registry so shard workers and refreshes are observable.  Either way
+    /// the resolved oracle is bit-identical to the unmetered one.
+    ///
+    /// # Panics
+    /// Same contract as [`ConfiguredOracle::build`].
+    pub fn build_with_telemetry(
+        scenario: &Scenario,
+        kind: OracleKind,
+        mc_samples: usize,
+        base_seed: u64,
+        telemetry: &Telemetry,
+    ) -> Self {
         match kind {
             OracleKind::MonteCarlo => {
                 ConfiguredOracle::MonteCarlo(MonteCarloOracle::new(scenario, mc_samples, base_seed))
@@ -93,9 +117,10 @@ impl ConfiguredOracle {
                 sets_per_item,
                 shards,
                 threads,
-            } => ConfiguredOracle::RrSketch(SketchOracle::build(
+            } => ConfiguredOracle::RrSketch(SketchOracle::build_with_telemetry(
                 scenario,
                 sketch_config_for(base_seed, sets_per_item, shards, threads),
+                telemetry,
             )),
         }
     }

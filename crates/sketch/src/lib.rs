@@ -30,8 +30,10 @@
 //! * [`dispatch`] — [`ConfiguredOracle`], the one place the
 //!   `DysimConfig::oracle` knob resolves to a concrete estimator (consumed
 //!   by the `imdpp-engine` `Engine`),
-//! * [`pipeline`] — deprecated config-driven entry points, now thin shims
-//!   over [`dispatch`]; use the `imdpp-engine` `Engine` instead.
+//! * [`telemetry`] — [`SketchMetrics`], the pre-resolved `imdpp-obs`
+//!   handles the build/extend/refresh paths record into (per-shard
+//!   wall-clock, sampled/resampled-set counters, frontier sizes); recording
+//!   never feeds the RNG, so metered runs stay bit-identical.
 //!
 //! See `docs/ARCHITECTURE.md` for when to pick the sketch oracle over
 //! forward Monte-Carlo, and `docs/QUICKSTART.md` for a guided tour.
@@ -78,10 +80,10 @@ pub mod dispatch;
 pub mod greedy;
 pub mod incremental;
 pub mod oracle;
-pub mod pipeline;
 pub mod sampler;
 pub mod sharded;
 pub mod store;
+pub mod telemetry;
 
 pub use adaptive::{AdaptiveReport, StoppingRule};
 pub use dispatch::ConfiguredOracle;
@@ -91,6 +93,7 @@ pub use oracle::SketchOracle;
 pub use sampler::effective_threads;
 pub use sharded::ShardedRrStore;
 pub use store::{IndexStats, RrStore, SetId};
+pub use telemetry::SketchMetrics;
 
 pub use imdpp_core::{RefreshableOracle, ScenarioUpdate, SpreadOracle};
 pub use imdpp_graph::{EdgeUpdate, ItemId, UserId};

@@ -3,15 +3,17 @@
 
 use crate::adaptive::{AdaptiveReport, StoppingRule};
 use crate::greedy::{greedy_max_coverage_sharded, GreedySelection};
-use crate::incremental::{affected_heads, edge_update_frontier, refresh_store, RefreshStats};
+use crate::incremental::{affected_heads, edge_update_frontier, RefreshStats};
 use crate::sharded::ShardedRrStore;
 use crate::store::IndexStats;
+use crate::telemetry::SketchMetrics;
 use crate::SketchConfig;
 use imdpp_core::nominees::Nominee;
 use imdpp_core::oracle::{RefreshableOracle, ScenarioUpdate};
 use imdpp_core::SpreadOracle;
 use imdpp_diffusion::{DynamicsConfig, Scenario};
 use imdpp_graph::{EdgeUpdate, ItemId, UserId};
+use imdpp_obs::Telemetry;
 
 /// A reverse-reachable-sketch estimator of the static first-promotion
 /// spread `f(N)`, maintaining one [`ShardedRrStore`] per catalogue item
@@ -29,6 +31,11 @@ pub struct SketchOracle {
     frozen: Scenario,
     config: SketchConfig,
     stores: Vec<ShardedRrStore>,
+    /// Pre-resolved telemetry handles (no-op unless the oracle was built
+    /// with [`SketchOracle::build_with_telemetry`]).  Clones share the
+    /// cells, so a cloned-then-refreshed oracle — the engine's writer path —
+    /// keeps recording into the originating registry.
+    metrics: SketchMetrics,
 }
 
 impl SketchOracle {
@@ -42,12 +49,32 @@ impl SketchOracle {
     /// with it would silently target the wrong quantity (the LT-equivalent
     /// sketch draws one uniformly-chosen live in-edge per node instead).
     pub fn build(scenario: &Scenario, config: SketchConfig) -> Self {
+        Self::build_with_telemetry(scenario, config, &Telemetry::disabled())
+    }
+
+    /// [`SketchOracle::build`] recording into `telemetry`: construction,
+    /// adaptive growth and every later refresh fold per-shard wall-clock and
+    /// the semantic set/index counters into the registry (see
+    /// [`SketchMetrics`] for the metric names).  Passing
+    /// [`Telemetry::disabled`] makes this identical to plain `build`;
+    /// either way the sampled stores are bit-identical — telemetry is
+    /// write-only and never feeds the RNG.
+    ///
+    /// # Panics
+    /// Like [`SketchOracle::build`], panics on a non-Independent-Cascade
+    /// scenario.
+    pub fn build_with_telemetry(
+        scenario: &Scenario,
+        config: SketchConfig,
+        telemetry: &Telemetry,
+    ) -> Self {
         assert_eq!(
             scenario.model(),
             imdpp_diffusion::DiffusionModel::IndependentCascade,
             "SketchOracle only supports the Independent Cascade model; \
              use the Monte-Carlo Evaluator for Linear Threshold scenarios"
         );
+        let metrics = SketchMetrics::new(telemetry);
         let frozen = scenario.with_dynamics(DynamicsConfig::frozen());
         let stores = frozen
             .items()
@@ -55,13 +82,14 @@ impl SketchOracle {
                 // Shard-parallel generation: each shard samples, pushes and
                 // performs its one full index build on its own worker; every
                 // later maintenance step patches incrementally.
-                ShardedRrStore::build(
+                ShardedRrStore::build_observed(
                     &frozen,
                     item,
                     config.shards,
                     config.base_seed,
                     config.initial_sets,
                     config.threads,
+                    &metrics,
                 )
             })
             .collect();
@@ -69,6 +97,7 @@ impl SketchOracle {
             frozen,
             config,
             stores,
+            metrics,
         }
     }
 
@@ -166,11 +195,12 @@ impl SketchOracle {
             // Shard-parallel growth; grown sets are patched into the
             // inverted index (no rebuild), and the `id mod S` stream
             // partition keeps placement thread-independent.
-            store.extend(
+            store.extend_observed(
                 &self.frozen,
                 self.config.base_seed,
                 grow,
                 self.config.threads,
+                &self.metrics,
             );
             rounds += 1;
         }
@@ -187,12 +217,12 @@ impl SketchOracle {
         let heads = affected_heads(&self.frozen, changed_users);
         let mut stats = RefreshStats::default();
         for store in &mut self.stores {
-            stats.absorb(refresh_store(
-                store,
+            stats.absorb(store.refresh_observed(
                 &self.frozen,
                 self.config.base_seed,
                 &heads,
                 self.config.threads,
+                &self.metrics,
             ));
         }
         stats
@@ -227,12 +257,12 @@ impl SketchOracle {
                 });
                 continue;
             }
-            stats.absorb(refresh_store(
-                store,
+            stats.absorb(store.refresh_observed(
                 &self.frozen,
                 self.config.base_seed,
                 users,
                 self.config.threads,
+                &self.metrics,
             ));
         }
         stats
@@ -271,12 +301,12 @@ impl SketchOracle {
                 });
                 continue;
             }
-            stats.absorb(refresh_store(
-                store,
+            stats.absorb(store.refresh_observed(
                 &self.frozen,
                 self.config.base_seed,
                 &heads,
                 self.config.threads,
+                &self.metrics,
             ));
         }
         stats

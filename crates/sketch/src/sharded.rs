@@ -35,6 +35,7 @@
 use crate::incremental::RefreshStats;
 use crate::sampler;
 use crate::store::{IndexStats, RrStore, SetId};
+use crate::telemetry::SketchMetrics;
 use imdpp_diffusion::Scenario;
 use imdpp_graph::{ItemId, UserId};
 
@@ -131,10 +132,37 @@ impl ShardedRrStore {
         count: usize,
         threads: usize,
     ) -> Self {
+        Self::build_observed(
+            scenario,
+            item,
+            shard_count,
+            base_seed,
+            count,
+            threads,
+            &SketchMetrics::noop(),
+        )
+    }
+
+    /// [`ShardedRrStore::build`] with telemetry: each shard worker records
+    /// its wall-clock into `metrics.shard_build_ns` (one observation per
+    /// shard, so the spread measures worker imbalance) and the sampled-set
+    /// count folds into `metrics.sets_sampled`.  Recording is write-only —
+    /// the built store is bit-identical to the unmetered one.
+    pub fn build_observed(
+        scenario: &Scenario,
+        item: ItemId,
+        shard_count: usize,
+        base_seed: u64,
+        count: usize,
+        threads: usize,
+        metrics: &SketchMetrics,
+    ) -> Self {
         let mut store = ShardedRrStore::new(item, scenario.user_count(), shard_count);
         let shard_count = store.shard_count();
+        metrics.sets_sampled.add(count as u64);
         if shard_count == 1 {
             // One shard: the parallel unit degenerates to the stream level.
+            let _span = metrics.shard_build_ns.start();
             for set in &sampler::sample_range(scenario, item, base_seed, 0, count, threads) {
                 store.shards[0].push_set(set);
             }
@@ -144,6 +172,7 @@ impl ShardedRrStore {
         }
         let workers = sampler::effective_threads(threads, shard_count);
         for_each_shard(&mut store.shards, workers, |si, shard| {
+            let _span = metrics.shard_build_ns.start();
             let mut scratch = sampler::Scratch::new(scenario.user_count());
             let mut stream = si as u64;
             while (stream as usize) < count {
@@ -165,10 +194,26 @@ impl ShardedRrStore {
     /// partition (`id mod S`) is thread-independent, so grown stores stay
     /// bit-identical to sequentially grown ones.
     pub fn extend(&mut self, scenario: &Scenario, base_seed: u64, count: usize, threads: usize) {
+        self.extend_observed(scenario, base_seed, count, threads, &SketchMetrics::noop());
+    }
+
+    /// [`ShardedRrStore::extend`] with telemetry: per-shard wall-clock into
+    /// `metrics.shard_extend_ns`, grown-set count into
+    /// `metrics.sets_sampled`.
+    pub fn extend_observed(
+        &mut self,
+        scenario: &Scenario,
+        base_seed: u64,
+        count: usize,
+        threads: usize,
+        metrics: &SketchMetrics,
+    ) {
         let item = self.item();
         let first = self.total as u64;
         let shard_count = self.shards.len();
+        metrics.sets_sampled.add(count as u64);
         if shard_count == 1 {
+            let _span = metrics.shard_extend_ns.start();
             for set in &sampler::sample_range(scenario, item, base_seed, first, count, threads) {
                 self.shards[0].push_set(set);
             }
@@ -178,6 +223,7 @@ impl ShardedRrStore {
         let end = first + count as u64;
         let workers = sampler::effective_threads(threads, shard_count);
         for_each_shard(&mut self.shards, workers, |si, shard| {
+            let _span = metrics.shard_extend_ns.start();
             let mut scratch = sampler::Scratch::new(scenario.user_count());
             // The smallest stream ≥ first congruent to si (mod S).
             let s = shard_count as u64;
@@ -210,11 +256,34 @@ impl ShardedRrStore {
         heads: &[UserId],
         threads: usize,
     ) -> RefreshStats {
+        self.refresh_observed(updated, base_seed, heads, threads, &SketchMetrics::noop())
+    }
+
+    /// [`ShardedRrStore::refresh`] with telemetry: per-shard wall-clock into
+    /// `metrics.shard_refresh_ns`, the prepared frontier size into
+    /// `metrics.refresh_frontier_heads`, and the merged [`RefreshStats`]
+    /// folded into the `sets_resampled` / `sets_reused` /
+    /// `index_entries_patched` / `index_full_rebuilds` counters plus the
+    /// `refresh_resampled_permille` fraction histogram.  All of those
+    /// semantic values are pure functions of the store contents and the
+    /// frontier — shard- and thread-count-independent — so metered runs
+    /// stay bit-comparable across the grid.
+    pub fn refresh_observed(
+        &mut self,
+        updated: &Scenario,
+        base_seed: u64,
+        heads: &[UserId],
+        threads: usize,
+        metrics: &SketchMetrics,
+    ) -> RefreshStats {
         let prepared = crate::store::prepare_heads(heads, self.user_count());
+        metrics.refreshes.incr();
+        metrics.refresh_frontier_heads.record(prepared.len() as u64);
         let item = self.item();
         let shard_count = self.shards.len();
         let per_shard: Vec<(usize, IndexStats)> = if shard_count == 1 {
             // One shard: parallelize over the invalidated streams instead.
+            let _span = metrics.shard_refresh_ns.start();
             let shard = &mut self.shards[0];
             let before = shard.index_stats();
             let invalid = shard.sets_touching_prepared(&prepared);
@@ -227,6 +296,7 @@ impl ShardedRrStore {
         } else {
             let workers = sampler::effective_threads(threads, shard_count);
             for_each_shard(&mut self.shards, workers, |si, shard| {
+                let _span = metrics.shard_refresh_ns.start();
                 let before = shard.index_stats();
                 let invalid = shard.sets_touching_prepared(&prepared);
                 let mut scratch = sampler::Scratch::new(updated.user_count());
@@ -258,6 +328,17 @@ impl ShardedRrStore {
             stats.index_entries_patched += delta.entries_patched;
             stats.full_rebuilds += delta.full_rebuilds;
         }
+        metrics.sets_resampled.add(stats.resampled_sets as u64);
+        metrics
+            .sets_reused
+            .add((stats.total_sets - stats.resampled_sets) as u64);
+        metrics
+            .index_entries_patched
+            .add(stats.index_entries_patched);
+        metrics.index_full_rebuilds.add(stats.full_rebuilds);
+        metrics
+            .refresh_resampled_permille
+            .record((1000.0 * stats.resampled_fraction()) as u64);
         stats
     }
 
@@ -620,6 +701,52 @@ mod tests {
                 assert_eq!(stats.full_rebuilds, 0);
             }
         }
+    }
+
+    #[test]
+    fn observed_paths_record_without_changing_results() {
+        let scenario = imdpp_diffusion::scenario::toy_scenario();
+        let drifted = scenario.with_base_preference(UserId(1), ItemId(0), 0.9);
+        let heads = [UserId(0), UserId(1), UserId(2)];
+        let telemetry = imdpp_obs::Telemetry::new();
+        let metrics = SketchMetrics::new(&telemetry);
+
+        let mut observed =
+            ShardedRrStore::build_observed(&scenario, ItemId(0), 3, 77, 96, 2, &metrics);
+        observed.extend_observed(&scenario, 77, 32, 2, &metrics);
+        let observed_stats = observed.refresh_observed(&drifted, 77, &heads, 2, &metrics);
+
+        // Bit-identical to the unmetered path, including the stats.
+        let mut plain = ShardedRrStore::build(&scenario, ItemId(0), 3, 77, 96, 2);
+        plain.extend(&scenario, 77, 32, 2);
+        let plain_stats = plain.refresh(&drifted, 77, &heads, 2);
+        assert_stores_identical(&observed, &plain, "observed vs plain");
+        assert_eq!(observed_stats, plain_stats);
+
+        // ...and the registry saw the work.
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("sketch.sets_sampled"), Some(96 + 32));
+        assert_eq!(
+            snap.counter("sketch.sets_resampled"),
+            Some(observed_stats.resampled_sets as u64)
+        );
+        assert_eq!(
+            snap.counter("sketch.sets_reused"),
+            Some((observed_stats.total_sets - observed_stats.resampled_sets) as u64)
+        );
+        assert_eq!(
+            snap.counter("sketch.index_entries_patched"),
+            Some(observed_stats.index_entries_patched)
+        );
+        assert_eq!(snap.counter("sketch.index_full_rebuilds"), Some(0));
+        assert_eq!(snap.counter("sketch.refreshes"), Some(1));
+        // One wall-clock observation per shard per build/extend/refresh.
+        assert_eq!(snap.histogram("sketch.shard_build_ns").unwrap().count, 3);
+        assert_eq!(snap.histogram("sketch.shard_extend_ns").unwrap().count, 3);
+        assert_eq!(snap.histogram("sketch.shard_refresh_ns").unwrap().count, 3);
+        let frontier = snap.histogram("sketch.refresh_frontier_heads").unwrap();
+        assert_eq!(frontier.count, 1);
+        assert_eq!(frontier.sum, heads.len() as u64);
     }
 
     #[test]

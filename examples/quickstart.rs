@@ -95,4 +95,24 @@ fn main() {
         "σ(Dysim) after drift = {:.2}",
         Evaluator::new(drifted.instance(), 200, 42).spread(&report.seeds)
     );
+
+    // 6. The engine recorded the whole session: solve/apply latencies,
+    //    refresh counters, epoch churn.  `IMDPP_METRICS=<path>` dumps the
+    //    snapshot as JSON for dashboards; disable recording entirely with
+    //    `.telemetry(Telemetry::disabled())` on the builder.
+    let telemetry = engine.telemetry();
+    println!(
+        "\ntelemetry: {} solve(s), {} apply(s), apply wall {} ns (refresh {:?} + swap {:?})",
+        telemetry.counter("engine.solves").unwrap_or(0),
+        telemetry.counter("engine.applies").unwrap_or(0),
+        telemetry.histogram("engine.apply_ns").map_or(0, |h| h.sum),
+        applied.refresh_wall,
+        applied.swap_wall,
+    );
+    if let Some(path) = imdpp_suite::obs::metrics_env_path() {
+        match telemetry.write_to(&path) {
+            Ok(()) => println!("telemetry snapshot written to {}", path.display()),
+            Err(e) => eprintln!("IMDPP_METRICS: failed to write {}: {e}", path.display()),
+        }
+    }
 }

@@ -10,6 +10,8 @@
 //! - [`imdpp_datasets`]: synthetic dataset generators
 //! - [`imdpp_engine`]: the snapshot-isolated session façade (`Engine`) — the
 //!   recommended entry point for applications
+//! - [`imdpp_obs`]: zero-dependency telemetry (counters, base-2 histograms,
+//!   span timers) threaded through the engine and the sketch
 
 pub use imdpp_baselines as baselines;
 pub use imdpp_core as core;
@@ -18,4 +20,5 @@ pub use imdpp_diffusion as diffusion;
 pub use imdpp_engine as engine;
 pub use imdpp_graph as graph;
 pub use imdpp_kg as kg;
+pub use imdpp_obs as obs;
 pub use imdpp_sketch as sketch;

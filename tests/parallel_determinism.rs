@@ -14,6 +14,11 @@
 //! threads hammer the snapshot path — every read must observe a consistent
 //! epoch and the run must finish with **zero** post-build index rebuilds.
 //!
+//! A third part pins the observability layer to the same standard: the
+//! semantic telemetry counters and gauges an engine accumulates are
+//! bit-identical across the `(shards, threads)` grid — recording is
+//! passive, never part of the computation.
+//!
 //! Run twice in CI — once with the default test scheduler and once under
 //! `RUST_TEST_THREADS=1` — so thread interleavings differ between runs.
 
@@ -356,6 +361,79 @@ fn engine_apply_races_readers_while_shard_workers_are_active() {
         sketch.stores_equal(&rebuilt),
         "incremental maintenance drifted from a from-scratch rebuild"
     );
+}
+
+/// The observability surface of the grid invariant: every *semantic*
+/// telemetry counter and gauge (sets sampled / resampled / reused, index
+/// entries patched, refreshes, solves, applies, epoch, ...) is a pure
+/// function of the scenario and the driver's call sequence — bit-identical
+/// across `shards ∈ {1, 2, 4} × threads ∈ {1, 4}`.  Only the latency
+/// histograms and per-shard observation counts may differ between grid
+/// points, which is exactly why this test compares counters and gauges and
+/// not histograms.  (Telemetry never feeds an RNG and never branches the
+/// algorithms, so this is also a regression tripwire against anyone wiring
+/// a metric into control flow.)
+#[test]
+fn telemetry_counters_are_identical_across_the_grid() {
+    /// Named metric values, as (name, value) pairs in registration order.
+    type Metrics = Vec<(String, u64)>;
+    const BATCHES: usize = 6;
+    let instance = generate(&DatasetKind::AmazonTiny.config())
+        .instance
+        .with_budget(60.0)
+        .with_promotions(2);
+    let users = instance.scenario().user_count() as u32;
+    let items = instance.scenario().item_count() as u32;
+    let churn = stress_batches(users, items, BATCHES);
+    let run = |shards: usize, threads: usize| -> (Metrics, Metrics) {
+        let engine = Engine::for_instance(&instance)
+            .config(DysimConfig {
+                mc_samples: 6,
+                candidate_users: Some(8),
+                max_nominees: Some(3),
+                ..DysimConfig::default()
+            })
+            .oracle(OracleKind::RrSketch {
+                sets_per_item: 256,
+                shards,
+                threads,
+            })
+            .build()
+            .expect("valid engine");
+        let seeds = engine.solve();
+        let _sigma = engine.spread(&seeds);
+        let _f = engine.static_spread(&[(UserId(0), ItemId(0))]);
+        for update in &churn {
+            engine.apply(update).expect("in-range update");
+        }
+        let snap = engine.telemetry();
+        assert!(
+            !snap.is_empty(),
+            "{shards} shards x {threads} threads recorded nothing"
+        );
+        (snap.counters, snap.gauges)
+    };
+    let reference = run(1, 1);
+    assert!(
+        reference
+            .0
+            .iter()
+            .any(|(name, v)| name == "engine.applies" && *v == BATCHES as u64),
+        "reference run did not count its applies: {:?}",
+        reference.0
+    );
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            if (shards, threads) == (1, 1) {
+                continue;
+            }
+            let observed = run(shards, threads);
+            assert_eq!(
+                observed, reference,
+                "telemetry counters diverged at {shards} shards x {threads} threads"
+            );
+        }
+    }
 }
 
 /// The engine surface of the grid invariant: solutions and reports do not
