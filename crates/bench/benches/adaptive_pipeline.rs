@@ -163,6 +163,80 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
         );
     }
 
+    // --- Maintained solutions: repaired solve vs fresh greedy per batch. ---
+    // Two identical engines drift through the same localized churn; one
+    // maintains its solution across applies (the default), the other
+    // re-solves from scratch every batch.  The gates are deterministic
+    // *and* temporal: no batch may invalidate the maintained solution
+    // (`full_resolves == 0` — localized churn is the regime maintenance
+    // exists for), and serving the maintained solution must be at least 3x
+    // faster than the fresh pipeline in aggregate (lookup vs full solve, so
+    // the real margin is orders of magnitude; 3x absorbs CI noise).
+    let maintained_engine = Engine::for_instance(&instance)
+        .config(sketched_config.clone())
+        .build()
+        .expect("yelp instance is valid");
+    let fresh_engine = Engine::for_instance(&instance)
+        .config(sketched_config.clone())
+        .maintain_bound(None)
+        .build()
+        .expect("yelp instance is valid");
+    let _ = maintained_engine.solve();
+    let _ = fresh_engine.solve();
+    let maintained_churn: Vec<ScenarioUpdate> = [0.02, 0.05, 0.08, 0.11, 0.14, 0.18]
+        .iter()
+        .map(|&bump| ScenarioUpdate::Edges(localized_edge_update(&instance, bump)))
+        .collect();
+    let mut maintained_solve_total = 0.0f64;
+    let mut fresh_solve_total = 0.0f64;
+    let mut full_resolves = 0u64;
+    let mut retained_total = 0usize;
+    let mut repaired_total = 0usize;
+    for update in &maintained_churn {
+        let applied = maintained_engine
+            .apply(update)
+            .expect("in-range localized update");
+        fresh_engine
+            .apply(update)
+            .expect("in-range localized update");
+        full_resolves += applied.solve_repair.full_resolves;
+        retained_total += applied.solve_repair.seeds_retained;
+        repaired_total += applied.solve_repair.positions_repaired;
+        let t = Instant::now();
+        let served = maintained_engine.solve_report();
+        maintained_solve_total += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let reference = fresh_engine.solve_report();
+        fresh_solve_total += t.elapsed().as_secs_f64();
+        assert!(!served.nominees.is_empty() && !reference.nominees.is_empty());
+    }
+    let maintained_speedup = fresh_solve_total / maintained_solve_total.max(1e-9);
+    summary.record("maintained_solve_total_seconds", maintained_solve_total);
+    summary.record("fresh_solve_total_seconds", fresh_solve_total);
+    summary.record("maintained_solve_speedup", maintained_speedup);
+    summary.record("maintained_full_resolves", full_resolves as f64);
+    summary.record("maintained_seeds_retained_total", retained_total as f64);
+    summary.record("maintained_positions_repaired_total", repaired_total as f64);
+    println!(
+        "maintained solve over {} localized batches: served {:.3}ms vs fresh \
+         {:.3}ms ({maintained_speedup:.0}x), {retained_total} seeds retained, \
+         {repaired_total} positions repaired, {full_resolves} full resolves",
+        maintained_churn.len(),
+        1e3 * maintained_solve_total,
+        1e3 * fresh_solve_total,
+    );
+    assert_eq!(
+        full_resolves, 0,
+        "localized churn invalidated the maintained solution"
+    );
+    assert!(
+        maintained_speedup >= 3.0,
+        "maintained solve must be >= 3x faster than fresh greedy under \
+         localized churn, got {maintained_speedup:.1}x ({:.3}ms vs {:.3}ms)",
+        1e3 * maintained_solve_total,
+        1e3 * fresh_solve_total,
+    );
+
     // --- Criterion timings. ------------------------------------------------
     let mut group = c.benchmark_group("yelp_selection");
     group.sample_size(10);

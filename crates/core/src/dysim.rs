@@ -105,6 +105,18 @@ pub struct DysimConfig {
     /// [`Dysim::solve_with`] itself takes the oracle as an argument (this
     /// crate cannot construct the sketch without a dependency cycle).
     pub oracle: OracleKind,
+    /// Quality bound of the engine's maintained-solution repair: after an
+    /// applied update, the repaired seed set is kept only while its static
+    /// objective `f(N)` stays ≥ `maintain_bound ×` the fresh-greedy value on
+    /// the refreshed estimator; below the bound the cached solution is
+    /// dropped and the next solve runs the full pipeline.  `None` disables
+    /// maintenance (every solve is a fresh full run); values ≥ 1.0 are
+    /// "paranoid mode" — any non-empty update invalidates immediately, so
+    /// served solutions are always bit-identical to fresh solves.
+    ///
+    /// Honoured by the `imdpp-engine` `Engine` for sketch-backed oracles
+    /// ([`OracleKind::RrSketch`]); [`Dysim::solve_with`] itself ignores it.
+    pub maintain_bound: Option<f64>,
 }
 
 impl Default for DysimConfig {
@@ -123,6 +135,7 @@ impl Default for DysimConfig {
             full_timing_search: false,
             impact_user_cap: 64,
             oracle: OracleKind::MonteCarlo,
+            maintain_bound: Some(0.95),
         }
     }
 }
@@ -152,6 +165,13 @@ impl DysimConfig {
     /// Selects the estimator behind nominee selection's `f(N)` queries.
     pub fn with_oracle(mut self, oracle: OracleKind) -> Self {
         self.oracle = oracle;
+        self
+    }
+
+    /// Sets the maintained-solution repair bound (`None` = maintenance off;
+    /// see [`DysimConfig::maintain_bound`]).
+    pub fn with_maintain_bound(mut self, bound: Option<f64>) -> Self {
+        self.maintain_bound = bound;
         self
     }
 }

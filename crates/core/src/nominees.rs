@@ -53,6 +53,12 @@ impl Default for NomineeSelectionConfig {
 struct HeapEntry {
     ratio: f64,
     gain: f64,
+    /// `f(N ∪ {nominee})` at evaluation time.  Installed as the running
+    /// objective on acceptance so the selection state is always the exact
+    /// oracle value of the selected set — never an accumulated sum of
+    /// gains — which is what lets a prefix re-run reproduce the tail bit
+    /// for bit (see [`select_nominees_with_prefix`]).
+    value_with: f64,
     nominee: Nominee,
     /// The |N| at which `ratio` was last computed (CELF staleness marker).
     evaluated_at: usize,
@@ -114,26 +120,66 @@ pub fn select_nominees_with_oracle(
     universe: &[Nominee],
     config: &NomineeSelectionConfig,
 ) -> NomineeSelection {
-    let budget = instance.budget();
-    let mut selected: Vec<Nominee> = Vec::new();
-    let mut spent = 0.0f64;
-    let mut current_value = 0.0f64;
-    let mut evaluations = 0usize;
+    select_nominees_with_prefix(instance, oracle, universe, config, &[])
+}
 
-    // Initial singleton gains.
+/// MCP nominee selection that continues from an already-committed `prefix`:
+/// the prefix nominees are adopted verbatim (in order, with their costs
+/// charged against the budget) and the CELF loop greedily extends them from
+/// `universe` exactly as [`select_nominees_with_oracle`] would have, had it
+/// reached the same state.  With an empty prefix this *is*
+/// [`select_nominees_with_oracle`] — bit for bit, including the evaluation
+/// schedule.
+///
+/// This is the repair primitive of the engine's maintained solutions: when
+/// an update invalidates the greedy trace at position `p`, re-running
+/// selection with `prefix = nominees[..p]` recomputes only the tail.
+///
+/// Prefix nominees are excluded from the candidate pool; the prefix is
+/// assumed affordable (it was selected under the same budget).
+pub fn select_nominees_with_prefix(
+    instance: &ImdppInstance,
+    oracle: &dyn SpreadOracle,
+    universe: &[Nominee],
+    config: &NomineeSelectionConfig,
+    prefix: &[Nominee],
+) -> NomineeSelection {
+    let budget = instance.budget();
+    let mut selected: Vec<Nominee> = prefix.to_vec();
+    let mut spent: f64 = prefix.iter().map(|&(u, x)| instance.cost(u, x)).sum();
+    let mut evaluations = 0usize;
+    let mut current_value = if selected.is_empty() {
+        0.0
+    } else {
+        evaluations += 1;
+        oracle.static_spread(&selected)
+    };
+
+    // Initial gains: marginal with respect to the (possibly empty) prefix.
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(universe.len());
     for &(u, x) in universe {
+        if selected.contains(&(u, x)) {
+            continue;
+        }
         let cost = instance.cost(u, x);
         if cost > budget {
             continue;
         }
-        let gain = oracle.static_spread(&[(u, x)]);
+        let value_with = if selected.is_empty() {
+            oracle.static_spread(&[(u, x)])
+        } else {
+            let mut with = selected.clone();
+            with.push((u, x));
+            oracle.static_spread(&with)
+        };
+        let gain = value_with - current_value;
         evaluations += 1;
         heap.push(HeapEntry {
             ratio: gain / cost,
             gain,
+            value_with,
             nominee: (u, x),
-            evaluated_at: 0,
+            evaluated_at: selected.len(),
         });
     }
 
@@ -156,7 +202,10 @@ pub fn select_nominees_with_oracle(
             }
             selected.push((u, x));
             spent += cost;
-            current_value += top.gain;
+            // Install the exact oracle value, not `current_value + gain`:
+            // the two differ by rounding, and only the former makes the
+            // running state a pure function of `selected`.
+            current_value = top.value_with;
         } else {
             // Stale: re-evaluate the marginal gain against the current set.
             let mut with = selected.clone();
@@ -167,6 +216,7 @@ pub fn select_nominees_with_oracle(
             heap.push(HeapEntry {
                 ratio: gain / cost,
                 gain,
+                value_with,
                 nominee: (u, x),
                 evaluated_at: selected.len(),
             });
@@ -333,6 +383,88 @@ mod tests {
         assert!((lazy.objective - plain.objective).abs() < 0.5);
         // CELF must not use more evaluations than plain greedy.
         assert!(lazy.evaluations <= plain.evaluations);
+    }
+
+    #[test]
+    fn empty_prefix_is_plain_selection() {
+        let inst = instance(3.0);
+        let ev = Evaluator::new(&inst, 16, 9);
+        let universe = inst.nominee_universe(None);
+        let cfg = NomineeSelectionConfig::default();
+        let plain = select_nominees_with_oracle(&inst, &ev, &universe, &cfg);
+        let prefixed = select_nominees_with_prefix(&inst, &ev, &universe, &cfg, &[]);
+        assert_eq!(plain.nominees, prefixed.nominees);
+        assert_eq!(plain.objective, prefixed.objective);
+        assert_eq!(plain.total_cost, prefixed.total_cost);
+        assert_eq!(plain.evaluations, prefixed.evaluations);
+    }
+
+    /// A deterministic, *exactly* submodular coverage oracle: nominee
+    /// `(u, x)` covers a fixed pseudo-random element set and `f(N)` is the
+    /// size of the union.  The Monte-Carlo evaluator's sampled estimates
+    /// can violate submodularity, under which lazy CELF legitimately
+    /// diverges from fresh greedy — so the prefix-repair invariants are
+    /// asserted against the oracle class they are actually claimed for
+    /// (exact coverage, like the RR sketch).
+    struct CoverOracle;
+
+    impl CoverOracle {
+        fn elements(nominee: Nominee) -> impl Iterator<Item = u32> {
+            let (UserId(u), ItemId(x)) = nominee;
+            let count = 3 + (u * 5 + x * 11) % 13;
+            (0..count).map(move |k| (u * 31 + x * 17 + k * 7) % 101)
+        }
+    }
+
+    impl SpreadOracle for CoverOracle {
+        fn static_spread(&self, nominees: &[Nominee]) -> f64 {
+            let mut seen = [false; 101];
+            let mut total = 0usize;
+            for &n in nominees {
+                for e in Self::elements(n) {
+                    if !seen[e as usize] {
+                        seen[e as usize] = true;
+                        total += 1;
+                    }
+                }
+            }
+            total as f64
+        }
+    }
+
+    #[test]
+    fn selection_from_its_own_prefix_reproduces_the_tail() {
+        let inst = instance(3.0);
+        let universe = inst.nominee_universe(None);
+        let cfg = NomineeSelectionConfig::default();
+        let full = select_nominees_with_oracle(&inst, &CoverOracle, &universe, &cfg);
+        assert!(full.nominees.len() >= 2, "need a non-trivial trace");
+        for p in 0..=full.nominees.len() {
+            let repaired = select_nominees_with_prefix(
+                &inst,
+                &CoverOracle,
+                &universe,
+                &cfg,
+                &full.nominees[..p],
+            );
+            assert_eq!(repaired.nominees, full.nominees, "prefix length {p}");
+            assert_eq!(repaired.objective, full.objective, "prefix length {p}");
+            assert!((repaired.total_cost - full.total_cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefix_cost_counts_against_the_budget() {
+        // Budget 2 with unit costs: a full-length prefix leaves no room.
+        let inst = instance(2.0);
+        let universe = inst.nominee_universe(None);
+        let cfg = NomineeSelectionConfig::default();
+        let full = select_nominees_with_oracle(&inst, &CoverOracle, &universe, &cfg);
+        assert!(!full.nominees.is_empty());
+        let repaired =
+            select_nominees_with_prefix(&inst, &CoverOracle, &universe, &cfg, &full.nominees);
+        assert_eq!(repaired.nominees, full.nominees);
+        assert!(repaired.total_cost <= inst.budget() + 1e-9);
     }
 
     #[test]

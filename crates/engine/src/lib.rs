@@ -27,6 +27,19 @@
 //!   update could have touched, and the refreshed snapshot is bit-identical
 //!   to rebuilding from scratch against the drifted world.
 //!
+//! ## Maintained solutions
+//!
+//! Sketch-backed engines additionally keep the last solve's report alive
+//! across applies (controlled by [`DysimConfig::maintain_bound`], on by
+//! default): each [`Engine::apply`] intersects the refresh's touched users
+//! with the cached greedy trace, re-runs CELF only from the first
+//! invalidated position, and serves the repaired seed set from
+//! [`Engine::solve`] while its sketch objective stays within the bound of a
+//! fresh greedy run — falling back to a full pipeline re-solve otherwise.
+//! Each apply reports what happened in [`ApplyReport::solve_repair`], and
+//! the `engine.maintain.*` telemetry aggregates it.  See
+//! `docs/ARCHITECTURE.md` ("Maintained solutions and the repair bound").
+//!
 //! ## Observability
 //!
 //! Every engine carries an `imdpp-obs` [`Telemetry`] registry (live by
@@ -80,13 +93,14 @@
 
 use imdpp_core::adaptive::adaptive_dysim_with_oracle;
 use imdpp_core::dysim::Dysim;
-use imdpp_core::nominees::Nominee;
+use imdpp_core::nominees::{Nominee, NomineeSelectionConfig};
 use imdpp_core::oracle::SpreadOracle;
 use imdpp_core::problem::{CostModel, ImdppInstance};
 use imdpp_core::{Evaluator, RefreshableOracle};
-use imdpp_diffusion::{DiffusionModel, Scenario, SeedGroup};
-use imdpp_graph::EdgeUpdate;
+use imdpp_diffusion::{DiffusionModel, Scenario, Seed, SeedGroup};
+use imdpp_graph::{EdgeUpdate, UserId};
 use imdpp_obs::{Counter, Gauge, Histogram};
+use imdpp_sketch::maintain::repair_nominees;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -96,6 +110,7 @@ pub use imdpp_core::oracle::{OracleKind, RefreshStats, ScenarioUpdate};
 pub use imdpp_diffusion::ImdppError;
 pub use imdpp_obs::{Telemetry, TelemetrySnapshot};
 pub use imdpp_sketch::dispatch::ConfiguredOracle;
+pub use imdpp_sketch::maintain::RepairStats;
 
 /// An immutable, internally consistent view of the engine's world at one
 /// epoch: the instance (scenario + costs + budget + promotions), the
@@ -187,6 +202,13 @@ pub struct ApplyReport {
     /// plus the atomic snapshot-pointer swap.  This is the only interval in
     /// which readers can contend with the writer.
     pub swap_wall: Duration,
+    /// What happened to the maintained solution under this update: how many
+    /// greedy positions were retained verbatim, how many the CELF repair
+    /// recomputed, and whether the update invalidated the cached solution
+    /// entirely (forcing the next [`Engine::solve`] to run the full
+    /// pipeline).  All-zero when no solution was cached at apply time or
+    /// maintenance is disabled (see [`DysimConfig::maintain_bound`]).
+    pub solve_repair: RepairStats,
 }
 
 /// The engine's pre-resolved telemetry handles: registered once at build so
@@ -209,6 +231,9 @@ struct EngineMetrics {
     refresh_sets_resampled: Counter,
     refresh_entries_patched: Counter,
     refresh_full_rebuilds: Counter,
+    maintain_ns: Histogram,
+    maintain_repairs: Counter,
+    maintain_full_resolves: Counter,
     epoch: Gauge,
 }
 
@@ -231,9 +256,22 @@ impl EngineMetrics {
             refresh_sets_resampled: telemetry.counter("engine.refresh.sets_resampled"),
             refresh_entries_patched: telemetry.counter("engine.refresh.entries_patched"),
             refresh_full_rebuilds: telemetry.counter("engine.refresh.full_rebuilds"),
+            maintain_ns: telemetry.histogram("engine.maintain_ns"),
+            maintain_repairs: telemetry.counter("engine.maintain.repairs"),
+            maintain_full_resolves: telemetry.counter("engine.maintain.full_resolves"),
             epoch: telemetry.gauge("engine.epoch"),
         }
     }
+}
+
+/// The maintained solution: the last solve's full report, valid for one
+/// specific epoch.  [`Engine::solve_report`] serves it without re-running
+/// the pipeline while it is current; [`Engine::apply`] repairs or
+/// invalidates it as updates land (see [`DysimConfig::maintain_bound`]).
+#[derive(Clone, Debug)]
+struct MaintainedSolution {
+    epoch: u64,
+    report: DysimReport,
 }
 
 /// A long-lived, snapshot-isolated IMDPP session.
@@ -249,6 +287,12 @@ pub struct Engine {
     /// Serializes writers so concurrent `apply` calls cannot interleave
     /// their read-refresh-swap sequences (readers are never blocked by it).
     writer: Mutex<()>,
+    /// The maintained solution cache (sketch-backed engines with
+    /// [`DysimConfig::maintain_bound`] set).  Written by `solve_report`
+    /// (priming after a full pipeline run) and by `apply` (repair /
+    /// invalidation); both hold the lock only to read or install the entry,
+    /// never across pipeline work.
+    maintained: Mutex<Option<MaintainedSolution>>,
     /// The registry behind [`Engine::telemetry`]; the sketch (if any)
     /// records into the same registry through its own handles.
     telemetry: Telemetry,
@@ -324,19 +368,59 @@ impl Engine {
         self.read_snapshot().config.clone()
     }
 
-    /// Runs the full Dysim pipeline against the current snapshot and
-    /// returns the selected seed group.
+    /// Solves against the current snapshot and returns the selected seed
+    /// group — serving the maintained solution when one is valid for this
+    /// epoch, running the full Dysim pipeline otherwise.
     pub fn solve(&self) -> SeedGroup {
         self.solve_report().seeds
     }
 
-    /// Runs the full Dysim pipeline against the current snapshot and
-    /// returns the seed group together with diagnostics.
+    /// Solves against the current snapshot and returns the seed group
+    /// together with diagnostics.
+    ///
+    /// On a sketch-backed engine with [`DysimConfig::maintain_bound`] set,
+    /// the first solve of each epoch runs the full pipeline and caches its
+    /// report; subsequent solves at the same epoch serve the cached report,
+    /// and [`Engine::apply`] repairs the cache across epochs so a solve
+    /// after localized churn is typically a lookup, not a pipeline run.
     pub fn solve_report(&self) -> DysimReport {
         let snap = self.read_snapshot();
         self.metrics.solves.incr();
         let _span = self.metrics.solve_ns.start();
-        snap.solve_report()
+        if !self.maintenance_enabled(&snap) {
+            return snap.solve_report();
+        }
+        if let Some(m) = self
+            .maintained
+            .lock()
+            .expect("maintained lock poisoned")
+            .as_ref()
+        {
+            if m.epoch == snap.epoch {
+                return m.report.clone();
+            }
+        }
+        let report = snap.solve_report();
+        if !report.nominees.is_empty() {
+            let mut slot = self.maintained.lock().expect("maintained lock poisoned");
+            // Never clobber an entry a concurrent `apply` repaired forward
+            // to a newer epoch while this pipeline run was in flight.
+            if slot.as_ref().is_none_or(|m| m.epoch <= snap.epoch) {
+                *slot = Some(MaintainedSolution {
+                    epoch: snap.epoch,
+                    report: report.clone(),
+                });
+            }
+        }
+        report
+    }
+
+    /// Whether this engine maintains solutions across applies: a repair
+    /// bound is configured and the oracle is the RR sketch (the repair
+    /// invariant — untouched nominees keep bit-identical marginals — only
+    /// holds for the sketch's exact coverage objective).
+    fn maintenance_enabled(&self, snap: &EngineSnapshot) -> bool {
+        snap.config.maintain_bound.is_some() && snap.oracle.as_sketch().is_some()
     }
 
     /// Estimates `σ(S)` for a seed group against the current snapshot.
@@ -397,6 +481,22 @@ impl Engine {
 
         let epoch = snap.epoch + 1;
         let report = if update.is_empty() {
+            // The world did not change, so a cached solution stays valid
+            // verbatim: carry it to the new epoch.
+            let solve_repair = {
+                let mut slot = self.maintained.lock().expect("maintained lock poisoned");
+                match slot.as_mut() {
+                    Some(m) if m.epoch == snap.epoch => {
+                        m.epoch = epoch;
+                        RepairStats {
+                            seeds_retained: m.report.nominees.len(),
+                            positions_repaired: 0,
+                            full_resolves: 0,
+                        }
+                    }
+                    _ => RepairStats::default(),
+                }
+            };
             let next = Arc::new(EngineSnapshot {
                 epoch,
                 ..(*snap).clone()
@@ -411,17 +511,51 @@ impl Engine {
                 refresh: RefreshStats::default(),
                 refresh_wall: Duration::ZERO,
                 swap_wall,
+                solve_repair,
             }
         } else {
+            let maintain_bound = snap.config.maintain_bound;
+            let cached = if self.maintenance_enabled(&snap) {
+                self.maintained
+                    .lock()
+                    .expect("maintained lock poisoned")
+                    .as_ref()
+                    .filter(|m| m.epoch == snap.epoch && !m.report.nominees.is_empty())
+                    .cloned()
+            } else {
+                None
+            };
             let updated = update.apply(snap.scenario());
             let mut oracle = snap.oracle.clone();
             // Refresh borrows `updated` before it moves into the instance,
-            // so the writer path copies the scenario exactly once.
+            // so the writer path copies the scenario exactly once.  With a
+            // cached solution to repair, the tracked variant additionally
+            // reports the per-item touched users (same RefreshStats, same
+            // refreshed state).
             let refresh_started = Instant::now();
-            let refresh = oracle.refresh(&updated, update);
+            let (refresh, touched) = if cached.is_some() {
+                oracle.refresh_tracked(&updated, update)
+            } else {
+                (oracle.refresh(&updated, update), None)
+            };
             let refresh_wall = refresh_started.elapsed();
             self.metrics.refresh_ns.record_duration(refresh_wall);
             let instance = snap.instance.with_scenario(updated)?;
+            let solve_repair = match (cached, maintain_bound) {
+                (Some(cached), Some(bound)) => {
+                    let _maintain_span = self.metrics.maintain_ns.start();
+                    self.repair_maintained(
+                        &instance,
+                        &oracle,
+                        &snap.config,
+                        cached,
+                        touched,
+                        epoch,
+                        bound,
+                    )
+                }
+                _ => RepairStats::default(),
+            };
             let next = Arc::new(EngineSnapshot {
                 epoch,
                 instance,
@@ -450,11 +584,117 @@ impl Engine {
                 refresh,
                 refresh_wall,
                 swap_wall,
+                solve_repair,
             }
         };
         self.metrics.applies.incr();
         self.metrics.epoch.set(epoch);
         Ok(report)
+    }
+
+    /// Repairs (or invalidates) the cached solution against the refreshed
+    /// oracle and installs the outcome for `epoch`.  Called by `apply` with
+    /// the writer lock held, before the new snapshot is published.
+    #[allow(clippy::too_many_arguments)]
+    fn repair_maintained(
+        &self,
+        instance: &ImdppInstance,
+        oracle: &ConfiguredOracle,
+        config: &DysimConfig,
+        cached: MaintainedSolution,
+        touched: Option<Vec<Vec<UserId>>>,
+        epoch: u64,
+        bound: f64,
+    ) -> RepairStats {
+        let invalidate = |stats: RepairStats| {
+            *self.maintained.lock().expect("maintained lock poisoned") = None;
+            self.metrics.maintain_full_resolves.incr();
+            stats
+        };
+        let full_resolve = RepairStats {
+            seeds_retained: 0,
+            positions_repaired: 0,
+            full_resolves: 1,
+        };
+        // Paranoid mode: a repair can only certify the *sketch* objective;
+        // DRE/TDSI run Monte-Carlo against the drifted scenario and may
+        // legitimately disagree even on an identical nominee set.  Under
+        // `bound >= 1.0` ("serve nothing weaker than fresh, ever") the only
+        // honest answer to a non-empty update is a full re-solve.
+        if bound >= 1.0 {
+            return invalidate(full_resolve);
+        }
+        let Some(touched) = touched else {
+            // Tracking unavailable (non-sketch oracle slipped through):
+            // nothing certifies the cache, so drop it.
+            return invalidate(full_resolve);
+        };
+        let universe = instance.nominee_universe(config.candidate_users);
+        let selection_config = NomineeSelectionConfig {
+            max_nominees: config.max_nominees,
+            stop_on_nonpositive_gain: true,
+        };
+        let outcome = repair_nominees(
+            instance,
+            oracle,
+            &universe,
+            &selection_config,
+            &cached.report.nominees,
+            &touched,
+            bound,
+        );
+        if !outcome.kept {
+            return invalidate(full_resolve);
+        }
+        let stats = RepairStats {
+            seeds_retained: outcome.retained,
+            positions_repaired: outcome.selection.nominees.len() - outcome.retained,
+            full_resolves: 0,
+        };
+        let report = repaired_report(
+            cached.report,
+            &outcome.selection.nominees,
+            outcome.retained,
+            instance,
+        );
+        *self.maintained.lock().expect("maintained lock poisoned") =
+            Some(MaintainedSolution { epoch, report });
+        self.metrics.maintain_repairs.incr();
+        stats
+    }
+}
+
+/// Splices a repaired nominee trace back into the cached report: seeds of
+/// retained prefix nominees keep their TDSI-assigned timings, recomputed
+/// tail nominees are seeded at the first promotion, and the total cost is
+/// re-priced against the refreshed instance.  Markets, groups and the guard
+/// flag carry over from the cached solve — the bound check already decided
+/// the repaired set is close enough to fresh that re-deriving them is not
+/// worth a Monte-Carlo pass.
+fn repaired_report(
+    cached: DysimReport,
+    nominees: &[Nominee],
+    retained: usize,
+    instance: &ImdppInstance,
+) -> DysimReport {
+    let prefix = &nominees[..retained];
+    let mut seeds = SeedGroup::new();
+    for seed in cached.seeds.seeds() {
+        if prefix.contains(&(seed.user, seed.item)) {
+            seeds.insert(*seed);
+        }
+    }
+    for &(u, x) in &nominees[retained..] {
+        if !seeds.contains_nominee(u, x) {
+            seeds.insert(Seed::new(u, x, 1));
+        }
+    }
+    let total_cost = instance.total_cost(&seeds);
+    DysimReport {
+        nominees: nominees.to_vec(),
+        seeds,
+        total_cost,
+        ..cached
     }
 }
 
@@ -589,6 +829,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the maintained-solution repair bound (shorthand for the
+    /// [`DysimConfig::maintain_bound`] field; `None` disables maintenance,
+    /// `Some(b >= 1.0)` is paranoid mode — every non-empty update forces
+    /// the next solve to re-run the full pipeline).
+    pub fn maintain_bound(mut self, bound: Option<f64>) -> Self {
+        self.config.maintain_bound = bound;
+        self
+    }
+
     /// Replaces the telemetry registry (default: a fresh live
     /// [`Telemetry::new`]).  Pass [`Telemetry::disabled`] to strip the
     /// engine's instrumentation down to one branch per record site, or a
@@ -642,6 +891,7 @@ impl EngineBuilder {
                 config: self.config,
             })),
             writer: Mutex::new(()),
+            maintained: Mutex::new(None),
             telemetry,
             metrics,
         })
@@ -1047,6 +1297,109 @@ mod tests {
         // The dark engine recorded nothing.
         assert!(dark.telemetry().is_empty());
         assert!(!live.telemetry().is_empty());
+    }
+
+    #[test]
+    fn maintained_solution_is_repaired_within_the_bound() {
+        let engine = engine(OracleKind::RrSketch {
+            sets_per_item: 256,
+            shards: 2,
+            threads: 0,
+        });
+        let first = engine.solve_report();
+        assert!(!first.nominees.is_empty());
+        let update = ScenarioUpdate::Preferences(vec![(UserId(5), ItemId(2), 0.4)]);
+        let applied = engine.apply(&update).unwrap();
+        let repair = applied.solve_repair;
+
+        // The repair decision is mirrored exactly in telemetry.
+        let snap = engine.telemetry();
+        assert_eq!(
+            snap.counter("engine.maintain.repairs"),
+            Some(u64::from(repair.full_resolves == 0))
+        );
+        assert_eq!(
+            snap.counter("engine.maintain.full_resolves"),
+            Some(repair.full_resolves)
+        );
+        assert_eq!(snap.histogram("engine.maintain_ns").unwrap().count, 1);
+
+        // Whatever `solve` serves now (maintained or re-solved) must sit
+        // within the configured bound of a fresh pipeline run.
+        let served = engine.solve_report();
+        let fresh = engine.snapshot().solve_report();
+        let bound = engine.config().maintain_bound.unwrap();
+        assert!(
+            engine.static_spread(&served.nominees) + 1e-9
+                >= bound * engine.static_spread(&fresh.nominees)
+        );
+        assert!(engine.snapshot().instance().is_feasible(&served.seeds));
+    }
+
+    #[test]
+    fn paranoid_bound_always_resolves_fully_and_matches_maintenance_off() {
+        let build = |bound: Option<f64>| {
+            Engine::builder(toy_scenario())
+                .budget(3.0)
+                .promotions(2)
+                .config(DysimConfig::fast())
+                .oracle(OracleKind::RrSketch {
+                    sets_per_item: 256,
+                    shards: 1,
+                    threads: 0,
+                })
+                .maintain_bound(bound)
+                .build()
+                .unwrap()
+        };
+        let paranoid = build(Some(1.0));
+        let off = build(None);
+        assert_eq!(paranoid.solve_report().seeds, off.solve_report().seeds);
+        let update = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src: UserId(0),
+            dst: UserId(1),
+            weight: 0.9,
+        }]);
+        let a = paranoid.apply(&update).unwrap();
+        let b = off.apply(&update).unwrap();
+        // Paranoid mode records the invalidation; maintenance-off engines
+        // have nothing to invalidate.
+        assert_eq!(
+            a.solve_repair,
+            RepairStats {
+                seeds_retained: 0,
+                positions_repaired: 0,
+                full_resolves: 1
+            }
+        );
+        assert_eq!(b.solve_repair, RepairStats::default());
+        // Both re-run the full pipeline on the next solve: bit-identical.
+        let pa = paranoid.solve_report();
+        let off_report = off.solve_report();
+        assert_eq!(pa.seeds, off_report.seeds);
+        assert_eq!(pa.nominees, off_report.nominees);
+    }
+
+    #[test]
+    fn empty_update_carries_the_maintained_solution_forward() {
+        let engine = engine(OracleKind::RrSketch {
+            sets_per_item: 256,
+            shards: 1,
+            threads: 0,
+        });
+        let first = engine.solve_report();
+        let applied = engine.apply(&ScenarioUpdate::Edges(Vec::new())).unwrap();
+        assert_eq!(
+            applied.solve_repair,
+            RepairStats {
+                seeds_retained: first.nominees.len(),
+                positions_repaired: 0,
+                full_resolves: 0
+            }
+        );
+        let served = engine.solve_report();
+        assert_eq!(served.seeds, first.seeds);
+        assert_eq!(served.nominees, first.nominees);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct HarnessConfig {
     /// after a multi-algorithm sweep the file holds the *last* Dysim run's
     /// telemetry — pass a distinct path per invocation to keep them all.
     pub metrics_out: Option<PathBuf>,
+    /// Maintained-solution repair bound (`IMDPP_MAINTAIN`): `off` disables
+    /// maintenance, a float in `(0, 1]` replaces the default bound.
+    pub maintain_bound: Option<f64>,
 }
 
 impl Default for HarnessConfig {
@@ -41,7 +44,23 @@ impl Default for HarnessConfig {
             out_dir: "results".to_string(),
             oracle: OracleKind::MonteCarlo,
             metrics_out: None,
+            maintain_bound: DysimConfig::default().maintain_bound,
         }
+    }
+}
+
+/// Parses the `IMDPP_MAINTAIN` syntax: `off` / `0` / `none` (disable
+/// maintained solutions) or a repair bound in `(0, 1]` (`1` = paranoid
+/// mode — any update forces a full re-solve).  `None` means the value was
+/// not understood.
+pub fn parse_maintain(value: &str) -> Option<Option<f64>> {
+    let v = value.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "off" | "none" | "0" => Some(None),
+        _ => match v.parse::<f64>() {
+            Ok(b) if b > 0.0 && b <= 1.0 => Some(Some(b)),
+            _ => None,
+        },
     }
 }
 
@@ -123,6 +142,15 @@ impl HarnessConfig {
                 ),
             }
         }
+        if let Ok(v) = std::env::var("IMDPP_MAINTAIN") {
+            match parse_maintain(&v) {
+                Some(bound) => cfg.maintain_bound = bound,
+                None => eprintln!(
+                    "IMDPP_MAINTAIN = {v:?} not understood (expected off | a bound in (0, 1]); \
+                     keeping the default"
+                ),
+            }
+        }
         cfg.metrics_out = imdpp_obs::metrics_env_path();
         cfg
     }
@@ -133,6 +161,7 @@ impl HarnessConfig {
             mc_samples: self.select_samples,
             candidate_users: self.candidate_users,
             oracle: self.oracle,
+            maintain_bound: self.maintain_bound,
             ..DysimConfig::default()
         }
     }
@@ -333,6 +362,7 @@ mod tests {
             out_dir: "/tmp/imdpp-test-results".to_string(),
             oracle: OracleKind::MonteCarlo,
             metrics_out: None,
+            maintain_bound: Some(0.95),
         }
     }
 
@@ -361,6 +391,18 @@ mod tests {
         let cfg = HarnessConfig::from_env();
         assert!(cfg.scale > 0.0);
         assert!(cfg.eval_samples >= 1);
+    }
+
+    #[test]
+    fn maintain_env_syntax_parses() {
+        assert_eq!(parse_maintain("off"), Some(None));
+        assert_eq!(parse_maintain("NONE"), Some(None));
+        assert_eq!(parse_maintain("0"), Some(None));
+        assert_eq!(parse_maintain("0.95"), Some(Some(0.95)));
+        assert_eq!(parse_maintain("1"), Some(Some(1.0)));
+        assert_eq!(parse_maintain("1.5"), None);
+        assert_eq!(parse_maintain("-0.2"), None);
+        assert_eq!(parse_maintain("bogus"), None);
     }
 
     #[test]

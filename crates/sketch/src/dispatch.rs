@@ -152,6 +152,26 @@ impl ConfiguredOracle {
             ConfiguredOracle::RrSketch(o) => o.scenario(),
         }
     }
+
+    /// [`RefreshableOracle::refresh`] that additionally reports the per-item
+    /// touched users of a sketch-backed refresh
+    /// ([`SketchOracle::refresh_tracked`]) — the input of the engine's
+    /// maintained-solution repair.  The Monte-Carlo variant has no notion of
+    /// touched coverage (every estimate is recomputed from scratch), so it
+    /// refreshes normally and returns `None`.
+    pub fn refresh_tracked(
+        &mut self,
+        updated: &Scenario,
+        update: &ScenarioUpdate,
+    ) -> (RefreshStats, Option<Vec<Vec<imdpp_graph::UserId>>>) {
+        match self {
+            ConfiguredOracle::MonteCarlo(o) => (o.refresh(updated, update), None),
+            ConfiguredOracle::RrSketch(o) => {
+                let (stats, touched) = o.refresh_tracked(updated, update);
+                (stats, Some(touched))
+            }
+        }
+    }
 }
 
 impl SpreadOracle for ConfiguredOracle {

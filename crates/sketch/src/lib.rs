@@ -23,6 +23,10 @@
 //! * [`incremental`] — invalidate-and-resample maintenance that reuses every
 //!   RR set a perception drift or an *edge update* (strength change,
 //!   insertion, deletion) could not have touched,
+//! * [`maintain`] — maintained-solution repair: intersect a tracked
+//!   refresh's touched users with a cached greedy trace, re-run CELF from
+//!   the first invalidated position, and keep the repaired seed set while
+//!   it stays within a configurable bound of fresh greedy,
 //! * [`greedy`] — dense-counter CELF-style greedy max-coverage selection,
 //! * [`oracle`] — [`SketchOracle`], the `imdpp_core::SpreadOracle`
 //!   implementation callers plug into nominee selection and baselines; it
@@ -79,6 +83,7 @@ pub mod adaptive;
 pub mod dispatch;
 pub mod greedy;
 pub mod incremental;
+pub mod maintain;
 pub mod oracle;
 pub mod sampler;
 pub mod sharded;
@@ -89,6 +94,7 @@ pub use adaptive::{AdaptiveReport, StoppingRule};
 pub use dispatch::ConfiguredOracle;
 pub use greedy::{greedy_max_coverage, greedy_max_coverage_sharded, GreedySelection};
 pub use incremental::{affected_heads, edge_update_frontier, RefreshStats};
+pub use maintain::{first_invalidated_position, repair_nominees, RepairOutcome, RepairStats};
 pub use oracle::SketchOracle;
 pub use sampler::effective_threads;
 pub use sharded::ShardedRrStore;

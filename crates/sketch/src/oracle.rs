@@ -268,6 +268,102 @@ impl SketchOracle {
         stats
     }
 
+    /// [`SketchOracle::refresh`] that additionally reports, **per item**, the
+    /// touched users of that item's store: the union of every re-sampled RR
+    /// set's members before and after replacement (see
+    /// [`ShardedRrStore::refresh_tracked_observed`]).  A nominee `(u, x)`
+    /// with `u` absent from `touched[x]` kept its covering set-ids — and
+    /// therefore every marginal involving only such nominees — bit-identical
+    /// through the refresh.  The refreshed sketch and the [`RefreshStats`]
+    /// are identical to the untracked [`SketchOracle::refresh`].
+    pub fn refresh_tracked(
+        &mut self,
+        updated: &Scenario,
+        update: &ScenarioUpdate,
+    ) -> (RefreshStats, Vec<Vec<UserId>>) {
+        match update {
+            ScenarioUpdate::Preferences(changes) => {
+                let pairs: Vec<(UserId, ItemId)> =
+                    changes.iter().map(|&(u, x, _)| (u, x)).collect();
+                self.apply_preference_update_tracked(updated, &pairs)
+            }
+            ScenarioUpdate::Edges(updates) => self.apply_edge_update_tracked(updated, updates),
+        }
+    }
+
+    /// Tracked variant of [`SketchOracle::apply_preference_update`]; see
+    /// [`SketchOracle::refresh_tracked`] for the touched-user contract.
+    pub fn apply_preference_update_tracked(
+        &mut self,
+        updated: &Scenario,
+        changes: &[(UserId, ItemId)],
+    ) -> (RefreshStats, Vec<Vec<UserId>>) {
+        self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
+        let mut by_item: Vec<Vec<UserId>> = vec![Vec::new(); self.stores.len()];
+        for &(u, x) in changes {
+            if x.index() < by_item.len() {
+                by_item[x.index()].push(u);
+            }
+        }
+        let mut stats = RefreshStats::default();
+        let mut touched: Vec<Vec<UserId>> = Vec::with_capacity(self.stores.len());
+        for (store, users) in self.stores.iter_mut().zip(&by_item) {
+            if users.is_empty() {
+                stats.absorb(RefreshStats {
+                    total_sets: store.len(),
+                    stores: 1,
+                    ..RefreshStats::default()
+                });
+                touched.push(Vec::new());
+                continue;
+            }
+            let (store_stats, store_touched) = store.refresh_tracked_observed(
+                &self.frozen,
+                self.config.base_seed,
+                users,
+                self.config.threads,
+                &self.metrics,
+            );
+            stats.absorb(store_stats);
+            touched.push(store_touched);
+        }
+        (stats, touched)
+    }
+
+    /// Tracked variant of [`SketchOracle::apply_edge_update`]; see
+    /// [`SketchOracle::refresh_tracked`] for the touched-user contract.
+    pub fn apply_edge_update_tracked(
+        &mut self,
+        updated: &Scenario,
+        updates: &[EdgeUpdate],
+    ) -> (RefreshStats, Vec<Vec<UserId>>) {
+        let heads = edge_update_frontier(&self.frozen, updates);
+        self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
+        let mut stats = RefreshStats::default();
+        let mut touched: Vec<Vec<UserId>> = Vec::with_capacity(self.stores.len());
+        for store in &mut self.stores {
+            if heads.is_empty() {
+                stats.absorb(RefreshStats {
+                    total_sets: store.len(),
+                    stores: 1,
+                    ..RefreshStats::default()
+                });
+                touched.push(Vec::new());
+                continue;
+            }
+            let (store_stats, store_touched) = store.refresh_tracked_observed(
+                &self.frozen,
+                self.config.base_seed,
+                &heads,
+                self.config.threads,
+                &self.metrics,
+            );
+            stats.absorb(store_stats);
+            touched.push(store_touched);
+        }
+        (stats, touched)
+    }
+
     /// Migrates the sketch after influence-edge updates (strength changes,
     /// insertions, deletions), re-sampling only the RR sets whose traversal
     /// could have crossed a touched edge.
@@ -602,6 +698,46 @@ mod tests {
                 .map(|(_, s)| s.to_vec())
                 .collect();
             assert_eq!(inc, reb);
+        }
+    }
+
+    #[test]
+    fn tracked_refresh_matches_untracked_and_localizes_touched_users() {
+        let s = toy_scenario();
+        let config = SketchConfig::fixed(256).with_base_seed(47);
+        let pref = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]);
+        let drifted = pref.apply(&s);
+
+        let mut plain = SketchOracle::build(&s, config);
+        let plain_stats = plain.refresh(&drifted, &pref);
+        let mut tracked = SketchOracle::build(&s, config);
+        let (stats, touched) = tracked.refresh_tracked(&drifted, &pref);
+
+        assert_eq!(stats, plain_stats);
+        assert!(plain.stores_equal(&tracked));
+        assert_eq!(touched.len(), s.item_count());
+        // A preference-only change on item 2 touches no other item's store.
+        for (x, users) in touched.iter().enumerate() {
+            if x != 2 {
+                assert!(users.is_empty(), "item {x} must be untouched");
+            }
+        }
+        // The changed user's sets were re-sampled, so it must be touched.
+        assert!(touched[2].contains(&UserId(1)));
+        assert!(touched[2].windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+
+        // The grid invariance carries over from the store level.
+        for (shards, threads) in [(2usize, 1usize), (4, 4)] {
+            let mut grid = SketchOracle::build(
+                &s,
+                SketchConfig::fixed(256)
+                    .with_base_seed(47)
+                    .with_shards(shards)
+                    .with_threads(threads),
+            );
+            let (grid_stats, grid_touched) = grid.refresh_tracked(&drifted, &pref);
+            assert_eq!(grid_stats, plain_stats, "{shards}x{threads}");
+            assert_eq!(grid_touched, touched, "{shards}x{threads}");
         }
     }
 

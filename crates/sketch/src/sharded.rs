@@ -276,23 +276,69 @@ impl ShardedRrStore {
         threads: usize,
         metrics: &SketchMetrics,
     ) -> RefreshStats {
+        self.refresh_impl(updated, base_seed, heads, threads, metrics, false)
+            .0
+    }
+
+    /// [`ShardedRrStore::refresh_observed`] that additionally reports the
+    /// **touched users**: the sorted, deduplicated union of every re-sampled
+    /// set's members *before and after* replacement.  A user absent from
+    /// this list kept its covering set-ids bit-identical through the
+    /// refresh, so any coverage-based marginal involving only untouched
+    /// users is numerically unchanged — the invariant the engine's
+    /// maintained-solution repair is built on.
+    ///
+    /// Tracking is read-only bookkeeping: the refreshed store and the
+    /// returned [`RefreshStats`] are bit-identical to the untracked path,
+    /// and the touched-user list is a pure function of the store contents
+    /// and the frontier (per-shard lists are merged in shard order, then
+    /// sorted), hence identical for any `(threads, shards)` combination.
+    pub fn refresh_tracked_observed(
+        &mut self,
+        updated: &Scenario,
+        base_seed: u64,
+        heads: &[UserId],
+        threads: usize,
+        metrics: &SketchMetrics,
+    ) -> (RefreshStats, Vec<UserId>) {
+        self.refresh_impl(updated, base_seed, heads, threads, metrics, true)
+    }
+
+    fn refresh_impl(
+        &mut self,
+        updated: &Scenario,
+        base_seed: u64,
+        heads: &[UserId],
+        threads: usize,
+        metrics: &SketchMetrics,
+        track: bool,
+    ) -> (RefreshStats, Vec<UserId>) {
         let prepared = crate::store::prepare_heads(heads, self.user_count());
         metrics.refreshes.incr();
         metrics.refresh_frontier_heads.record(prepared.len() as u64);
         let item = self.item();
         let shard_count = self.shards.len();
-        let per_shard: Vec<(usize, IndexStats)> = if shard_count == 1 {
+        let per_shard: Vec<(usize, IndexStats, Vec<UserId>)> = if shard_count == 1 {
             // One shard: parallelize over the invalidated streams instead.
             let _span = metrics.shard_refresh_ns.start();
             let shard = &mut self.shards[0];
             let before = shard.index_stats();
             let invalid = shard.sets_touching_prepared(&prepared);
+            let mut touched: Vec<UserId> = Vec::new();
+            if track {
+                for &id in &invalid {
+                    touched.extend(shard.set(id).iter().map(|&u| UserId(u)));
+                }
+            }
             let streams: Vec<u64> = invalid.iter().map(|&id| id as u64).collect();
             let fresh = sampler::sample_streams(updated, item, base_seed, &streams, threads);
             for (&id, set) in invalid.iter().zip(&fresh) {
+                if track {
+                    touched.extend_from_slice(set);
+                }
                 shard.replace_set(id, set);
             }
-            vec![(invalid.len(), shard.index_stats().since(before))]
+            vec![(invalid.len(), shard.index_stats().since(before), touched)]
         } else {
             let workers = sampler::effective_threads(threads, shard_count);
             for_each_shard(&mut self.shards, workers, |si, shard| {
@@ -300,13 +346,20 @@ impl ShardedRrStore {
                 let before = shard.index_stats();
                 let invalid = shard.sets_touching_prepared(&prepared);
                 let mut scratch = sampler::Scratch::new(updated.user_count());
+                let mut touched: Vec<UserId> = Vec::new();
                 for &local in &invalid {
+                    if track {
+                        touched.extend(shard.set(local).iter().map(|&u| UserId(u)));
+                    }
                     let stream = local as u64 * shard_count as u64 + si as u64;
                     let set =
                         sampler::sample_set_with(updated, item, base_seed, stream, &mut scratch);
+                    if track {
+                        touched.extend_from_slice(&set);
+                    }
                     shard.replace_set(local, &set);
                 }
-                (invalid.len(), shard.index_stats().since(before))
+                (invalid.len(), shard.index_stats().since(before), touched)
             })
         };
         // The equivalence check the incremental index is specified by: after
@@ -323,11 +376,15 @@ impl ShardedRrStore {
             stores: 1,
             ..RefreshStats::default()
         };
-        for (resampled, delta) in per_shard {
+        let mut touched: Vec<UserId> = Vec::new();
+        for (resampled, delta, shard_touched) in per_shard {
             stats.resampled_sets += resampled;
             stats.index_entries_patched += delta.entries_patched;
             stats.full_rebuilds += delta.full_rebuilds;
+            touched.extend(shard_touched);
         }
+        touched.sort_unstable();
+        touched.dedup();
         metrics.sets_resampled.add(stats.resampled_sets as u64);
         metrics
             .sets_reused
@@ -339,7 +396,7 @@ impl ShardedRrStore {
         metrics
             .refresh_resampled_permille
             .record((1000.0 * stats.resampled_fraction()) as u64);
-        stats
+        (stats, touched)
     }
 
     /// The item the sets were sampled for.
@@ -747,6 +804,45 @@ mod tests {
         let frontier = snap.histogram("sketch.refresh_frontier_heads").unwrap();
         assert_eq!(frontier.count, 1);
         assert_eq!(frontier.sum, heads.len() as u64);
+    }
+
+    #[test]
+    fn tracked_refresh_is_bit_identical_and_grid_deterministic() {
+        let scenario = imdpp_diffusion::scenario::toy_scenario();
+        let drifted = scenario.with_base_preference(UserId(1), ItemId(0), 0.9);
+        let heads = [UserId(0), UserId(1), UserId(2)];
+        let metrics = SketchMetrics::noop();
+
+        let mut plain = ShardedRrStore::build(&scenario, ItemId(0), 1, 77, 128, 1);
+        // The invalidated ids, and their members before the refresh...
+        let invalid = plain.sets_touching(&heads);
+        let mut expected: Vec<UserId> = invalid
+            .iter()
+            .flat_map(|&id| plain.set(id).iter().map(|&u| UserId(u)).collect::<Vec<_>>())
+            .collect();
+        let plain_stats = plain.refresh(&drifted, 77, &heads, 1);
+        // ...plus the same ids' members after it.
+        for &id in &invalid {
+            expected.extend(plain.set(id).iter().map(|&u| UserId(u)));
+        }
+        expected.sort_unstable();
+        expected.dedup();
+
+        for shards in [1usize, 2, 4, 7] {
+            for threads in [1usize, 2, 8] {
+                let mut store =
+                    ShardedRrStore::build(&scenario, ItemId(0), shards, 77, 128, threads);
+                let (stats, touched) =
+                    store.refresh_tracked_observed(&drifted, 77, &heads, threads, &metrics);
+                assert_stores_identical(&store, &plain, &format!("{shards}x{threads}"));
+                assert_eq!(stats, plain_stats, "{shards}x{threads}");
+                assert!(!touched.is_empty());
+                // The touched-user list is sorted, deduplicated, and the
+                // same for every grid point.
+                assert!(touched.windows(2).all(|w| w[0] < w[1]));
+                assert_eq!(touched, expected, "{shards}x{threads}");
+            }
+        }
     }
 
     #[test]

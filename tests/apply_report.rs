@@ -1,0 +1,86 @@
+//! Regression pins for the [`ApplyReport`] field semantics — the write
+//! path's public contract: epoch arithmetic, wall-clock accounting, the
+//! refresh-fraction identity and the repair-stats defaults.  Each of these
+//! has an exact meaning that downstream dashboards and the bench gate rely
+//! on, so drift fails here rather than in a chart.
+
+use imdpp_suite::core::{DysimConfig, ImdppInstance, OracleKind};
+use imdpp_suite::datasets::{generate, DatasetKind};
+use imdpp_suite::engine::{Engine, RepairStats};
+use std::time::Duration;
+
+mod common;
+use common::churn::randomized_batches;
+
+const SETS_PER_ITEM: usize = 256;
+
+fn instance() -> ImdppInstance {
+    generate(&DatasetKind::AmazonTiny.config())
+        .instance
+        .with_budget(60.0)
+        .with_promotions(2)
+}
+
+fn engine(instance: &ImdppInstance) -> Engine {
+    Engine::for_instance(instance)
+        .config(DysimConfig {
+            mc_samples: 6,
+            candidate_users: Some(8),
+            max_nominees: Some(3),
+            ..DysimConfig::default()
+        })
+        .oracle(OracleKind::RrSketch {
+            sets_per_item: SETS_PER_ITEM,
+            shards: 2,
+            threads: 2,
+        })
+        .build()
+        .expect("valid engine")
+}
+
+#[test]
+fn apply_report_fields_keep_their_semantics() {
+    let instance = instance();
+    let engine = engine(&instance);
+    let items = instance.scenario().item_count();
+    let batches = randomized_batches(&instance, 0xFACADE, 10);
+
+    let mut swap_wall_total = Duration::ZERO;
+    for (i, update) in batches.iter().enumerate() {
+        let report = engine.apply(update).expect("in-range update");
+
+        // Epochs advance by exactly one per apply — empty or not — and the
+        // engine agrees with its own report.
+        assert_eq!(report.epoch, i as u64 + 1);
+        assert_eq!(engine.epoch(), report.epoch);
+
+        // The refresh fraction *is* the counter ratio, and it is a fraction.
+        assert_eq!(report.refresh_fraction, report.refresh.resampled_fraction());
+        assert!((0.0..=1.0).contains(&report.refresh_fraction));
+
+        // No solution has ever been solved for, so there is nothing to
+        // maintain: the repair stats stay at their all-zero default even
+        // with maintenance enabled.
+        assert_eq!(report.solve_repair, RepairStats::default());
+
+        if update.is_empty() {
+            // An empty batch refreshes nothing and says so.
+            assert_eq!(report.refresh_wall, Duration::ZERO);
+            assert_eq!(report.refresh.total_sets, 0);
+            assert_eq!(report.refresh.resampled_sets, 0);
+        } else {
+            // A real batch accounts for the whole corpus and its refresh
+            // wall-clock is measured, not defaulted.
+            assert!(report.refresh_wall > Duration::ZERO, "batch {i}");
+            assert_eq!(report.refresh.total_sets, SETS_PER_ITEM * items);
+        }
+        // Individual snapshot swaps can round to zero on a coarse clock;
+        // their sum over the run must not (asserted after the loop).
+        swap_wall_total += report.swap_wall;
+    }
+    assert!(
+        swap_wall_total > Duration::ZERO,
+        "ten snapshot swaps took no measurable time at all"
+    );
+    assert_eq!(engine.epoch(), batches.len() as u64);
+}

@@ -1,0 +1,256 @@
+//! Churn-batch generators and scenario scaffolds shared by the snapshot,
+//! determinism, sharding and maintenance suites (they each used to carry
+//! their own near-identical copies).
+//!
+//! Named presets:
+//!
+//! * [`randomized_batches`] — seeded random preference / edge churn across
+//!   the whole world, with periodic empty batches (epoch bumps),
+//! * [`stress_batches`] — deterministic arithmetic batches (no RNG shim in
+//!   the loop) for scheduler-stress tests that CI runs under two test
+//!   schedulers,
+//! * [`hub_centered_batches`] — the adversarial preset: every batch churns
+//!   the highest-out-degree user, so RR invalidation frontiers are as wide
+//!   as the world allows and cached greedy traces invalidate early,
+//! * [`localized_batches`] — the benign preset: every batch churns around
+//!   one low-degree fringe user, the regime where maintained solutions
+//!   should survive with small repairs.
+
+use imdpp_suite::core::{EdgeUpdate, ImdppInstance, ItemId, ScenarioUpdate, UserId};
+use imdpp_suite::diffusion::{DynamicsConfig, Scenario};
+use imdpp_suite::graph::SocialGraph;
+use imdpp_suite::kg::hin::figure1_knowledge_graph;
+use imdpp_suite::kg::{ItemCatalog, MetaGraph, RelevanceModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A frozen-dynamics scenario over the Fig. 1 catalogue from raw influence
+/// edges (the scaffold the sharded-store, edge-update and determinism
+/// suites all build on).  Out-of-range endpoints are wrapped into `users`
+/// and self-loops dropped.
+pub fn figure1_scenario(users: usize, edges: Vec<(u32, u32, f64)>) -> Scenario {
+    let relevance = Arc::new(RelevanceModel::compute(
+        &figure1_knowledge_graph(),
+        MetaGraph::default_set(),
+    ));
+    let social = SocialGraph::from_influence_edges(
+        users,
+        edges
+            .into_iter()
+            .map(|(a, b, w)| (UserId(a % users as u32), UserId(b % users as u32), w))
+            .filter(|(a, b, _)| a != b),
+        true,
+    );
+    Scenario::builder()
+        .social(social)
+        .catalog(ItemCatalog::uniform(4))
+        .relevance(relevance)
+        .uniform_base_preference(0.5)
+        .dynamics(DynamicsConfig::frozen())
+        .build()
+        .expect("generated scenario must be valid")
+}
+
+/// `(kind, src, dst, weight)` tuples decoded into [`EdgeUpdate`]s with
+/// endpoints wrapped into `users`: kind 0 = insert/upsert, 1 = remove,
+/// 2 = reweight.
+pub fn decode_edge_updates(users: u32, raw: &[(u32, u32, u32, f64)]) -> Vec<EdgeUpdate> {
+    raw.iter()
+        .map(|&(kind, src, dst, weight)| {
+            let (src, dst) = (UserId(src % users), UserId(dst % users));
+            match kind % 3 {
+                0 => EdgeUpdate::Insert { src, dst, weight },
+                1 => EdgeUpdate::Remove { src, dst },
+                _ => EdgeUpdate::Reweight { src, dst, weight },
+            }
+        })
+        .collect()
+}
+
+/// A deterministic stream of randomized update batches: alternating
+/// preference moves and edge reweights/inserts/removals around random
+/// in-range users, with every fifth batch empty (epoch bump without
+/// refresh).
+pub fn randomized_batches(
+    instance: &ImdppInstance,
+    seed: u64,
+    batches: usize,
+) -> Vec<ScenarioUpdate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = instance.scenario().user_count() as u32;
+    let items = instance.scenario().item_count() as u32;
+    (0..batches)
+        .map(|i| {
+            if (i + 1).is_multiple_of(5) {
+                return ScenarioUpdate::Edges(Vec::new());
+            }
+            if i.is_multiple_of(2) {
+                let changes = (0..rng.gen_range(1..4usize))
+                    .map(|_| {
+                        (
+                            UserId(rng.gen_range(0..users)),
+                            ItemId(rng.gen_range(0..items)),
+                            rng.gen_range(0.05f64..0.95f64),
+                        )
+                    })
+                    .collect();
+                ScenarioUpdate::Preferences(changes)
+            } else {
+                let updates = (0..rng.gen_range(1..3usize))
+                    .map(|_| {
+                        let src = UserId(rng.gen_range(0..users));
+                        let mut dst = UserId(rng.gen_range(0..users));
+                        if dst == src {
+                            dst = UserId((dst.0 + 1) % users);
+                        }
+                        match rng.gen_range(0..3u32) {
+                            0 => EdgeUpdate::Insert {
+                                src,
+                                dst,
+                                weight: rng.gen_range(0.05f64..0.9f64),
+                            },
+                            1 => EdgeUpdate::Remove { src, dst },
+                            _ => EdgeUpdate::Reweight {
+                                src,
+                                dst,
+                                weight: rng.gen_range(0.05f64..0.9f64),
+                            },
+                        }
+                    })
+                    .collect();
+                ScenarioUpdate::Edges(updates)
+            }
+        })
+        .collect()
+}
+
+/// Deterministic update batches for scheduler-stress tests (no RNG: the
+/// nondeterminism under test is the thread scheduler, and CI runs the same
+/// binary under two scheduler configurations).
+pub fn stress_batches(users: u32, items: u32, batches: usize) -> Vec<ScenarioUpdate> {
+    (0..batches)
+        .map(|i| {
+            let k = i as u32;
+            if i % 3 == 2 {
+                ScenarioUpdate::Preferences(vec![(
+                    UserId(k * 7 % users),
+                    ItemId(k % items),
+                    0.1 + 0.05 * f64::from(k % 16),
+                )])
+            } else {
+                let src = UserId(k * 5 % users);
+                let mut dst = UserId((k * 11 + 3) % users);
+                if dst == src {
+                    dst = UserId((dst.0 + 1) % users);
+                }
+                ScenarioUpdate::Edges(vec![if i % 3 == 0 {
+                    EdgeUpdate::Reweight {
+                        src,
+                        dst,
+                        weight: 0.2 + 0.04 * f64::from(k % 16),
+                    }
+                } else {
+                    EdgeUpdate::Insert {
+                        src,
+                        dst,
+                        weight: 0.15 + 0.03 * f64::from(k % 16),
+                    }
+                }])
+            }
+        })
+        .collect()
+}
+
+/// The highest-out-degree user (ties to the smaller id) — the worst-case
+/// centre for churn, since edges and preferences around the hub sit on the
+/// most RR-set traversals.
+pub fn hub_user(scenario: &Scenario) -> UserId {
+    scenario
+        .users()
+        .max_by_key(|&u| (scenario.social().out_degree(u), std::cmp::Reverse(u.0)))
+        .expect("scenario has users")
+}
+
+/// A low-out-degree fringe user (ties to the larger id) — the centre of the
+/// benign localized preset.
+pub fn fringe_user(scenario: &Scenario) -> UserId {
+    scenario
+        .users()
+        .min_by_key(|&u| (scenario.social().out_degree(u), std::cmp::Reverse(u.0)))
+        .expect("scenario has users")
+}
+
+/// The adversarial preset: every batch perturbs the hub user — alternating
+/// between re-weighting its out-edges and moving its preferences — so each
+/// refresh invalidates a maximal slice of the RR pool and any maintained
+/// greedy trace is invalidated as early as possible.
+pub fn hub_centered_batches(
+    instance: &ImdppInstance,
+    seed: u64,
+    batches: usize,
+) -> Vec<ScenarioUpdate> {
+    let scenario = instance.scenario();
+    let hub = hub_user(scenario);
+    let users = scenario.user_count() as u32;
+    let items = scenario.item_count() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|i| {
+            if i.is_multiple_of(2) {
+                let mut dst = UserId(rng.gen_range(0..users));
+                if dst == hub {
+                    dst = UserId((dst.0 + 1) % users);
+                }
+                ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+                    src: hub,
+                    dst,
+                    weight: rng.gen_range(0.3f64..0.9f64),
+                }])
+            } else {
+                ScenarioUpdate::Preferences(vec![(
+                    hub,
+                    ItemId(rng.gen_range(0..items)),
+                    rng.gen_range(0.05f64..0.95f64),
+                )])
+            }
+        })
+        .collect()
+}
+
+/// The benign preset: every batch perturbs one fringe user — nudging a
+/// preference or re-weighting one incident edge — the localized-churn
+/// regime where refreshes touch a sliver of the pool and maintained
+/// solutions should survive with small repairs.
+pub fn localized_batches(
+    instance: &ImdppInstance,
+    seed: u64,
+    batches: usize,
+) -> Vec<ScenarioUpdate> {
+    let scenario = instance.scenario();
+    let fringe = fringe_user(scenario);
+    let items = scenario.item_count() as u32;
+    let users = scenario.user_count() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|i| {
+            if i.is_multiple_of(2) {
+                ScenarioUpdate::Preferences(vec![(
+                    fringe,
+                    ItemId(rng.gen_range(0..items)),
+                    rng.gen_range(0.05f64..0.95f64),
+                )])
+            } else {
+                let mut src = UserId(rng.gen_range(0..users));
+                if src == fringe {
+                    src = UserId((src.0 + 1) % users);
+                }
+                ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+                    src,
+                    dst: fringe,
+                    weight: rng.gen_range(0.05f64..0.5f64),
+                }])
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,5 @@
+//! Shared fixtures for the integration-test suite.  Each test binary pulls
+//! this in with `mod common;`, so not every binary uses every helper.
+#![allow(dead_code)]
+
+pub mod churn;

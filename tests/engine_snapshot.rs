@@ -8,16 +8,17 @@
 //! façade*.
 
 use imdpp_suite::core::{
-    DysimConfig, EdgeUpdate, Evaluator, ImdppInstance, ItemId, OracleKind, ScenarioUpdate, Seed,
-    SeedGroup, UserId,
+    DysimConfig, Evaluator, ImdppInstance, ItemId, OracleKind, ScenarioUpdate, Seed, SeedGroup,
+    UserId,
 };
 use imdpp_suite::datasets::{generate, DatasetKind};
 use imdpp_suite::engine::Engine;
 use imdpp_suite::sketch::{SketchConfig, SketchOracle};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+mod common;
+use common::churn::randomized_batches;
 
 const READERS: usize = 4;
 const UPDATE_BATCHES: usize = 12;
@@ -44,58 +45,6 @@ fn instance() -> ImdppInstance {
         .instance
         .with_budget(60.0)
         .with_promotions(2)
-}
-
-/// A deterministic stream of randomized update batches: alternating
-/// preference moves and edge reweights/inserts/removals around random
-/// in-range users, occasionally empty (epoch bump without refresh).
-fn randomized_batches(instance: &ImdppInstance, seed: u64) -> Vec<ScenarioUpdate> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let users = instance.scenario().user_count() as u32;
-    let items = instance.scenario().item_count() as u32;
-    (0..UPDATE_BATCHES)
-        .map(|i| {
-            if (i + 1).is_multiple_of(5) {
-                return ScenarioUpdate::Edges(Vec::new());
-            }
-            if i.is_multiple_of(2) {
-                let changes = (0..rng.gen_range(1..4usize))
-                    .map(|_| {
-                        (
-                            UserId(rng.gen_range(0..users)),
-                            ItemId(rng.gen_range(0..items)),
-                            rng.gen_range(0.05f64..0.95f64),
-                        )
-                    })
-                    .collect();
-                ScenarioUpdate::Preferences(changes)
-            } else {
-                let updates = (0..rng.gen_range(1..3usize))
-                    .map(|_| {
-                        let src = UserId(rng.gen_range(0..users));
-                        let mut dst = UserId(rng.gen_range(0..users));
-                        if dst == src {
-                            dst = UserId((dst.0 + 1) % users);
-                        }
-                        match rng.gen_range(0..3u32) {
-                            0 => EdgeUpdate::Insert {
-                                src,
-                                dst,
-                                weight: rng.gen_range(0.05f64..0.9f64),
-                            },
-                            1 => EdgeUpdate::Remove { src, dst },
-                            _ => EdgeUpdate::Reweight {
-                                src,
-                                dst,
-                                weight: rng.gen_range(0.05f64..0.9f64),
-                            },
-                        }
-                    })
-                    .collect();
-                ScenarioUpdate::Edges(updates)
-            }
-        })
-        .collect()
 }
 
 /// The value `Engine::spread` must return at each epoch, computed
@@ -125,7 +74,7 @@ fn expected_per_epoch(
 fn readers_observe_only_published_epochs_under_concurrent_updates() {
     let instance = instance();
     let cfg = config();
-    let batches = randomized_batches(&instance, 0x5EED5);
+    let batches = randomized_batches(&instance, 0x5EED5, UPDATE_BATCHES);
     // A fixed probe group (no need for it to be optimal — only deterministic).
     let probe: SeedGroup = (0..4)
         .map(|u| {
@@ -276,7 +225,10 @@ fn pinned_snapshots_survive_later_updates() {
     let pinned = engine.snapshot();
     let before = pinned.spread(&probe);
 
-    for update in randomized_batches(&instance, 0xA11CE).iter().take(4) {
+    for update in randomized_batches(&instance, 0xA11CE, UPDATE_BATCHES)
+        .iter()
+        .take(4)
+    {
         engine.apply(update).expect("in-range updates");
     }
 

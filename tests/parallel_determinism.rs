@@ -23,65 +23,23 @@
 //! `RUST_TEST_THREADS=1` — so thread interleavings differ between runs.
 
 use imdpp_suite::core::{
-    DysimConfig, EdgeUpdate, ItemId, OracleKind, RefreshStats, RefreshableOracle, ScenarioUpdate,
-    UserId,
+    DysimConfig, ItemId, OracleKind, RefreshStats, RefreshableOracle, ScenarioUpdate, UserId,
 };
 use imdpp_suite::datasets::{generate, DatasetKind};
-use imdpp_suite::diffusion::{DynamicsConfig, Scenario};
+use imdpp_suite::diffusion::Scenario;
 use imdpp_suite::engine::Engine;
-use imdpp_suite::graph::SocialGraph;
-use imdpp_suite::kg::hin::figure1_knowledge_graph;
-use imdpp_suite::kg::{ItemCatalog, MetaGraph, RelevanceModel};
 use imdpp_suite::sketch::{SketchConfig, SketchOracle};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+mod common;
+use common::churn::{decode_edge_updates, figure1_scenario, stress_batches};
+
 const SHARD_GRID: [usize; 4] = [1, 2, 4, 7];
 const THREAD_GRID: [usize; 4] = [1, 2, 4, 8];
 const USERS: usize = 10;
 const SETS_PER_ITEM: usize = 128;
-
-/// A random frozen-dynamics scenario over the Fig. 1 catalogue (the same
-/// scaffold the sharded-store and edge-update suites use).
-fn build_scenario(edges: Vec<(u32, u32, f64)>) -> Scenario {
-    let relevance = Arc::new(RelevanceModel::compute(
-        &figure1_knowledge_graph(),
-        MetaGraph::default_set(),
-    ));
-    let social = SocialGraph::from_influence_edges(
-        USERS,
-        edges
-            .into_iter()
-            .map(|(a, b, w)| (UserId(a % USERS as u32), UserId(b % USERS as u32), w))
-            .filter(|(a, b, _)| a != b),
-        true,
-    );
-    Scenario::builder()
-        .social(social)
-        .catalog(ItemCatalog::uniform(4))
-        .relevance(relevance)
-        .uniform_base_preference(0.5)
-        .dynamics(DynamicsConfig::frozen())
-        .build()
-        .expect("generated scenario must be valid")
-}
-
-/// `(kind, src, dst, weight)` tuples decoded into [`EdgeUpdate`]s:
-/// kind 0 = insert/upsert, 1 = remove, 2 = reweight.
-fn decode_updates(raw: &[(u32, u32, u32, f64)]) -> Vec<EdgeUpdate> {
-    raw.iter()
-        .map(|&(kind, src, dst, weight)| {
-            let n = USERS as u32;
-            let (src, dst) = (UserId(src % n), UserId(dst % n));
-            match kind % 3 {
-                0 => EdgeUpdate::Insert { src, dst, weight },
-                1 => EdgeUpdate::Remove { src, dst },
-                _ => EdgeUpdate::Reweight { src, dst, weight },
-            }
-        })
-        .collect()
-}
 
 /// Everything a `(shards, threads)` run observes, in bit-comparable form.
 /// `f64`s are compared through their raw bits: the claim is *identical
@@ -167,9 +125,9 @@ proptest! {
             1..4,
         ),
     ) {
-        let start = build_scenario(edges);
+        let start = figure1_scenario(USERS, edges);
         let churn = vec![
-            ScenarioUpdate::Edges(decode_updates(&raw_edge_churn)),
+            ScenarioUpdate::Edges(decode_edge_updates(USERS as u32, &raw_edge_churn)),
             ScenarioUpdate::Preferences(
                 raw_pref_churn
                     .iter()
@@ -208,43 +166,6 @@ proptest! {
             }
         }
     }
-}
-
-/// Deterministic update batches for the engine stress test (no proptest:
-/// the nondeterminism under test is the thread scheduler, and CI runs the
-/// binary under two scheduler configurations).
-fn stress_batches(users: u32, items: u32, batches: usize) -> Vec<ScenarioUpdate> {
-    (0..batches)
-        .map(|i| {
-            let k = i as u32;
-            if i % 3 == 2 {
-                ScenarioUpdate::Preferences(vec![(
-                    UserId(k * 7 % users),
-                    ItemId(k % items),
-                    0.1 + 0.05 * f64::from(k % 16),
-                )])
-            } else {
-                let src = UserId(k * 5 % users);
-                let mut dst = UserId((k * 11 + 3) % users);
-                if dst == src {
-                    dst = UserId((dst.0 + 1) % users);
-                }
-                ScenarioUpdate::Edges(vec![if i % 3 == 0 {
-                    EdgeUpdate::Reweight {
-                        src,
-                        dst,
-                        weight: 0.2 + 0.04 * f64::from(k % 16),
-                    }
-                } else {
-                    EdgeUpdate::Insert {
-                        src,
-                        dst,
-                        weight: 0.15 + 0.03 * f64::from(k % 16),
-                    }
-                }])
-            }
-        })
-        .collect()
 }
 
 /// `Engine::apply` racing readers while shard workers are active: a 4-shard,

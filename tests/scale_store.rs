@@ -217,6 +217,63 @@ fn run_scale_smoke() {
         .expect("engine is sketch-backed")
         .index_stats();
     assert_eq!(final_stats.full_rebuilds, built.full_rebuilds);
+
+    // Maintained solutions at scale: the solve above primed the cache
+    // (maintenance is on by default for sketch engines), so three more
+    // localized batches must *repair* it — never a full invalidation — and
+    // the post-churn solve must be a cache lookup, not a 10⁵-user pipeline
+    // run.  Wall-clocks are recorded for the CI log; the gates are the
+    // repair stats.
+    assert!(engine.config().maintain_bound.is_some());
+    let maintained_drift = [
+        ScenarioUpdate::Edges(vec![EdgeUpdate::Insert {
+            src,
+            dst,
+            weight: 0.3,
+        }]),
+        ScenarioUpdate::Preferences(vec![(dst, imdpp_suite::core::ItemId(2), 0.7)]),
+        ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src,
+            dst,
+            weight: 0.21,
+        }]),
+    ];
+    for (i, update) in maintained_drift.iter().enumerate() {
+        let apply_start = std::time::Instant::now();
+        let applied = engine.apply(update).expect("in-range update");
+        let apply_wall = apply_start.elapsed();
+        assert_eq!(
+            applied.solve_repair.full_resolves, 0,
+            "localized batch {i} invalidated the maintained solution"
+        );
+        assert!(
+            applied.solve_repair.seeds_retained > 0,
+            "localized batch {i} retained no greedy prefix"
+        );
+        let solve_start = std::time::Instant::now();
+        let maintained = engine.solve();
+        let solve_wall = solve_start.elapsed();
+        assert!(engine.snapshot().instance().is_feasible(&maintained));
+        println!(
+            "maintained batch {i}: apply (refresh + repair) {:.1}ms, \
+             served solve {:.2}ms, retained {} / repaired {}",
+            apply_wall.as_secs_f64() * 1e3,
+            solve_wall.as_secs_f64() * 1e3,
+            applied.solve_repair.seeds_retained,
+            applied.solve_repair.positions_repaired,
+        );
+    }
+    // The maintained pass performed no index rebuilds either.
+    assert_eq!(
+        engine
+            .snapshot()
+            .oracle()
+            .as_sketch()
+            .expect("engine is sketch-backed")
+            .index_stats()
+            .full_rebuilds,
+        built.full_rebuilds
+    );
 }
 
 #[test]

@@ -6,16 +6,15 @@
 //! batch — with zero post-build full rebuilds.
 
 use imdpp_suite::core::{RefreshableOracle, ScenarioUpdate, SpreadOracle};
-use imdpp_suite::diffusion::{DynamicsConfig, Scenario};
-use imdpp_suite::graph::{EdgeUpdate, ItemId, SocialGraph, UserId};
-use imdpp_suite::kg::hin::figure1_knowledge_graph;
-use imdpp_suite::kg::{ItemCatalog, MetaGraph, RelevanceModel};
+use imdpp_suite::graph::{ItemId, UserId};
 use imdpp_suite::sketch::{
     greedy_max_coverage, greedy_max_coverage_sharded, RrStore, SetId, ShardedRrStore, SketchConfig,
     SketchOracle,
 };
 use proptest::prelude::*;
-use std::sync::Arc;
+
+mod common;
+use common::churn::{decode_edge_updates, figure1_scenario};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 const USERS: usize = 12;
@@ -40,31 +39,6 @@ fn build_stores(sets: &[Vec<u32>]) -> (RrStore, Vec<ShardedRrStore>) {
         store.rebuild_index();
     }
     (flat, sharded)
-}
-
-/// A random frozen-dynamics scenario over the Fig. 1 catalogue (the same
-/// scaffold `tests/edge_updates.rs` uses).
-fn build_scenario(n: usize, edges: Vec<(u32, u32, f64)>) -> Scenario {
-    let relevance = Arc::new(RelevanceModel::compute(
-        &figure1_knowledge_graph(),
-        MetaGraph::default_set(),
-    ));
-    let social = SocialGraph::from_influence_edges(
-        n,
-        edges
-            .into_iter()
-            .map(|(a, b, w)| (UserId(a % n as u32), UserId(b % n as u32), w))
-            .filter(|(a, b, _)| a != b),
-        true,
-    );
-    Scenario::builder()
-        .social(social)
-        .catalog(ItemCatalog::uniform(4))
-        .relevance(relevance)
-        .uniform_base_preference(0.5)
-        .dynamics(DynamicsConfig::frozen())
-        .build()
-        .expect("generated scenario must be valid")
 }
 
 /// Distinct members for one RR-set entry (the sampler never emits
@@ -163,7 +137,7 @@ proptest! {
         pref_user in 0u32..10,
         pref in 0.55f64..0.95,
     ) {
-        let start = build_scenario(10, edges);
+        let start = figure1_scenario(10, edges);
         let mut flat = SketchOracle::build(
             &start,
             SketchConfig::fixed(128).with_base_seed(53),
@@ -178,19 +152,7 @@ proptest! {
             })
             .collect();
 
-        let edge_step = ScenarioUpdate::Edges(
-            raw_updates
-                .iter()
-                .map(|&(kind, src, dst, weight)| {
-                    let (src, dst) = (UserId(src), UserId(dst));
-                    match kind % 3 {
-                        0 => EdgeUpdate::Insert { src, dst, weight },
-                        1 => EdgeUpdate::Remove { src, dst },
-                        _ => EdgeUpdate::Reweight { src, dst, weight },
-                    }
-                })
-                .collect(),
-        );
+        let edge_step = ScenarioUpdate::Edges(decode_edge_updates(10, &raw_updates));
         let mid = edge_step.apply(&start);
         let pref_step =
             ScenarioUpdate::Preferences(vec![(UserId(pref_user), ItemId(0), pref)]);
@@ -241,7 +203,7 @@ proptest! {
         ),
         seed_user in 0u32..10,
     ) {
-        let scenario = build_scenario(10, edges);
+        let scenario = figure1_scenario(10, edges);
         let base = SketchConfig {
             initial_sets: 16,
             max_sets: 512,
@@ -293,7 +255,7 @@ proptest! {
 /// any shard count: same final pools as the flat oracle, no rebuilds.
 #[test]
 fn adaptive_growth_is_shard_independent_and_rebuild_free() {
-    let scenario = build_scenario(10, vec![(0, 1, 0.4), (1, 2, 0.5), (2, 3, 0.6), (4, 0, 0.3)]);
+    let scenario = figure1_scenario(10, vec![(0, 1, 0.4), (1, 2, 0.5), (2, 3, 0.6), (4, 0, 0.3)]);
     let config = SketchConfig {
         initial_sets: 16,
         max_sets: 1024,

@@ -1,0 +1,214 @@
+//! The maintained-solution harness (the PR's tentpole): under churn, the
+//! engine repairs its cached greedy solution instead of re-solving from
+//! scratch, and the repair is **proven** against a fresh rebuild after
+//! every batch:
+//!
+//! 1. *bound* — the served (maintained) solution's sketch objective is at
+//!    least `maintain_bound` × the fresh-greedy objective, across the full
+//!    `(shards, threads)` grid and three churn regimes (benign localized,
+//!    adversarial hub-centered, mixed randomized),
+//! 2. *paranoia* — with `maintain_bound = 1.0` the engine never serves a
+//!    repaired solution: every non-empty update forces a full re-solve and
+//!    the outcome is bit-identical to a maintenance-off engine,
+//! 3. *determinism* — the per-batch [`RepairStats`] (retain / repair /
+//!    full-resolve decisions) are identical across the grid, like every
+//!    other semantic observable of the sketch.
+//!
+//! Run twice in CI — default scheduler and `RUST_TEST_THREADS=1` — so the
+//! repair decisions are also exercised under different interleavings.
+
+use imdpp_suite::core::{DysimConfig, ImdppInstance, OracleKind, ScenarioUpdate};
+use imdpp_suite::datasets::{generate, DatasetKind};
+use imdpp_suite::engine::{Engine, RepairStats};
+
+mod common;
+use common::churn::{hub_centered_batches, localized_batches, randomized_batches};
+
+const BOUND: f64 = 0.95;
+const BOUND_EPSILON: f64 = 1e-9;
+const SETS_PER_ITEM: usize = 256;
+
+fn instance() -> ImdppInstance {
+    generate(&DatasetKind::AmazonTiny.config())
+        .instance
+        .with_budget(60.0)
+        .with_promotions(2)
+}
+
+fn config(shards: usize, threads: usize) -> DysimConfig {
+    DysimConfig {
+        mc_samples: 6,
+        candidate_users: Some(8),
+        max_nominees: Some(3),
+        ..DysimConfig::default()
+    }
+    .with_oracle(OracleKind::RrSketch {
+        sets_per_item: SETS_PER_ITEM,
+        shards,
+        threads,
+    })
+}
+
+/// The three churn regimes back to back: benign localized first (repairs
+/// should survive), then adversarial hub-centered (wide invalidation
+/// frontiers), then mixed randomized churn with empty batches.
+fn churn_stream(instance: &ImdppInstance) -> Vec<ScenarioUpdate> {
+    let mut stream = localized_batches(instance, 0xB0B, 6);
+    stream.extend(hub_centered_batches(instance, 0xC0FFEE, 4));
+    stream.extend(randomized_batches(instance, 0x5EED, 6));
+    stream
+}
+
+/// Drives a maintained engine and a maintenance-off twin through `churn`,
+/// asserting the bound after every batch, and returns the per-batch repair
+/// decisions.
+fn drive(instance: &ImdppInstance, shards: usize, threads: usize) -> Vec<RepairStats> {
+    let maintained = Engine::for_instance(instance)
+        .config(config(shards, threads))
+        .build()
+        .expect("valid engine");
+    let fresh = Engine::for_instance(instance)
+        .config(config(shards, threads))
+        .maintain_bound(None)
+        .build()
+        .expect("valid engine");
+    assert_eq!(
+        maintained.config().maintain_bound,
+        Some(BOUND),
+        "maintenance must be on by default for sketch engines"
+    );
+
+    // Prime both caches; identical snapshots solve identically.
+    let first = maintained.solve_report();
+    assert_eq!(first.nominees, fresh.solve_report().nominees);
+
+    let mut decisions = Vec::new();
+    for (i, update) in churn_stream(instance).iter().enumerate() {
+        let repaired = maintained.apply(update).expect("in-range update");
+        let rebuilt = fresh.apply(update).expect("in-range update");
+        // Tracked refresh (the repair's input) does the same estimator work
+        // as the untracked one, bit for bit.
+        assert_eq!(repaired.refresh, rebuilt.refresh, "batch {i}");
+        assert_eq!(
+            rebuilt.solve_repair,
+            RepairStats::default(),
+            "a maintenance-off engine must never repair"
+        );
+        decisions.push(repaired.solve_repair);
+
+        // The served solution after this batch, vs. fresh greedy on the
+        // identical drifted world.
+        let served = maintained.solve_report();
+        let reference = fresh.solve_report();
+        let snap = maintained.snapshot();
+        let sigma_served = snap.static_spread(&served.nominees);
+        let sigma_fresh = snap.static_spread(&reference.nominees);
+        assert!(
+            sigma_served + BOUND_EPSILON >= BOUND * sigma_fresh,
+            "batch {i} ({shards} shards x {threads} threads): served σ̂ = \
+             {sigma_served} fell below {BOUND} x fresh σ̂ = {sigma_fresh}"
+        );
+        // A full resolve means the cache was dropped: the very next solve
+        // ran the whole pipeline, so the served solution *is* fresh greedy.
+        if repaired.solve_repair.full_resolves > 0 {
+            assert_eq!(served.nominees, reference.nominees, "batch {i}");
+            assert_eq!(served.seeds, reference.seeds, "batch {i}");
+        }
+    }
+    decisions
+}
+
+/// Invariants 1 and 3: the bound holds after every batch at every grid
+/// point, and the repair decisions are a pure function of the churn —
+/// identical across `shards ∈ {1, 2, 4} × threads ∈ {1, 4}`.
+#[test]
+fn maintained_solutions_stay_within_the_bound_across_the_grid() {
+    let instance = instance();
+    let reference = drive(&instance, 1, 1);
+
+    // The harness must actually exercise maintenance, or the bound holds
+    // vacuously: some repair retains a greedy prefix verbatim, and the
+    // adversarial stretch invalidates positions that CELF then recomputes.
+    // (A within-bound full *invalidation* is not forced here — when the
+    // first invalidated position is 0 the repair re-runs the whole
+    // selection and equals fresh greedy, so it is always kept; the
+    // cache-drop path is pinned by the paranoid test below instead.)
+    assert!(
+        reference
+            .iter()
+            .any(|s| s.full_resolves == 0 && s.seeds_retained > 0),
+        "no repair ever retained a greedy prefix: {reference:?}"
+    );
+    assert!(
+        reference.iter().any(|s| s.positions_repaired > 0),
+        "no batch ever invalidated a greedy position: {reference:?}"
+    );
+
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            if (shards, threads) == (1, 1) {
+                continue;
+            }
+            let observed = drive(&instance, shards, threads);
+            assert_eq!(
+                observed, reference,
+                "repair decisions diverged at {shards} shards x {threads} threads"
+            );
+        }
+    }
+}
+
+/// Invariant 2 (paranoid mode): `maintain_bound = 1.0` promises "never
+/// serve anything weaker than fresh", which the engine honours by treating
+/// every non-empty update as a full invalidation — so its solutions are
+/// bit-identical to a maintenance-off engine's at every epoch.
+#[test]
+fn paranoid_bound_is_bit_identical_to_maintenance_off() {
+    let instance = instance();
+    let paranoid = Engine::for_instance(&instance)
+        .config(config(2, 4))
+        .maintain_bound(Some(1.0))
+        .build()
+        .expect("valid engine");
+    let off = Engine::for_instance(&instance)
+        .config(config(2, 4))
+        .maintain_bound(None)
+        .build()
+        .expect("valid engine");
+
+    let mut cached_len = paranoid.solve_report().nominees.len();
+    let _ = off.solve_report();
+    for (i, update) in churn_stream(&instance).iter().enumerate() {
+        let p = paranoid.apply(update).expect("in-range update");
+        let o = off.apply(update).expect("in-range update");
+        if update.is_empty() {
+            // Nothing changed: even paranoia carries the cache forward.
+            assert_eq!(
+                p.solve_repair,
+                RepairStats {
+                    seeds_retained: cached_len,
+                    positions_repaired: 0,
+                    full_resolves: 0,
+                },
+                "batch {i}"
+            );
+        } else {
+            assert_eq!(
+                p.solve_repair,
+                RepairStats {
+                    seeds_retained: 0,
+                    positions_repaired: 0,
+                    full_resolves: 1,
+                },
+                "batch {i}: paranoid mode must always fully re-solve"
+            );
+        }
+        assert_eq!(o.solve_repair, RepairStats::default(), "batch {i}");
+
+        let served = paranoid.solve_report();
+        let reference = off.solve_report();
+        assert_eq!(served.seeds, reference.seeds, "batch {i}");
+        assert_eq!(served.nominees, reference.nominees, "batch {i}");
+        cached_len = served.nominees.len();
+    }
+}
