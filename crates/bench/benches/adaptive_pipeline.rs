@@ -196,9 +196,13 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
         let applied = maintained_engine
             .apply(update)
             .expect("in-range localized update");
-        fresh_engine
+        let fresh_applied = fresh_engine
             .apply(update)
             .expect("in-range localized update");
+        assert_eq!(
+            fresh_applied.epoch, applied.epoch,
+            "both engines must march through the same epochs"
+        );
         full_resolves += applied.solve_repair.full_resolves;
         retained_total += applied.solve_repair.seeds_retained;
         repaired_total += applied.solve_repair.positions_repaired;
@@ -291,10 +295,14 @@ fn bench_adaptive_pipeline(c: &mut Criterion) {
     // once each for the machine-readable summary).
     let t = Instant::now();
     let mut refreshed = sketch.clone();
-    refreshed.apply_edge_update(&drifted, &updates);
+    let refresh_stats = refreshed.apply_edge_update(&drifted, &updates);
     summary.record(
         "edge_refresh_incremental_seconds",
         t.elapsed().as_secs_f64(),
+    );
+    summary.record(
+        "edge_refresh_resampled_fraction",
+        refresh_stats.resampled_fraction(),
     );
     let t = Instant::now();
     let rebuilt = SketchOracle::build(

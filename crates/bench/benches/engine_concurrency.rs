@@ -105,8 +105,12 @@ fn run_readers_under_writes(
         let engine = Arc::clone(engine);
         let nominees = nominees.to_vec();
         let stop = Arc::clone(&stop);
+        // lint: allow(spawn) — bench harness readers measuring contention;
+        // no engine work is scheduled here.
         handles.push(std::thread::spawn(move || {
             let mut queries = 0u64;
+            // lint: allow(atomic-ordering) — advisory stop flag; a stale
+            // read only extends the measurement window by one query.
             while !stop.load(Ordering::Relaxed) {
                 let f = engine.static_spread(&nominees);
                 assert!(f.is_finite() && f >= 0.0);
@@ -122,9 +126,15 @@ fn run_readers_under_writes(
     let mut updates = 0u64;
     while start.elapsed() < MEASURE_WINDOW {
         let update = writer_update(edge, updates as usize);
-        engine.apply(&update).expect("in-range update");
+        let applied = engine.apply(&update).expect("in-range update");
         updates += 1;
+        assert_eq!(
+            applied.epoch, updates,
+            "writer must advance one epoch per apply"
+        );
     }
+    // lint: allow(atomic-ordering) — advisory stop flag; join() below is
+    // the real synchronisation point.
     stop.store(true, Ordering::Relaxed);
 
     let queries: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();

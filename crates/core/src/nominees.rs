@@ -146,6 +146,8 @@ pub fn select_nominees_with_prefix(
 ) -> NomineeSelection {
     let budget = instance.budget();
     let mut selected: Vec<Nominee> = prefix.to_vec();
+    // lint: allow(float-accum) — folds over the prefix in its recorded
+    // order, so the sum is bit-stable for a given prefix.
     let mut spent: f64 = prefix.iter().map(|&(u, x)| instance.cost(u, x)).sum();
     let mut evaluations = 0usize;
     let mut current_value = if selected.is_empty() {
@@ -201,6 +203,9 @@ pub fn select_nominees_with_prefix(
                 break;
             }
             selected.push((u, x));
+            // lint: allow(float-accum) — budget spend folds over the
+            // selection order, which is itself deterministic; costs are
+            // instance inputs, not oracle estimates.
             spent += cost;
             // Install the exact oracle value, not `current_value + gain`:
             // the two differ by rounding, and only the former makes the
@@ -272,7 +277,8 @@ pub fn select_nominees_plain_greedy_with_oracle(
                 break;
             }
         }
-        let mut best: Option<(usize, f64, f64)> = None; // (index, gain, ratio)
+        // (index, gain, exact value with the nominee, ratio)
+        let mut best: Option<(usize, f64, f64, f64)> = None;
         for (i, &(u, x)) in remaining.iter().enumerate() {
             let cost = instance.cost(u, x);
             if cost > budget - spent {
@@ -280,21 +286,28 @@ pub fn select_nominees_plain_greedy_with_oracle(
             }
             let mut with = selected.clone();
             with.push((u, x));
-            let gain = oracle.static_spread(&with) - current_value;
+            let value_with = oracle.static_spread(&with);
+            let gain = value_with - current_value;
             evaluations += 1;
             let ratio = gain / cost;
-            if best.is_none_or(|(_, _, r)| ratio > r) {
-                best = Some((i, gain, ratio));
+            if best.is_none_or(|(_, _, _, r)| ratio > r) {
+                best = Some((i, gain, value_with, ratio));
             }
         }
         match best {
-            Some((i, gain, _)) => {
+            Some((i, gain, value_with, _)) => {
                 if config.stop_on_nonpositive_gain && gain <= 0.0 {
                     break;
                 }
                 let (u, x) = remaining.remove(i);
+                // lint: allow(float-accum) — budget spend folds over the
+                // selection order, which is itself deterministic; costs are
+                // instance inputs, not oracle estimates.
                 spent += instance.cost(u, x);
-                current_value += gain;
+                // Install the exact oracle value, not `current_value + gain`:
+                // an accumulated gain sum drifts by ulps from the oracle and
+                // can flip later ratio comparisons (the PR 7 CELF bug class).
+                current_value = value_with;
                 selected.push((u, x));
             }
             None => break,

@@ -128,6 +128,7 @@ pub enum OracleKind {
 /// (e.g. `full_rebuilds == 0` on localized updates) instead of only benches
 /// noticing regressions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "refresh stats carry the full-rebuild counters tests pin; dropping them hides rebuild regressions"]
 pub struct RefreshStats {
     /// Total RR sets across the refreshed stores (0 for non-sketch
     /// estimators).

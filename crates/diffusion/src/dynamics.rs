@@ -209,7 +209,11 @@ pub fn jaccard_similarity(a: &[ItemId], b: &[ItemId]) -> f64 {
     }
     let sa: std::collections::HashSet<u32> = a.iter().map(|i| i.0).collect();
     let sb: std::collections::HashSet<u32> = b.iter().map(|i| i.0).collect();
+    // lint: allow(hash-order) — only the cardinalities are used; counting
+    // is independent of iteration order.
     let inter = sa.intersection(&sb).count();
+    // lint: allow(hash-order) — only the cardinalities are used; counting
+    // is independent of iteration order.
     let union = sa.union(&sb).count();
     if union == 0 {
         0.0

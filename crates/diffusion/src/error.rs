@@ -69,6 +69,14 @@ pub enum ImdppError {
     },
     /// An I/O failure while writing experiment output.
     Io(std::io::Error),
+    /// A lock guarding shared engine state was poisoned — a thread panicked
+    /// while holding it, so the protected state may be mid-mutation.  The
+    /// engine surfaces this instead of panicking the caller; recovery is to
+    /// rebuild the engine.
+    Poisoned {
+        /// The lock in question, e.g. `"engine writer lock"`.
+        what: &'static str,
+    },
 }
 
 impl ImdppError {
@@ -97,6 +105,9 @@ impl fmt::Display for ImdppError {
             } => write!(f, "{name} = {value} is outside [{min}, {max}]"),
             ImdppError::InvalidConfig { message } => f.write_str(message),
             ImdppError::Io(e) => write!(f, "I/O error: {e}"),
+            ImdppError::Poisoned { what } => {
+                write!(f, "{what} was poisoned by a panicked thread")
+            }
         }
     }
 }
@@ -146,6 +157,13 @@ mod tests {
             "influence_gain = 3 is outside [0, 1]"
         );
         assert_eq!(ImdppError::invalid("broken").to_string(), "broken");
+        assert_eq!(
+            ImdppError::Poisoned {
+                what: "engine writer lock"
+            }
+            .to_string(),
+            "engine writer lock was poisoned by a panicked thread"
+        );
     }
 
     #[test]

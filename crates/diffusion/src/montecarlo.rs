@@ -120,6 +120,10 @@ impl<'a> SpreadEstimator<'a> {
         crossbeam::scope(|scope| {
             for _ in 0..self.threads {
                 scope.spawn(|_| loop {
+                    // lint: allow(atomic-ordering) — work-stealing ticket
+                    // counter: the RMW is the only synchronisation needed
+                    // (each index is claimed exactly once; results land in
+                    // per-index slots behind the mutex).
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= self.samples {
                         break;

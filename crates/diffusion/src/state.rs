@@ -68,9 +68,12 @@ impl DiffusionState {
     /// Adoptions already present are ignored; returns the number of new
     /// adoptions actually recorded.
     pub fn record_adoptions(&mut self, scenario: &Scenario, newly: &[(UserId, ItemId)]) -> usize {
-        // Group by user to apply a single perception update per user.
-        let mut per_user: std::collections::HashMap<UserId, Vec<ItemId>> =
-            std::collections::HashMap::new();
+        // Group by user to apply a single perception update per user.  A
+        // BTreeMap so the perception updates below run in user order — the
+        // updates are per-user independent today, but keyed iteration keeps
+        // that invariant structural rather than incidental.
+        let mut per_user: std::collections::BTreeMap<UserId, Vec<ItemId>> =
+            std::collections::BTreeMap::new();
         let mut recorded = 0usize;
         for &(u, x) in newly {
             if self.has_adopted(u, x) {

@@ -181,6 +181,7 @@ impl EngineSnapshot {
 
 /// Outcome of one [`Engine::apply`] call.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[must_use = "apply reports carry the epoch and refresh/repair counters tests pin; dropping one hides maintenance regressions"]
 pub struct ApplyReport {
     /// The epoch of the snapshot the update produced.
     pub epoch: u64,
@@ -340,6 +341,9 @@ impl Engine {
     /// The snapshot read every query path shares, off the pin counter's
     /// books (one lock round-trip + one `Arc` bump, nothing else).
     fn read_snapshot(&self) -> Arc<EngineSnapshot> {
+        // Genuinely infallible: the write guard below only performs a
+        // whole-value `Arc` assignment (no user code runs while it is
+        // held), so the lock cannot be poisoned in practice.
         self.current.read().expect("snapshot lock poisoned").clone()
     }
 
@@ -383,6 +387,7 @@ impl Engine {
     /// report; subsequent solves at the same epoch serve the cached report,
     /// and [`Engine::apply`] repairs the cache across epochs so a solve
     /// after localized churn is typically a lookup, not a pipeline run.
+    #[must_use = "the report carries the seeds and pipeline diagnostics; dropping it wastes the solve"]
     pub fn solve_report(&self) -> DysimReport {
         let snap = self.read_snapshot();
         self.metrics.solves.incr();
@@ -390,6 +395,9 @@ impl Engine {
         if !self.maintenance_enabled(&snap) {
             return snap.solve_report();
         }
+        // Genuinely infallible: every holder of this mutex (here and in
+        // `apply`) only reads or whole-value-assigns the Option slot, so a
+        // panic cannot leave it mid-mutation.
         if let Some(m) = self
             .maintained
             .lock()
@@ -402,6 +410,7 @@ impl Engine {
         }
         let report = snap.solve_report();
         if !report.nominees.is_empty() {
+            // Infallible for the same reason as the read above.
             let mut slot = self.maintained.lock().expect("maintained lock poisoned");
             // Never clobber an entry a concurrent `apply` repaired forward
             // to a newer epoch while this pipeline run was in flight.
@@ -470,10 +479,14 @@ impl Engine {
     /// # Errors
     /// Returns an [`ImdppError`] (and publishes nothing) when the update
     /// references users or items outside the scenario or carries values
-    /// outside their valid ranges.
+    /// outside their valid ranges, or [`ImdppError::Poisoned`] when a
+    /// previous `apply` panicked mid-publish — the writer path refuses to
+    /// build on possibly half-published state.
     pub fn apply(&self, update: &ScenarioUpdate) -> Result<ApplyReport, ImdppError> {
         let wait_span = self.metrics.writer_wait_ns.start();
-        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let _writer = self.writer.lock().map_err(|_| ImdppError::Poisoned {
+            what: "engine writer lock",
+        })?;
         drop(wait_span);
         let snap = self.read_snapshot();
         validate_update(snap.scenario(), update)?;
@@ -484,7 +497,9 @@ impl Engine {
             // The world did not change, so a cached solution stays valid
             // verbatim: carry it to the new epoch.
             let solve_repair = {
-                let mut slot = self.maintained.lock().expect("maintained lock poisoned");
+                let mut slot = self.maintained.lock().map_err(|_| ImdppError::Poisoned {
+                    what: "maintained-solution lock",
+                })?;
                 match slot.as_mut() {
                     Some(m) if m.epoch == snap.epoch => {
                         m.epoch = epoch;
@@ -501,8 +516,12 @@ impl Engine {
                 epoch,
                 ..(*snap).clone()
             });
+            // lint: allow(clock) — feeds the engine.swap_ns telemetry span
+            // and ApplyReport::swap_wall; no algorithm reads it.
             let swap_started = Instant::now();
-            *self.current.write().expect("snapshot lock poisoned") = next;
+            *self.current.write().map_err(|_| ImdppError::Poisoned {
+                what: "snapshot lock",
+            })? = next;
             let swap_wall = swap_started.elapsed();
             self.metrics.swap_ns.record_duration(swap_wall);
             ApplyReport {
@@ -518,7 +537,9 @@ impl Engine {
             let cached = if self.maintenance_enabled(&snap) {
                 self.maintained
                     .lock()
-                    .expect("maintained lock poisoned")
+                    .map_err(|_| ImdppError::Poisoned {
+                        what: "maintained-solution lock",
+                    })?
                     .as_ref()
                     .filter(|m| m.epoch == snap.epoch && !m.report.nominees.is_empty())
                     .cloned()
@@ -532,6 +553,8 @@ impl Engine {
             // cached solution to repair, the tracked variant additionally
             // reports the per-item touched users (same RefreshStats, same
             // refreshed state).
+            // lint: allow(clock) — feeds the engine.refresh_ns telemetry
+            // span and ApplyReport::refresh_wall; no algorithm reads it.
             let refresh_started = Instant::now();
             let (refresh, touched) = if cached.is_some() {
                 oracle.refresh_tracked(&updated, update)
@@ -552,7 +575,7 @@ impl Engine {
                         touched,
                         epoch,
                         bound,
-                    )
+                    )?
                 }
                 _ => RepairStats::default(),
             };
@@ -562,8 +585,12 @@ impl Engine {
                 oracle,
                 config: snap.config.clone(),
             });
+            // lint: allow(clock) — feeds the engine.swap_ns telemetry span
+            // and ApplyReport::swap_wall; no algorithm reads it.
             let swap_started = Instant::now();
-            *self.current.write().expect("snapshot lock poisoned") = next;
+            *self.current.write().map_err(|_| ImdppError::Poisoned {
+                what: "snapshot lock",
+            })? = next;
             let swap_wall = swap_started.elapsed();
             self.metrics.swap_ns.record_duration(swap_wall);
             self.metrics
@@ -595,6 +622,10 @@ impl Engine {
     /// Repairs (or invalidates) the cached solution against the refreshed
     /// oracle and installs the outcome for `epoch`.  Called by `apply` with
     /// the writer lock held, before the new snapshot is published.
+    ///
+    /// # Errors
+    /// [`ImdppError::Poisoned`] when the maintained-solution lock was
+    /// poisoned by a panicked thread.
     #[allow(clippy::too_many_arguments)]
     fn repair_maintained(
         &self,
@@ -605,11 +636,13 @@ impl Engine {
         touched: Option<Vec<Vec<UserId>>>,
         epoch: u64,
         bound: f64,
-    ) -> RepairStats {
-        let invalidate = |stats: RepairStats| {
-            *self.maintained.lock().expect("maintained lock poisoned") = None;
+    ) -> Result<RepairStats, ImdppError> {
+        let invalidate = |stats: RepairStats| -> Result<RepairStats, ImdppError> {
+            *self.maintained.lock().map_err(|_| ImdppError::Poisoned {
+                what: "maintained-solution lock",
+            })? = None;
             self.metrics.maintain_full_resolves.incr();
-            stats
+            Ok(stats)
         };
         let full_resolve = RepairStats {
             seeds_retained: 0,
@@ -657,10 +690,11 @@ impl Engine {
             outcome.retained,
             instance,
         );
-        *self.maintained.lock().expect("maintained lock poisoned") =
-            Some(MaintainedSolution { epoch, report });
+        *self.maintained.lock().map_err(|_| ImdppError::Poisoned {
+            what: "maintained-solution lock",
+        })? = Some(MaintainedSolution { epoch, report });
         self.metrics.maintain_repairs.incr();
-        stats
+        Ok(stats)
     }
 }
 

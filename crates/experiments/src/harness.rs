@@ -260,6 +260,8 @@ pub fn run_algorithm(
         )),
         _ => None,
     };
+    // lint: allow(clock) — wall-clock measurement reported as the run's
+    // `seconds` column (paper Fig. 13); never feeds algorithm decisions.
     let start = Instant::now();
     let seeds = match (&engine, kind) {
         (Some(engine), _) => engine.solve(),
@@ -328,6 +330,8 @@ pub fn run_dysim_with_ordering(
         ..config.dysim_config()
     };
     let engine = engine_for(instance, dysim_config);
+    // lint: allow(clock) — wall-clock measurement reported as the run's
+    // `seconds` column (paper Fig. 11); never feeds algorithm decisions.
     let start = Instant::now();
     let seeds = engine.solve();
     let seconds = start.elapsed().as_secs_f64();

@@ -99,7 +99,7 @@ pub fn label_propagation(
                 }
             }
             if let Some((&best, _)) = mass
-                .iter()
+                .iter() // lint: allow(hash-order) — tie-break compares keys; winner is order-free.
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
             {
                 if best != labels[i] {

@@ -84,6 +84,7 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> CsrGraph {
         // order varies per process, and it feeds back into `endpoints`, so
         // without sorting the *structure* would differ run to run for the
         // same seed.
+        // lint: allow(hash-order) — collected and sorted right below.
         let mut chosen: Vec<u32> = chosen.into_iter().collect();
         chosen.sort_unstable();
         for t in chosen {
@@ -151,6 +152,9 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
         }
     }
     let mut edges = Vec::new();
+    // lint: allow(hash-order) — the outer loop walks the Vec in index
+    // order; each per-node HashSet is collected and sorted below before
+    // any edge is emitted.
     for (u, nu) in neighbours.iter().enumerate() {
         // Emit the adjacency in sorted order: `HashSet` iteration order
         // varies per process, and CSR bucketing preserves input order, so

@@ -136,6 +136,8 @@ impl KnowledgeGraph {
             }
         }
         // Each undirected fact was stored twice.
+        // lint: allow(hash-order) — in-place halving of every value; the
+        // visit order cannot affect the result.
         for c in counts.values_mut() {
             *c /= 2;
         }

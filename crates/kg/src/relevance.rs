@@ -41,7 +41,14 @@ impl RelevanceMatrix {
     /// symmetrised by storing each pair in both rows.
     pub fn from_pairs(item_count: usize, pairs: &HashMap<(u32, u32), f64>) -> Self {
         let mut rows: Vec<Vec<(ItemId, f64)>> = vec![Vec::new(); item_count];
-        for (&(a, b), &score) in pairs {
+        // Iterate in key order: with duplicate pairs (e.g. both (a,b) and
+        // (b,a) present) the dedup below keeps the first row entry, and
+        // `sort_unstable` gives no order guarantee among equal keys — so
+        // hash order could pick the surviving score.
+        // lint: allow(hash-order) — collected and sorted before use.
+        let mut entries: Vec<(&(u32, u32), &f64)> = pairs.iter().collect();
+        entries.sort_unstable_by_key(|(&k, _)| k);
+        for (&(a, b), &score) in entries {
             let s = score.clamp(0.0, 1.0);
             if s <= 0.0 || a == b {
                 continue;
@@ -229,6 +236,8 @@ impl RelevanceModel {
             .map(|x| mg.self_count(kg, kg.item_node(x)) as f64)
             .collect();
         let mut scores: HashMap<(u32, u32), f64> = HashMap::with_capacity(counts.len());
+        // lint: allow(hash-order) — each distinct key is written exactly once
+        // into `scores`; no accumulation, so visit order cannot matter.
         for ((a, b), c) in counts {
             let denom = self_counts[a as usize] + self_counts[b as usize];
             if denom > 0.0 {

@@ -1,0 +1,163 @@
+//! The inline escape hatch: `// lint: allow(<rule>) — <justification>`.
+//!
+//! Deny-by-default only works if the escape hatch forces a *recorded
+//! decision*: every allow must name the rule it silences and say why the
+//! site is sound.  An allow with no justification is itself a finding, and
+//! so is an allow that no finding consumed (`unused-allow`) — stale
+//! suppressions are how invariants rot silently.
+//!
+//! Placement: on the flagged line as a trailing comment, or on its own
+//! comment line in the comment block immediately above the flagged line
+//! (several allows may stack, one per line).
+
+use crate::lexer::{Comment, Lexed};
+use std::collections::BTreeSet;
+
+/// One parsed allow annotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the annotation comment sits on.
+    pub line: usize,
+    /// The rules it silences (comma-separated in the source).
+    pub rules: Vec<String>,
+    /// The justification text after the separator.
+    pub justification: String,
+    /// Whether the justification was present and non-empty.
+    pub justified: bool,
+}
+
+/// All allows in one file, plus the set of lines that hold code (needed to
+/// walk comment blocks upward).
+#[derive(Debug, Default)]
+pub struct Allows {
+    allows: Vec<Allow>,
+    code_lines: BTreeSet<usize>,
+}
+
+impl Allows {
+    pub fn parse(lexed: &Lexed) -> Allows {
+        Allows {
+            allows: lexed.comments.iter().filter_map(parse_comment).collect(),
+            code_lines: lexed.code_lines(),
+        }
+    }
+
+    /// Every parsed allow (for unused / unjustified reporting).
+    pub fn all(&self) -> &[Allow] {
+        &self.allows
+    }
+
+    /// Finds an allow for `rule` covering `line`: trailing on the line
+    /// itself, or in the contiguous comment-only block directly above.
+    /// Returns the allow's index so callers can mark it used.
+    pub fn covering(&self, rule: &str, line: usize) -> Option<usize> {
+        // Trailing allow on the flagged line.
+        if let Some(ix) = self.at_line(rule, line) {
+            return Some(ix);
+        }
+        // Walk upward through comment-only lines.
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.code_lines.contains(&l) {
+                break;
+            }
+            if let Some(ix) = self.at_line(rule, l) {
+                return Some(ix);
+            }
+        }
+        None
+    }
+
+    fn at_line(&self, rule: &str, line: usize) -> Option<usize> {
+        self.allows
+            .iter()
+            .position(|a| a.line == line && a.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parses `lint: allow(rule-a, rule-b) — justification` out of a comment
+/// body.  The separator may be an em/en dash or a plain hyphen; what matters
+/// is that a non-empty justification follows.
+fn parse_comment(comment: &Comment) -> Option<Allow> {
+    let text = comment.text.trim();
+    let rest = text.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim();
+    Some(Allow {
+        line: comment.line,
+        rules,
+        justification: tail.to_string(),
+        justified: !tail.is_empty(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn allows(src: &str) -> Allows {
+        Allows::parse(&lex(src))
+    }
+
+    #[test]
+    fn parses_rule_and_justification() {
+        let a = allows("// lint: allow(hash-order) — sorted right below\nx();\n");
+        assert_eq!(a.all().len(), 1);
+        assert_eq!(a.all()[0].rules, vec!["hash-order"]);
+        assert!(a.all()[0].justified);
+        assert_eq!(a.all()[0].justification, "sorted right below");
+    }
+
+    #[test]
+    fn plain_hyphen_separator_is_accepted() {
+        let a = allows("// lint: allow(clock) - bench timing\nx();\n");
+        assert!(a.all()[0].justified);
+    }
+
+    #[test]
+    fn missing_justification_is_flagged_not_silently_accepted() {
+        let a = allows("// lint: allow(clock)\nx();\n");
+        assert_eq!(a.all().len(), 1);
+        assert!(!a.all()[0].justified);
+    }
+
+    #[test]
+    fn covers_trailing_and_block_above() {
+        let src = "\
+fn f() {
+    // lint: allow(clock) — span timing
+    // more prose
+    now();
+    later(); // lint: allow(spawn) — harness thread
+}
+";
+        let a = allows(src);
+        assert!(a.covering("clock", 4).is_some());
+        assert!(a.covering("spawn", 5).is_some());
+        // The allow does not leak past intervening code lines.
+        assert!(a.covering("clock", 5).is_none());
+    }
+
+    #[test]
+    fn multiple_rules_per_allow() {
+        let a = allows("// lint: allow(clock, spawn) — harness does both\nx();\n");
+        assert!(a.covering("clock", 2).is_some());
+        assert!(a.covering("spawn", 2).is_some());
+        assert!(a.covering("hash-order", 2).is_none());
+    }
+}

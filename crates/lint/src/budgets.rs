@@ -1,0 +1,158 @@
+//! Panic budgets: checked-in per-crate ceilings for `.unwrap()` /
+//! `.expect(…)` / `panic!` sites, mirroring the `allow(deprecated)` budget
+//! that ratcheted to 0 in PR 3.
+//!
+//! The file format is a minimal TOML subset (one `[panics]` table of
+//! `key = integer` lines) parsed by hand — the lint is zero-dependency by
+//! policy.  Budgets may only ratchet down; CI compares the committed file
+//! against a freshly regenerated one and fails if any key loosened.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parsed budgets: budget-key (crate name or pseudo-crate) → max panic sites.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Budgets {
+    pub panics: BTreeMap<String, usize>,
+}
+
+/// A parse failure with the offending line (1-based).
+#[derive(Debug, PartialEq, Eq)]
+pub struct BudgetParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for BudgetParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-budgets.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Budgets {
+    /// Parses the budgets file.  Unknown sections are rejected rather than
+    /// skipped — a typoed `[panic]` section silently enforcing nothing is
+    /// exactly the failure mode a budget file must not have.
+    pub fn parse(source: &str) -> Result<Budgets, BudgetParseError> {
+        let mut budgets = Budgets::default();
+        let mut in_panics = false;
+        for (ix, raw) in source.lines().enumerate() {
+            let lineno = ix + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let name = section.strip_suffix(']').ok_or(BudgetParseError {
+                    line: lineno,
+                    message: "unterminated section header".to_string(),
+                })?;
+                if name.trim() != "panics" {
+                    return Err(BudgetParseError {
+                        line: lineno,
+                        message: format!("unknown section [{}] (only [panics] is defined)", name),
+                    });
+                }
+                in_panics = true;
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BudgetParseError {
+                    line: lineno,
+                    message: "expected `key = <integer>`".to_string(),
+                });
+            };
+            if !in_panics {
+                return Err(BudgetParseError {
+                    line: lineno,
+                    message: "entry before the [panics] section".to_string(),
+                });
+            }
+            let key = key.trim().trim_matches('"').to_string();
+            let value: usize = value.trim().parse().map_err(|_| BudgetParseError {
+                line: lineno,
+                message: format!("budget for `{}` is not a non-negative integer", key),
+            })?;
+            if budgets.panics.insert(key.clone(), value).is_some() {
+                return Err(BudgetParseError {
+                    line: lineno,
+                    message: format!("duplicate budget for `{}`", key),
+                });
+            }
+        }
+        Ok(budgets)
+    }
+
+    /// Renders the canonical file contents for `--update-budgets`.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Panic budgets enforced by `imdpp-lint` (rule: panic-budget).\n\
+             #\n\
+             # Each entry caps the number of `.unwrap()` / `.expect(...)` / `panic!`\n\
+             # sites in that crate (pseudo-crates: `suite` = src/, `tests`, `examples`).\n\
+             # Budgets may only ratchet DOWN; CI fails if a regenerated file loosens\n\
+             # any entry. Regenerate after removing sites with:\n\
+             #   cargo run -p imdpp-lint --release -- --workspace --update-budgets\n\
+             \n[panics]\n",
+        );
+        for (key, value) in &self.panics {
+            let _ = writeln!(out, "{} = {}", key, value);
+        }
+        out
+    }
+
+    /// Keys whose budget loosened (grew) in `new` relative to `self`, with
+    /// (old, new) counts.  New keys are fine — a new crate starts at its
+    /// measured count; only existing ceilings are one-way.
+    pub fn loosened_in(&self, new: &Budgets) -> Vec<(String, usize, usize)> {
+        let mut out = Vec::new();
+        for (key, old) in &self.panics {
+            if let Some(newer) = new.panics.get(key) {
+                if newer > old {
+                    out.push((key.clone(), *old, *newer));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_sections_and_entries() {
+        let src = "# header\n[panics]\ncore = 3  # inline comment\nengine = 0\n";
+        let b = Budgets::parse(src).expect("parses");
+        assert_eq!(b.panics.get("core"), Some(&3));
+        assert_eq!(b.panics.get("engine"), Some(&0));
+    }
+
+    #[test]
+    fn rejects_typoed_section_and_bare_entries() {
+        assert!(Budgets::parse("[panic]\ncore = 3\n").is_err());
+        assert!(Budgets::parse("core = 3\n").is_err());
+        assert!(Budgets::parse("[panics]\ncore = -1\n").is_err());
+        assert!(Budgets::parse("[panics]\ncore = 3\ncore = 4\n").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let mut b = Budgets::default();
+        b.panics.insert("core".to_string(), 12);
+        b.panics.insert("tests".to_string(), 40);
+        let again = Budgets::parse(&b.render()).expect("rendered file parses");
+        assert_eq!(b, again);
+    }
+
+    #[test]
+    fn loosening_is_directional() {
+        let old = Budgets::parse("[panics]\ncore = 3\nengine = 5\n").expect("old");
+        let tightened =
+            Budgets::parse("[panics]\ncore = 2\nengine = 5\nnewcrate = 9\n").expect("new");
+        assert!(old.loosened_in(&tightened).is_empty());
+        let loosened = Budgets::parse("[panics]\ncore = 4\nengine = 5\n").expect("loose");
+        assert_eq!(old.loosened_in(&loosened), vec![("core".to_string(), 3, 4)]);
+    }
+}

@@ -1,0 +1,425 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The linter needs to see identifiers, punctuation and comments with
+//! accurate line numbers while *never* mistaking the inside of a string
+//! literal or a doc comment for code (rustdoc examples are full of
+//! `unwrap()` calls that must not count against panic budgets).  That is a
+//! far smaller job than parsing Rust, so — consistent with the workspace's
+//! offline-shim policy of zero external dependencies — this module lexes by
+//! hand instead of pulling in `syn` or a `rustc` driver.
+//!
+//! What it understands:
+//! * line comments (`//`, `///`, `//!`) and nested block comments,
+//! * string, raw-string (any number of `#`s), byte-string and char
+//!   literals, including escapes,
+//! * lifetimes vs. char literals (`'a` vs `'a'`),
+//! * identifiers (with `r#` raw prefixes), numbers, and one- or two-char
+//!   operators (`::`, `+=`, …).
+//!
+//! What it does not try to do: macro expansion, type resolution, or any
+//! nesting-aware grammar beyond bracket depth.  The rules in
+//! [`crate::rules`] are explicitly heuristic over this token stream; the
+//! dynamic determinism grid remains the ground-truth check.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token text (operators are normalized, e.g. `+=`).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+/// Coarse token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Integer or float literal.
+    Number,
+    /// String / raw string / byte string / char literal (text excluded).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// Operator or delimiter, possibly two characters (`::`, `+=`, `->`).
+    Punct,
+}
+
+/// A comment with its location; `text` excludes the comment markers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment body (for block comments, the whole body with newlines).
+    pub text: String,
+}
+
+/// The output of lexing one file: the code tokens and, separately, every
+/// comment (the annotation escape hatch lives in comments).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Lines that contain at least one code token (used to decide whether a
+    /// line is comment-only when walking annotations upward).
+    pub fn code_lines(&self) -> std::collections::BTreeSet<usize> {
+        self.tokens.iter().map(|t| t.line).collect()
+    }
+}
+
+/// Two-character operators the lexer keeps together.  Order matters only in
+/// that all entries are checked before falling back to single chars.
+const TWO_CHAR_OPS: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+    "|=", "<<", ">>", "..",
+];
+
+/// Lexes `source` into tokens and comments.  Unterminated literals are
+/// tolerated (the rest of the file becomes one literal token) — the linter
+/// must never panic on weird input, it is itself under the panic budget.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                // Skip doc-comment markers so `/// text` yields `text`.
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                let mut body = &source[start..j];
+                body = body.strip_prefix(['/', '!']).unwrap_or(body);
+                out.comments.push(Comment {
+                    line,
+                    text: body.trim().to_string(),
+                });
+                i = j;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                let mut body = &source[start..end.min(source.len())];
+                body = body.strip_prefix(['*', '!']).unwrap_or(body);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: body.trim().to_string(),
+                });
+                i = j;
+            }
+            '"' => {
+                let (next_i, next_line) = skip_string(source, i, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                line = next_line;
+                i = next_i;
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(bytes, i) => {
+                let start_line = line;
+                let (next_i, next_line) = skip_prefixed_literal(source, i, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+                line = next_line;
+                i = next_i;
+            }
+            '\'' => {
+                // Lifetime (`'a` not closed by `'`) vs. char literal.
+                if is_lifetime(bytes, i) {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_char(bytes[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[i..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let (next_i, next_line) = skip_char_literal(source, i, line);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                    line = next_line;
+                    i = next_i;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                // Good enough for linting: digits, `_`, `.`, exponents and
+                // type suffixes all glue into one number token.
+                while j < bytes.len()
+                    && (is_ident_char(bytes[j])
+                        || bytes[j] == b'.' && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()))
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: source[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_char(bytes[j]) {
+                    j += 1;
+                }
+                let mut text = &source[i..j];
+                text = text.strip_prefix("r#").unwrap_or(text);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: text.to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                let two = source.get(i..i + 2);
+                if let Some(op) = two.filter(|t| TWO_CHAR_OPS.contains(t)) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: op.to_string(),
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b == b'_' || (b as char).is_ascii_alphanumeric()
+}
+
+/// `'a` / `'static` (a lifetime) iff the quote is followed by an identifier
+/// char that is *not* itself closed by a quote (`'a'` is a char literal).
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b) if is_ident_char(b) => bytes.get(i + 2) != Some(&b'\''),
+        _ => false,
+    }
+}
+
+/// Does `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'` start here?  A bare
+/// identifier starting with `r`/`b` (e.g. `rng`) does not.
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // b"…" / b'…'
+    bytes[i] == b'b' && matches!(bytes.get(j), Some(&b'"') | Some(&b'\''))
+}
+
+/// Skips a `"…"` literal starting at `i`; returns (next index, next line).
+fn skip_string(source: &str, i: usize, mut line: usize) -> (usize, usize) {
+    let bytes = source.as_bytes();
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, line),
+            _ => j += 1,
+        }
+    }
+    (j, line)
+}
+
+/// Skips `r#"…"#`-style raw strings and `b"…"` / `b'…'` byte literals.
+fn skip_prefixed_literal(source: &str, i: usize, mut line: usize) -> (usize, usize) {
+    let bytes = source.as_bytes();
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        let mut hashes = 0usize;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        while j < bytes.len() {
+            if bytes[j] == b'\n' {
+                line += 1;
+                j += 1;
+            } else if bytes[j] == b'"' && source.as_bytes()[j..].starts_with(&closer) {
+                return (j + closer.len(), line);
+            } else {
+                j += 1;
+            }
+        }
+        (j, line)
+    } else if bytes.get(j) == Some(&b'\'') {
+        // b'x' byte char
+        let (ni, nl) = skip_char_literal(source, j, line);
+        (ni, nl)
+    } else {
+        // b"…"
+        let (ni, nl) = skip_string(source, j, line);
+        (ni, nl)
+    }
+}
+
+/// Skips a `'x'` / `'\n'` char literal starting at the quote.
+fn skip_char_literal(source: &str, i: usize, line: usize) -> (usize, usize) {
+    let bytes = source.as_bytes();
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&b'\\') {
+        j += 2;
+    } else if j < bytes.len() {
+        // Possibly multi-byte UTF-8: advance one char.
+        let rest = &source[j..];
+        j += rest.chars().next().map_or(1, |c| c.len_utf8());
+    }
+    if bytes.get(j) == Some(&b'\'') {
+        j += 1;
+    }
+    (j, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let lexed = lex("// calls unwrap()\nlet x = 1; /* expect( */\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, "calls unwrap()");
+        assert!(!idents("// unwrap\nfoo();").contains(&"unwrap".to_string()));
+        assert!(lexed.tokens.iter().all(|t| t.text != "expect"));
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped() {
+        let lexed = lex("/// doc unwrap()\n//! inner\nfn f() {}\n");
+        assert_eq!(lexed.comments[0].text, "doc unwrap()");
+        assert_eq!(lexed.comments[1].text, "inner");
+        assert_eq!(idents("/// doc\nfn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn strings_and_chars_hide_their_content() {
+        let src = r#"let s = "unwrap() // not a comment"; let c = '"'; let l: &'static str = x;"#;
+        let names = idents(src);
+        assert!(!names.contains(&"unwrap".to_string()));
+        assert!(names.contains(&"static".to_string()) || !names.is_empty());
+        // The lifetime is lexed as a lifetime, not a char literal.
+        let lexed = lex(src);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"panic!("inside")"#; after();"##;
+        let names = idents(src);
+        assert!(!names.contains(&"panic".to_string()));
+        assert!(names.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn two_char_ops_stay_together() {
+        let toks = lex("a += b::c;");
+        let ops: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ops, vec!["+=", "::", ";"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* b\nc */\nfn f() {}\n";
+        let lexed = lex(src);
+        let f = lexed.tokens.iter().find(|t| t.text == "f").unwrap();
+        assert_eq!(f.line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn g() {}";
+        assert_eq!(idents(src), vec!["fn", "g"]);
+    }
+}

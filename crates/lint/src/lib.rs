@@ -1,0 +1,198 @@
+//! `imdpp-lint`: the workspace static-analysis pass that enforces the
+//! project's determinism, atomics, clock/spawn and error-handling
+//! invariants at `cargo` time.
+//!
+//! The guarantee the test suite proves dynamically — bit-identical
+//! estimates, seeds, `RefreshStats` and telemetry counters across the
+//! shards × threads grid — has only ever been broken by patterns that were
+//! visible statically (PR 1: `HashSet` iteration feeding RNG/edge order;
+//! PR 7: an accumulated float gain sum diverging by ulps from the oracle).
+//! This crate walks the workspace sources with a hand-rolled tokenizer
+//! (zero dependencies, consistent with the offline-shim policy — no
+//! syn/dylint) and denies those patterns by default; the escape hatch is an
+//! inline `// lint: allow(<rule>) — <justification>` annotation, which is
+//! itself linted (it must be justified, and must actually suppress
+//! something).  See `docs/INVARIANTS.md` for the rule catalogue.
+
+pub mod annotations;
+pub mod budgets;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use budgets::Budgets;
+use report::PanicCount;
+use rules::Finding;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The source trees the lint walks, relative to the repo root.
+const WALK_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Subtrees excluded from the walk: the lint's own fixture corpus (its
+/// files violate rules on purpose) and the offline third-party shims
+/// (stand-ins for external crates, not project code).
+const WALK_EXCLUDES: &[&str] = &["crates/lint/tests", "shims"];
+
+/// Everything one workspace pass produces.
+#[derive(Debug, Default)]
+pub struct WorkspaceLint {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Per-budget-key panic counts versus their budgets.
+    pub panic_counts: Vec<PanicCount>,
+    /// Per-file panic site counts (feeds `--update-budgets`).
+    pub panic_sites_per_file: BTreeMap<String, usize>,
+    pub files_scanned: usize,
+}
+
+/// Collects the repo-relative paths (forward slashes) of every `.rs` file
+/// the lint covers, sorted — the walk order is part of the report contract.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for tree in WALK_ROOTS {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            walk(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let rel = rel_path(root, &path);
+        if WALK_EXCLUDES
+            .iter()
+            .any(|x| rel == *x || rel.starts_with(&format!("{x}/")))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs the full pass: per-file rules, panic budgets, repo hygiene.
+pub fn lint_workspace(root: &Path, budgets: &Budgets) -> io::Result<WorkspaceLint> {
+    let mut ws = WorkspaceLint::default();
+    for rel in collect_sources(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let file = rules::lint_file(&rel, &source);
+        ws.findings.extend(file.findings);
+        ws.panic_sites_per_file.insert(rel, file.panic_sites.len());
+        ws.files_scanned += 1;
+    }
+
+    ws.panic_counts = report::panic_counts(&ws.panic_sites_per_file, budgets);
+    for p in &ws.panic_counts {
+        match p.budget {
+            None => ws.findings.push(Finding {
+                rule: rules::RULE_PANIC_BUDGET,
+                path: "lint-budgets.toml".to_string(),
+                line: 1,
+                message: format!(
+                    "`{}` has {} panic site(s) but no budget — pin it with --update-budgets",
+                    p.key, p.count
+                ),
+            }),
+            Some(b) if p.count > b => ws.findings.push(Finding {
+                rule: rules::RULE_PANIC_BUDGET,
+                path: "lint-budgets.toml".to_string(),
+                line: 1,
+                message: format!(
+                    "`{}` has {} panic site(s), over its budget of {} — convert \
+                     unwrap/expect to typed errors (budgets only ratchet down)",
+                    p.key, p.count, b
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    check_repo_hygiene(root, &mut ws.findings);
+
+    ws.findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(ws)
+}
+
+/// The repo-hygiene rule: the tracked `results/bench_*.json` summaries must
+/// be un-ignored explicitly.  A bare `/results` dir-ignore makes git refuse
+/// to descend, so the negation only works as `/results/*` + a `!` pattern —
+/// without it, fresh clones need `git add -f` and CI artifact diffs rot.
+fn check_repo_hygiene(root: &Path, findings: &mut Vec<Finding>) {
+    let gitignore = match fs::read_to_string(root.join(".gitignore")) {
+        Ok(s) => s,
+        Err(_) => {
+            findings.push(Finding {
+                rule: rules::RULE_REPO_HYGIENE,
+                path: ".gitignore".to_string(),
+                line: 1,
+                message: "missing .gitignore at the workspace root".to_string(),
+            });
+            return;
+        }
+    };
+    let lines: Vec<&str> = gitignore.lines().map(str::trim).collect();
+    let has_unignore = lines
+        .iter()
+        .any(|l| *l == "!/results/bench_*.json" || *l == "!results/bench_*.json");
+    if !has_unignore {
+        findings.push(Finding {
+            rule: rules::RULE_REPO_HYGIENE,
+            path: ".gitignore".to_string(),
+            line: 1,
+            message: "tracked bench summaries need `!/results/bench_*.json` so fresh \
+                      clones do not require `git add -f`"
+                .to_string(),
+        });
+    }
+    // A dir-level ignore defeats the negation: git never descends into an
+    // ignored directory, so `!…/bench_*.json` under `/results` is dead.
+    if let Some(ix) = lines
+        .iter()
+        .position(|l| matches!(*l, "/results" | "results" | "results/" | "/results/"))
+    {
+        findings.push(Finding {
+            rule: rules::RULE_REPO_HYGIENE,
+            path: ".gitignore".to_string(),
+            line: ix + 1,
+            message: "dir-level `/results` ignore blocks the bench_*.json un-ignore; \
+                      use `/results/*` so git still descends"
+                .to_string(),
+        });
+    }
+}
+
+/// Budgets regenerated from the measured counts (`--update-budgets`).
+pub fn measured_budgets(ws: &WorkspaceLint) -> Budgets {
+    let mut by_key: BTreeMap<String, usize> = BTreeMap::new();
+    for (path, count) in &ws.panic_sites_per_file {
+        *by_key.entry(rules::budget_key(path)).or_insert(0) += count;
+    }
+    Budgets { panics: by_key }
+}

@@ -1,0 +1,188 @@
+//! CLI for `imdpp-lint`.
+//!
+//! ```text
+//! imdpp-lint --workspace [--root PATH] [--json PATH] [--update-budgets]
+//! imdpp-lint compare-budgets OLD NEW
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or loosened budgets), 2 usage/IO error.
+
+use imdpp_lint::budgets::Budgets;
+use imdpp_lint::{lint_workspace, measured_budgets, report};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BUDGETS_FILE: &str = "lint-budgets.toml";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  imdpp-lint --workspace [--root PATH] [--json PATH] [--update-budgets]\n  \
+         imdpp-lint compare-budgets OLD NEW"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare-budgets") {
+        return compare_budgets(&args[1..]);
+    }
+
+    let mut workspace = false;
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut update_budgets = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--update-budgets" => update_budgets = true,
+            _ => return usage(),
+        }
+    }
+    if !workspace {
+        return usage();
+    }
+
+    // Locate the workspace root: accept --root directly, or walk up from
+    // the CWD (cargo run sets CWD to the invocation dir, not the root).
+    let root = match find_root(&root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "imdpp-lint: no workspace root (Cargo.toml with [workspace]) at or above {}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let budgets_path = root.join(BUDGETS_FILE);
+    let mut budgets = match fs::read_to_string(&budgets_path) {
+        Ok(src) => match Budgets::parse(&src) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("imdpp-lint: {}", e);
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) if update_budgets => Budgets::default(),
+        Err(e) => {
+            eprintln!("imdpp-lint: cannot read {}: {}", budgets_path.display(), e);
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_budgets {
+        // Measure first, pin, then lint against the pinned file so the run
+        // that wrote the budgets also validates them.
+        match lint_workspace(&root, &budgets) {
+            Ok(ws) => {
+                budgets = measured_budgets(&ws);
+                if let Err(e) = fs::write(&budgets_path, budgets.render()) {
+                    eprintln!("imdpp-lint: cannot write {}: {}", budgets_path.display(), e);
+                    return ExitCode::from(2);
+                }
+                println!(
+                    "pinned {} budgets in {}",
+                    budgets.panics.len(),
+                    BUDGETS_FILE
+                );
+            }
+            Err(e) => {
+                eprintln!("imdpp-lint: {}", e);
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let ws = match lint_workspace(&root, &budgets) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("imdpp-lint: {}", e);
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(json_path) = &json_path {
+        let json = report::render_json(&ws.findings, &ws.panic_counts);
+        if let Some(parent) = json_path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(e) = fs::write(json_path, json) {
+            eprintln!("imdpp-lint: cannot write {}: {}", json_path.display(), e);
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &ws.findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    println!(
+        "imdpp-lint: {} file(s), {} finding(s), {} panic budget key(s)",
+        ws.files_scanned,
+        ws.findings.len(),
+        ws.panic_counts.len()
+    );
+    if ws.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn compare_budgets(args: &[String]) -> ExitCode {
+    let [old_path, new_path] = args else {
+        return usage();
+    };
+    let read = |p: &String| -> Result<Budgets, String> {
+        let src = fs::read_to_string(p).map_err(|e| format!("cannot read {}: {}", p, e))?;
+        Budgets::parse(&src).map_err(|e| e.to_string())
+    };
+    let (old, new) = match (read(old_path), read(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("imdpp-lint: {}", e);
+            return ExitCode::from(2);
+        }
+    };
+    let loosened = old.loosened_in(&new);
+    if loosened.is_empty() {
+        println!("budgets ok: no entry loosened ({} keys)", new.panics.len());
+        ExitCode::SUCCESS
+    } else {
+        for (key, o, n) in &loosened {
+            eprintln!(
+                "budget loosened: {} {} -> {} (budgets only ratchet down)",
+                key, o, n
+            );
+        }
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from `start` to the first directory whose Cargo.toml declares a
+/// `[workspace]`.
+fn find_root(start: &std::path::Path) -> Option<PathBuf> {
+    let mut dir = fs::canonicalize(start).ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(src) = fs::read_to_string(&manifest) {
+            if src.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

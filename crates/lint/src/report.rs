@@ -1,0 +1,123 @@
+//! The machine-readable findings report CI uploads as an artifact.
+//!
+//! Hand-rolled JSON (the lint is zero-dependency): findings sorted by
+//! (path, line, rule) plus the per-crate panic counts versus their budgets,
+//! so a CI artifact diff shows exactly what changed between runs.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Panic-count summary for one budget key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicCount {
+    pub key: String,
+    pub count: usize,
+    /// `None` when the key has no entry in lint-budgets.toml.
+    pub budget: Option<usize>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full report. `findings` must already be in report order.
+pub fn render_json(findings: &[Finding], panics: &[PanicCount]) -> String {
+    let mut out = String::from("{\n  \"tool\": \"imdpp-lint\",\n  \"findings\": [\n");
+    for (ix, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        );
+        out.push_str(if ix + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"panic_counts\": {\n");
+    for (ix, p) in panics.iter().enumerate() {
+        let budget = match p.budget {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "    \"{}\": {{\"count\": {}, \"budget\": {}}}",
+            json_escape(&p.key),
+            p.count,
+            budget
+        );
+        out.push_str(if ix + 1 < panics.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Groups per-file panic site counts into per-budget-key totals.
+pub fn panic_counts(
+    per_file: &BTreeMap<String, usize>,
+    budgets: &crate::budgets::Budgets,
+) -> Vec<PanicCount> {
+    let mut by_key: BTreeMap<String, usize> = BTreeMap::new();
+    for (path, count) in per_file {
+        *by_key.entry(crate::rules::budget_key(path)).or_insert(0) += count;
+    }
+    by_key
+        .into_iter()
+        .map(|(key, count)| PanicCount {
+            budget: budgets.panics.get(&key).copied(),
+            key,
+            count,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn renders_valid_shape_and_escapes() {
+        let findings = vec![Finding {
+            rule: "clock",
+            path: "crates/engine/src/lib.rs".to_string(),
+            line: 7,
+            message: "say \"why\"\nplease".to_string(),
+        }];
+        let panics = vec![PanicCount {
+            key: "engine".to_string(),
+            count: 3,
+            budget: Some(5),
+        }];
+        let json = render_json(&findings, &panics);
+        assert!(json.contains("\"rule\": \"clock\""));
+        assert!(json.contains("say \\\"why\\\"\\nplease"));
+        assert!(json.contains("\"engine\": {\"count\": 3, \"budget\": 5}"));
+        // Balanced braces as a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_report_is_still_valid() {
+        let json = render_json(&[], &[]);
+        assert!(json.contains("\"findings\": [\n  ]"));
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: an unannotated relaxed site and a SeqCst site that tries (and
+// fails) to annotate itself away.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn read(counter: &AtomicU64) -> u64 {
+    // lint: allow(atomic-seqcst) — trying to sneak past the denylist
+    counter.load(Ordering::SeqCst)
+}

@@ -1,0 +1,20 @@
+// Fixture: code that follows every invariant — sorted iteration, exact
+// value installation, integer counters, no clocks, no threads.
+// Linted as if it lived at crates/core/src/nominees.rs (the strictest scope).
+use std::collections::BTreeMap;
+
+fn greedy(oracle: &dyn Oracle, universe: &[usize]) -> f64 {
+    let mut current_value = 0.0;
+    let mut evaluations = 0usize;
+    let mut scores: BTreeMap<usize, f64> = BTreeMap::new();
+    for &candidate in universe {
+        let value_with = oracle.value_with(candidate);
+        evaluations += 1;
+        scores.insert(candidate, value_with);
+        if value_with > current_value {
+            current_value = value_with;
+        }
+    }
+    let _ = evaluations;
+    current_value
+}

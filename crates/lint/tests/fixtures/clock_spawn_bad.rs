@@ -1,0 +1,10 @@
+// Fixture: clock reads and thread creation outside their allowed homes.
+// Linted as if it lived at crates/engine/src/fixture.rs.
+use std::time::Instant;
+
+fn adaptive_step() -> u64 {
+    let started = Instant::now();
+    let worker = std::thread::spawn(|| 41);
+    let answer = worker.join().unwrap();
+    answer + started.elapsed().as_secs()
+}

@@ -1,0 +1,11 @@
+// Fixture: accumulated float gains on a selection path.
+// Linted as if it lived at crates/core/src/nominees.rs.
+
+fn greedy(oracle: &dyn Oracle, universe: &[usize]) -> f64 {
+    let mut current_value = 0.0;
+    for &candidate in universe {
+        let gain = oracle.value_with(candidate) - current_value;
+        current_value += gain;
+    }
+    current_value
+}

@@ -1,0 +1,15 @@
+// Fixture: hash-container iteration in a determinism-scoped crate.
+// Linted as if it lived at crates/graph/src/fixture.rs.
+use std::collections::{HashMap, HashSet};
+
+fn endpoints_from_hash_iteration(picked: HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for t in picked {
+        out.push(t);
+    }
+    out
+}
+
+fn degree_sum(adjacency: &HashMap<u32, Vec<u32>>) -> usize {
+    adjacency.values().map(|nbrs| nbrs.len()).sum()
+}

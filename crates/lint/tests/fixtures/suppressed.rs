@@ -1,0 +1,16 @@
+// Fixture: the same hazards as the bad fixtures, silenced by justified
+// annotations.  Linted as if it lived at crates/graph/src/fixture.rs.
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn sorted_endpoints(picked: HashSet<u32>) -> Vec<u32> {
+    // lint: allow(hash-order) — collected and sorted right below.
+    let mut out: Vec<u32> = picked.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+fn bump(counter: &AtomicU64) {
+    // lint: allow(atomic-ordering) — independent counter, no ordering needed.
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -49,12 +49,19 @@ impl Default for HistCell {
 impl HistCell {
     #[inline]
     pub(crate) fn record(&self, value: u64) {
+        // lint: allow(atomic-ordering) — each cell is an independent
+        // statistic; no cross-cell invariant needs publishing, so relaxed
+        // RMWs suffice (the documented obs policy).
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // lint: allow(atomic-ordering) — independent statistic, see above.
         self.sum.fetch_add(value, Ordering::Relaxed);
+        // lint: allow(atomic-ordering) — independent statistic, see above.
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     pub(crate) fn count(&self) -> u64 {
+        // lint: allow(atomic-ordering) — monotone counters; a torn
+        // cross-bucket view only ever under-counts in-flight records.
         self.buckets.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
@@ -68,11 +75,15 @@ impl HistCell {
             .iter()
             .enumerate()
             .filter_map(|(i, c)| {
+                // lint: allow(atomic-ordering) — snapshots are advisory; a
+                // concurrent record may or may not be included, and relaxed
+                // loads of monotone cells never invent values.
                 let count = c.load(Ordering::Relaxed);
                 (count > 0).then_some((i as u8, count))
             })
             .collect();
         let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        // lint: allow(atomic-ordering) — advisory snapshot read, see above.
         let max = self.max.load(Ordering::Relaxed);
         let quantile = |q: f64| -> u64 {
             if count == 0 {
@@ -92,6 +103,7 @@ impl HistCell {
         HistogramSnapshot {
             name: name.to_string(),
             count,
+            // lint: allow(atomic-ordering) — advisory snapshot read, see above.
             sum: self.sum.load(Ordering::Relaxed),
             max,
             p50: quantile(0.50),

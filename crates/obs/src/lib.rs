@@ -159,6 +159,9 @@ impl Telemetry {
             map.lock()
                 .expect("telemetry registry poisoned")
                 .iter()
+                // lint: allow(atomic-ordering) — snapshot of independent
+                // cells; the registry lock orders the map itself, and a
+                // relaxed load of each monotone cell never invents values.
                 .map(|(&name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
                 .collect()
         };
@@ -190,6 +193,8 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.0 {
+            // lint: allow(atomic-ordering) — independent monotone counter;
+            // nothing is published through it, so a relaxed RMW suffices.
             cell.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -204,6 +209,8 @@ impl Counter {
     pub fn value(&self) -> u64 {
         self.0
             .as_ref()
+            // lint: allow(atomic-ordering) — advisory read of a monotone
+            // counter; relaxed loads never invent values.
             .map_or(0, |cell| cell.load(Ordering::Relaxed))
     }
 }
@@ -222,6 +229,8 @@ impl Gauge {
     #[inline]
     pub fn set(&self, value: u64) {
         if let Some(cell) = &self.0 {
+            // lint: allow(atomic-ordering) — last-writer-wins gauge; no
+            // other memory is published through the store.
             cell.store(value, Ordering::Relaxed);
         }
     }
@@ -230,6 +239,8 @@ impl Gauge {
     pub fn value(&self) -> u64 {
         self.0
             .as_ref()
+            // lint: allow(atomic-ordering) — advisory read of a
+            // last-writer-wins gauge.
             .map_or(0, |cell| cell.load(Ordering::Relaxed))
     }
 }
@@ -398,6 +409,8 @@ mod tests {
         let t = Telemetry::new();
         let threads = 8;
         let per_thread = 10_000u64;
+        // lint: allow(spawn) — test harness threads hammering the registry;
+        // no engine work is scheduled here.
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let c = t.counter("hits");

@@ -58,6 +58,7 @@ impl HistogramSnapshot {
 /// Every registered metric of one [`crate::Telemetry`] at one moment, with
 /// names sorted ascending within each kind.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[must_use = "a snapshot is a point-in-time read; dropping it unread wastes the registry pass"]
 pub struct TelemetrySnapshot {
     /// `(name, total)` per registered counter.
     pub counters: Vec<(String, u64)>,

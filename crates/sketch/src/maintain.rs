@@ -51,6 +51,7 @@ const BOUND_EPSILON: f64 = 1e-9;
 /// `ApplyReport::solve_repair` and mirrored by the
 /// `engine.maintain.{repairs,full_resolves}` counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "repair stats record whether the maintained solution survived; dropping them hides full re-solves"]
 pub struct RepairStats {
     /// Greedy positions retained verbatim from the cached trace (the length
     /// of the still-certified CELF prefix).

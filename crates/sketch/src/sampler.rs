@@ -165,6 +165,10 @@ pub(crate) fn sample_streams_with_workers(
                 let mut scratch = Scratch::new(scenario.user_count());
                 let mut local: Vec<(usize, Vec<UserId>)> = Vec::new();
                 loop {
+                    // lint: allow(atomic-ordering) — work-stealing ticket
+                    // counter: the RMW alone guarantees each stream index is
+                    // claimed once; results land in per-index slots behind
+                    // the mutex, so no further ordering is required.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= count {
                         break;

@@ -62,29 +62,30 @@ fn for_each_shard<T: Send>(
             .collect();
     }
     let chunk = shards.len().div_ceil(workers);
-    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(shards.len()).collect();
+    // Collect per-chunk results through the join handles themselves: each
+    // worker returns its chunk's results in shard order, so flattening the
+    // handles in spawn order reassembles the full shard order with no
+    // placeholder slots and no "did every job run" bookkeeping to check.
     std::thread::scope(|scope| {
-        for (ci, (shard_chunk, result_chunk)) in shards
+        let handles: Vec<_> = shards
             .chunks_mut(chunk)
-            .zip(results.chunks_mut(chunk))
             .enumerate()
-        {
-            let job = &job;
-            scope.spawn(move || {
-                for (off, (shard, slot)) in shard_chunk
-                    .iter_mut()
-                    .zip(result_chunk.iter_mut())
-                    .enumerate()
-                {
-                    *slot = Some(job(ci * chunk + off, shard));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every shard job ran"))
-        .collect()
+            .map(|(ci, shard_chunk)| {
+                let job = &job;
+                scope.spawn(move || {
+                    shard_chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(off, shard)| job(ci * chunk + off, shard))
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
 }
 
 /// RR sets for one item, partitioned across shards by `id mod S`.
@@ -798,10 +799,14 @@ mod tests {
         assert_eq!(snap.counter("sketch.index_full_rebuilds"), Some(0));
         assert_eq!(snap.counter("sketch.refreshes"), Some(1));
         // One wall-clock observation per shard per build/extend/refresh.
-        assert_eq!(snap.histogram("sketch.shard_build_ns").unwrap().count, 3);
-        assert_eq!(snap.histogram("sketch.shard_extend_ns").unwrap().count, 3);
-        assert_eq!(snap.histogram("sketch.shard_refresh_ns").unwrap().count, 3);
-        let frontier = snap.histogram("sketch.refresh_frontier_heads").unwrap();
+        let shard_hist = |name: &str| {
+            snap.histogram(name)
+                .unwrap_or_else(|| panic!("histogram {name} was never registered"))
+        };
+        assert_eq!(shard_hist("sketch.shard_build_ns").count, 3);
+        assert_eq!(shard_hist("sketch.shard_extend_ns").count, 3);
+        assert_eq!(shard_hist("sketch.shard_refresh_ns").count, 3);
+        let frontier = shard_hist("sketch.refresh_frontier_heads");
         assert_eq!(frontier.count, 1);
         assert_eq!(frontier.sum, heads.len() as u64);
     }

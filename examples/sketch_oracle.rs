@@ -30,6 +30,7 @@ fn main() {
     );
 
     // Build the sketch: 4096 RR sets per item on deterministic streams.
+    // lint: allow(clock) — demo prints build time; nothing branches on it.
     let start = Instant::now();
     let mut oracle = build_sketch_oracle(&frozen, SketchConfig::fixed(4096).with_base_seed(7));
     println!(
@@ -42,9 +43,11 @@ fn main() {
     // One f(N) query under each estimator.
     let nominees: Vec<(UserId, ItemId)> = (0..4).map(|u| (UserId(u), ItemId(0))).collect();
     let evaluator = Evaluator::new(&frozen, 400, 11);
+    // lint: allow(clock) — demo prints query latency; nothing branches on it.
     let t = Instant::now();
     let sketch_f = oracle.static_spread(&nominees);
     let sketch_time = t.elapsed();
+    // lint: allow(clock) — demo prints query latency; nothing branches on it.
     let t = Instant::now();
     let mc_f = evaluator.static_spread(&nominees);
     let mc_time = t.elapsed();
@@ -81,6 +84,7 @@ fn main() {
         .min_by_key(|&u| (scenario.social().out_degree(u), std::cmp::Reverse(u.0)))
         .expect("instance has users");
     let drifted = scenario.with_base_preference(quiet, ItemId(0), 0.9);
+    // lint: allow(clock) — demo prints refresh latency; nothing branches on it.
     let t = Instant::now();
     let stats = oracle.apply_update(&drifted, &[quiet]);
     println!(

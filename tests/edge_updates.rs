@@ -116,11 +116,13 @@ proptest! {
 
         let step1 = ScenarioUpdate::Edges(decode_updates(8, &raw_updates));
         let mid = step1.apply(&start);
-        oracle.refresh(&mid, &step1);
+        let stats1 = oracle.refresh(&mid, &step1);
+        prop_assert!(stats1.resampled_sets <= stats1.total_sets);
 
         let step2 = ScenarioUpdate::Preferences(vec![(UserId(pref_user), ItemId(0), pref)]);
         let end = step2.apply(&mid);
-        oracle.refresh(&end, &step2);
+        let stats2 = oracle.refresh(&end, &step2);
+        prop_assert!(stats2.resampled_sets <= stats2.total_sets);
 
         let rebuilt = SketchOracle::build(&end, config);
         for item in end.items() {

@@ -213,8 +213,12 @@ fn engine_apply_races_readers_while_shard_workers_are_active() {
             let engine = Arc::clone(&engine);
             let done = Arc::clone(&done);
             let probe = probe.to_vec();
+            // lint: allow(spawn) — test harness readers racing the writer;
+            // no engine work is scheduled here.
             std::thread::spawn(move || {
                 let mut observations = 0u64;
+                // lint: allow(atomic-ordering) — advisory stop flag; a stale
+                // read only yields one more observation.
                 while !done.load(Ordering::Relaxed) {
                     // Pin one snapshot; its oracle and scenario must agree
                     // (querying twice through the pin is the torn-read
@@ -252,6 +256,8 @@ fn engine_apply_races_readers_while_shard_workers_are_active() {
         assert!(applied.refresh_fraction < 1.0, "refresh must reuse samples");
         std::thread::yield_now();
     }
+    // lint: allow(atomic-ordering) — advisory stop flag; join() below is
+    // the real synchronisation point.
     done.store(true, Ordering::Relaxed);
     let total: u64 = readers
         .into_iter()
@@ -324,8 +330,9 @@ fn telemetry_counters_are_identical_across_the_grid() {
         let seeds = engine.solve();
         let _sigma = engine.spread(&seeds);
         let _f = engine.static_spread(&[(UserId(0), ItemId(0))]);
-        for update in &churn {
-            engine.apply(update).expect("in-range update");
+        for (i, update) in churn.iter().enumerate() {
+            let applied = engine.apply(update).expect("in-range update");
+            assert_eq!(applied.epoch, i as u64 + 1);
         }
         let snap = engine.telemetry();
         assert!(

@@ -105,6 +105,8 @@ fn run_scale_smoke() {
         hash
     };
     let (sequential_build, sequential_digest) = {
+        // lint: allow(clock) — wall-clock printed in the speedup report
+        // below; only the digests are asserted on.
         let start = std::time::Instant::now();
         let sequential_engine = Engine::for_instance(&instance)
             .config(engine_config(1))
@@ -125,6 +127,8 @@ fn run_scale_smoke() {
         (elapsed, sketch_digest(&sequential_engine))
     };
 
+    // lint: allow(clock) — wall-clock printed in the speedup report below;
+    // only the digests are asserted on.
     let parallel_start = std::time::Instant::now();
     let engine = Engine::for_instance(&instance)
         .config(engine_config(4))
@@ -239,6 +243,8 @@ fn run_scale_smoke() {
         }]),
     ];
     for (i, update) in maintained_drift.iter().enumerate() {
+        // lint: allow(clock) — wall-clock printed per batch; the assertions
+        // are on repair counters, not time.
         let apply_start = std::time::Instant::now();
         let applied = engine.apply(update).expect("in-range update");
         let apply_wall = apply_start.elapsed();
@@ -250,6 +256,8 @@ fn run_scale_smoke() {
             applied.solve_repair.seeds_retained > 0,
             "localized batch {i} retained no greedy prefix"
         );
+        // lint: allow(clock) — wall-clock printed per batch; the assertions
+        // are on repair counters, not time.
         let solve_start = std::time::Instant::now();
         let maintained = engine.solve();
         let solve_wall = solve_start.elapsed();
