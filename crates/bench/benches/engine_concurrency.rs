@@ -121,7 +121,10 @@ fn run_readers_under_writes(
     }
 
     // This thread is the writer: keep landing updates until the window ends.
+    // The engine is shared across reader configurations, so epochs continue
+    // from wherever the previous window left them.
     let edge = writer_edge(engine);
+    let epoch_base = engine.snapshot().epoch();
     let start = Instant::now();
     let mut updates = 0u64;
     while start.elapsed() < MEASURE_WINDOW {
@@ -129,7 +132,8 @@ fn run_readers_under_writes(
         let applied = engine.apply(&update).expect("in-range update");
         updates += 1;
         assert_eq!(
-            applied.epoch, updates,
+            applied.epoch,
+            epoch_base + updates,
             "writer must advance one epoch per apply"
         );
     }

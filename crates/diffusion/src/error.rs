@@ -77,6 +77,18 @@ pub enum ImdppError {
         /// The lock in question, e.g. `"engine writer lock"`.
         what: &'static str,
     },
+    /// A bounded arena or id space would overflow if the operation went
+    /// through.  Raised by the checked insertion paths of the RR-set store
+    /// instead of wrapping an offset silently; recovery is to raise the
+    /// configured capacity or shrink the workload.
+    CapacityExceeded {
+        /// The resource that ran out, e.g. `"RR arena bytes"`.
+        what: &'static str,
+        /// The configured capacity.
+        capacity: u64,
+        /// The size the operation would have needed.
+        needed: u64,
+    },
 }
 
 impl ImdppError {
@@ -108,6 +120,14 @@ impl fmt::Display for ImdppError {
             ImdppError::Poisoned { what } => {
                 write!(f, "{what} was poisoned by a panicked thread")
             }
+            ImdppError::CapacityExceeded {
+                what,
+                capacity,
+                needed,
+            } => write!(
+                f,
+                "{what} capacity exceeded: need {needed}, capacity {capacity}"
+            ),
         }
     }
 }
@@ -163,6 +183,15 @@ mod tests {
             }
             .to_string(),
             "engine writer lock was poisoned by a panicked thread"
+        );
+        assert_eq!(
+            ImdppError::CapacityExceeded {
+                what: "RR arena bytes",
+                capacity: 64,
+                needed: 70
+            }
+            .to_string(),
+            "RR arena bytes capacity exceeded: need 70, capacity 64"
         );
     }
 

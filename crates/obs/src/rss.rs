@@ -9,17 +9,18 @@ pub fn peak_rss_bytes() -> Option<u64> {
 }
 
 /// Extracts `VmHWM` from a `/proc/<pid>/status` document.  The kernel
-/// reports the value in kibibytes (`VmHWM:   123456 kB`).
+/// reports the value in kibibytes (`VmHWM:   123456 kB`) and the unit is
+/// parsed explicitly: a unitless value or an unexpected unit yields `None`
+/// rather than a silently misscaled byte count.
 fn parse_vm_hwm(status: &str) -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kib: u64 = line
-        .trim_start_matches("VmHWM:")
-        .trim()
-        .trim_end_matches("kB")
-        .trim()
-        .parse()
-        .ok()?;
-    Some(kib * 1024)
+    let mut fields = line.trim_start_matches("VmHWM:").split_whitespace();
+    let value: u64 = fields.next()?.parse().ok()?;
+    let unit = fields.next()?;
+    if fields.next().is_some() || unit != "kB" {
+        return None;
+    }
+    value.checked_mul(1024)
 }
 
 #[cfg(test)]
@@ -37,6 +38,24 @@ mod tests {
         assert_eq!(parse_vm_hwm(""), None);
         assert_eq!(parse_vm_hwm("VmPeak:\t 1 kB\n"), None);
         assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+    }
+
+    #[test]
+    fn unitless_values_are_rejected_not_misscaled() {
+        assert_eq!(parse_vm_hwm("VmHWM:\t  123456\n"), None);
+    }
+
+    #[test]
+    fn unknown_units_are_rejected() {
+        assert_eq!(parse_vm_hwm("VmHWM:\t  123456 MB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t  123456 KiB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t  123456 kB extra\n"), None);
+    }
+
+    #[test]
+    fn overflowing_values_are_rejected_not_wrapped() {
+        let status = format!("VmHWM:\t  {} kB\n", u64::MAX);
+        assert_eq!(parse_vm_hwm(&status), None);
     }
 
     #[cfg(target_os = "linux")]

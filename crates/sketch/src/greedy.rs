@@ -13,6 +13,67 @@ use crate::sharded::ShardedRrStore;
 use crate::store::{RrStore, SetId};
 use imdpp_graph::UserId;
 
+/// Users per argmax tile: 4096 × 4 bytes = one 16 KiB block of the counter
+/// array — small enough to stay cache-resident while a tile is scanned,
+/// large enough that the per-tile bookkeeping is negligible at 10⁶ users.
+const ARGMAX_TILE: usize = 4096;
+
+/// The cache-tiled argmax over the dense per-user counters.
+///
+/// Each tile caches its maximum; a tile is only re-scanned when a decrement
+/// dirtied it since the last argmax, and a clean tile whose cached max
+/// cannot beat the current best is skipped without touching its counters.
+/// At 10⁶ users a selection iteration therefore reads the few dirtied tiles
+/// plus one cached word per clean tile instead of streaming 4 MB of
+/// counters.  Tiles are scanned in ascending order with the same
+/// strictly-greater comparison as the flat loop, so the result — winner
+/// *and* tie-break toward the smallest user id — is exactly the flat scan's.
+struct TiledArgmax {
+    tile_max: Vec<u32>,
+    dirty: Vec<bool>,
+}
+
+impl TiledArgmax {
+    fn new(users: usize) -> Self {
+        let tiles = users.div_ceil(ARGMAX_TILE).max(1);
+        TiledArgmax {
+            tile_max: vec![0; tiles],
+            dirty: vec![true; tiles],
+        }
+    }
+
+    /// Marks the tile containing `user` stale after a counter decrement.
+    #[inline]
+    fn touch(&mut self, user: usize) {
+        self.dirty[user / ARGMAX_TILE] = true;
+    }
+
+    /// `(best user, best count)` over `counts`, ties toward the smallest id;
+    /// `(0, 0)` when every counter is zero.
+    fn argmax(&mut self, counts: &[u32]) -> (usize, u32) {
+        let mut best_user = 0usize;
+        let mut best_count = 0u32;
+        for (t, (cached, dirty)) in self.tile_max.iter_mut().zip(&mut self.dirty).enumerate() {
+            let lo = t * ARGMAX_TILE;
+            let hi = (lo + ARGMAX_TILE).min(counts.len());
+            if *dirty {
+                *cached = counts[lo..hi].iter().copied().max().unwrap_or(0);
+                *dirty = false;
+            }
+            if *cached <= best_count {
+                continue;
+            }
+            for (off, &c) in counts[lo..hi].iter().enumerate() {
+                if c > best_count {
+                    best_count = c;
+                    best_user = lo + off;
+                }
+            }
+        }
+        (best_user, best_count)
+    }
+}
+
 /// Result of a greedy max-coverage selection.
 #[derive(Clone, Debug, Default)]
 pub struct GreedySelection {
@@ -50,17 +111,12 @@ pub fn greedy_max_coverage(store: &RrStore, k: usize) -> GreedySelection {
     let mut covered = vec![false; total];
     let mut covered_count = 0usize;
     let mut chosen = Vec::with_capacity(k.min(n));
+    let mut argmax = TiledArgmax::new(n);
 
     for _ in 0..k {
-        // Argmax over the dense counters; first (smallest id) wins ties.
-        let mut best_user = 0usize;
-        let mut best_count = 0u32;
-        for (u, &c) in counts.iter().enumerate() {
-            if c > best_count {
-                best_count = c;
-                best_user = u;
-            }
-        }
+        // Cache-tiled argmax over the dense counters; identical winner and
+        // tie-break (smallest id) to a flat scan.
+        let (best_user, best_count) = argmax.argmax(&counts);
         if best_count == 0 {
             break;
         }
@@ -76,8 +132,9 @@ pub fn greedy_max_coverage(store: &RrStore, k: usize) -> GreedySelection {
             }
             covered[id as usize] = true;
             covered_count += 1;
-            for &u in store.set(id) {
+            for u in store.set_members(id) {
                 counts[u as usize] -= 1;
+                argmax.touch(u as usize);
             }
         }
         debug_assert_eq!(counts[best_user], 0);
@@ -127,16 +184,10 @@ pub fn greedy_max_coverage_sharded(store: &ShardedRrStore, k: usize) -> GreedySe
     let mut covered = vec![false; total];
     let mut covered_count = 0usize;
     let mut chosen = Vec::with_capacity(k.min(n));
+    let mut argmax = TiledArgmax::new(n);
 
     for _ in 0..k {
-        let mut best_user = 0usize;
-        let mut best_count = 0u32;
-        for (u, &c) in counts.iter().enumerate() {
-            if c > best_count {
-                best_count = c;
-                best_user = u;
-            }
-        }
+        let (best_user, best_count) = argmax.argmax(&counts);
         if best_count == 0 {
             break;
         }
@@ -151,8 +202,9 @@ pub fn greedy_max_coverage_sharded(store: &ShardedRrStore, k: usize) -> GreedySe
                 }
                 covered[global] = true;
                 covered_count += 1;
-                for &u in store.shard(si).set(local) {
+                for u in store.shard(si).set_members(local) {
                     counts[u as usize] -= 1;
+                    argmax.touch(u as usize);
                 }
             }
         }
@@ -170,8 +222,8 @@ pub fn greedy_max_coverage_sharded(store: &ShardedRrStore, k: usize) -> GreedySe
 /// store (usable without `&mut RrStore`, unlike the store's own index).
 fn local_inverted_index(store: &RrStore, n: usize) -> (Vec<u32>, Vec<SetId>) {
     let mut counts = vec![0u32; n];
-    for (_, set) in store.iter() {
-        for &u in set {
+    for id in 0..store.len() as SetId {
+        for u in store.set_members(id) {
             counts[u as usize] += 1;
         }
     }
@@ -181,8 +233,8 @@ fn local_inverted_index(store: &RrStore, n: usize) -> (Vec<u32>, Vec<SetId>) {
     }
     let mut cursors = inv_offsets.clone();
     let mut inv_sets = vec![0u32; inv_offsets[n] as usize];
-    for (id, set) in store.iter() {
-        for &u in set {
+    for id in 0..store.len() as SetId {
+        for u in store.set_members(id) {
             inv_sets[cursors[u as usize] as usize] = id;
             cursors[u as usize] += 1;
         }

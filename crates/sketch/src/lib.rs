@@ -8,10 +8,15 @@
 //!
 //! Components:
 //!
+//! * [`arena`] — the delta/varint codec of the compressed RR-set arena
+//!   (sorted member lists, ~2–4× smaller than a raw `u32` pool) and the
+//!   zero-allocation [`SetMembers`] decoder,
 //! * [`store`] — the flat, arena-backed [`RrStore`]:
-//!   CSR-style spans into one shared pool plus an *incrementally
-//!   maintained* inverted user → set index (tombstone + append + periodic
-//!   compaction, never a post-build counting rebuild),
+//!   CSR-style spans into one shared compressed arena plus an
+//!   *incrementally maintained* inverted user → set index (tombstone +
+//!   append + periodic compaction, never a post-build counting rebuild),
+//!   with checked-capacity insertion paths
+//!   (`ImdppError::CapacityExceeded` instead of silent offset wraparound),
 //! * [`sharded`] — [`ShardedRrStore`]: the same sets partitioned across
 //!   `S` shards (deterministic `id mod S` placement), each shard owning
 //!   its own arena and index; estimates and selections are
@@ -80,6 +85,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adaptive;
+pub mod arena;
 pub mod dispatch;
 pub mod greedy;
 pub mod incremental;
@@ -91,6 +97,7 @@ pub mod store;
 pub mod telemetry;
 
 pub use adaptive::{AdaptiveReport, StoppingRule};
+pub use arena::SetMembers;
 pub use dispatch::ConfiguredOracle;
 pub use greedy::{greedy_max_coverage, greedy_max_coverage_sharded, GreedySelection};
 pub use incremental::{affected_heads, edge_update_frontier, RefreshStats};

@@ -76,29 +76,29 @@ impl SketchOracle {
         );
         let metrics = SketchMetrics::new(telemetry);
         let frozen = scenario.with_dynamics(DynamicsConfig::frozen());
-        let stores = frozen
-            .items()
-            .map(|item| {
-                // Shard-parallel generation: each shard samples, pushes and
-                // performs its one full index build on its own worker; every
-                // later maintenance step patches incrementally.
-                ShardedRrStore::build_observed(
-                    &frozen,
-                    item,
-                    config.shards,
-                    config.base_seed,
-                    config.initial_sets,
-                    config.threads,
-                    &metrics,
-                )
-            })
-            .collect();
-        SketchOracle {
+        // (item × shard) parallel generation on one dynamic work-queue:
+        // every task samples, pushes and index-builds one shard of one item
+        // on whichever worker claims it, so the pool stays busy even when
+        // items × shards far exceeds — or barely reaches — the core count.
+        // Every later maintenance step patches incrementally.
+        let items: Vec<ItemId> = frozen.items().collect();
+        let stores = crate::sharded::build_stores_observed(
+            &frozen,
+            &items,
+            config.shards,
+            config.base_seed,
+            config.initial_sets,
+            config.threads,
+            &metrics,
+        );
+        let oracle = SketchOracle {
             frozen,
             config,
             stores,
             metrics,
-        }
+        };
+        oracle.record_memory();
+        oracle
     }
 
     /// The frozen scenario the sketch estimates against.
@@ -124,6 +124,27 @@ impl SketchOracle {
     /// Shards per item store (`config.shards`, clamped to ≥ 1).
     pub fn shard_count(&self) -> usize {
         self.stores.first().map_or(1, |s| s.shard_count())
+    }
+
+    /// Encoded bytes of the live compressed-arena spans across every item
+    /// store and shard — the sketch's dominant memory term.  A pure
+    /// function of the set contents, hence identical across the
+    /// `(threads, shards)` grid.
+    pub fn live_arena_bytes(&self) -> u64 {
+        self.stores.iter().map(|s| s.live_arena_bytes()).sum()
+    }
+
+    /// Bytes the same live entries would occupy in the uncompressed
+    /// `u32`-pool layout the compressed arena replaced — the baseline of
+    /// the ≥ 2× compression gate in the scale smoke.
+    pub fn uncompressed_bytes(&self) -> u64 {
+        self.stores.iter().map(|s| s.uncompressed_bytes()).sum()
+    }
+
+    /// Overwrites the `sketch.arena_live_bytes` gauge with the current live
+    /// arena footprint; called after construction, growth and refreshes.
+    fn record_memory(&self) {
+        self.metrics.arena_live_bytes.set(self.live_arena_bytes());
     }
 
     /// Aggregated inverted-index maintenance counters across every item
@@ -175,17 +196,17 @@ impl SketchOracle {
         let rule = StoppingRule::new(self.config.epsilon, self.config.delta);
         let store = &mut self.stores[item.index()];
         let mut rounds = 0;
-        loop {
+        let report = loop {
             let covered = store.coverage_count(seeds);
             if rule.is_satisfied(covered) {
-                return AdaptiveReport {
+                break AdaptiveReport {
                     final_sets: store.len(),
                     rounds,
                     satisfied: true,
                 };
             }
             if store.len() >= self.config.max_sets {
-                return AdaptiveReport {
+                break AdaptiveReport {
                     final_sets: store.len(),
                     rounds,
                     satisfied: false,
@@ -203,7 +224,37 @@ impl SketchOracle {
                 &self.metrics,
             );
             rounds += 1;
+        };
+        self.record_memory();
+        report
+    }
+
+    /// Refreshes every store through the (item × shard) work-queue
+    /// (`frontiers[i]` = item `i`'s head list, `None` = skip with synthetic
+    /// stats), absorbing per-item reports in item order and refreshing the
+    /// memory gauge — the shared tail of every `apply_*` path.
+    fn refresh_all(
+        &mut self,
+        frontiers: &[Option<&[UserId]>],
+        track: bool,
+    ) -> (RefreshStats, Vec<Vec<UserId>>) {
+        let per_store = crate::sharded::refresh_stores_tracked_observed(
+            &mut self.stores,
+            &self.frozen,
+            self.config.base_seed,
+            frontiers,
+            self.config.threads,
+            &self.metrics,
+            track,
+        );
+        let mut stats = RefreshStats::default();
+        let mut touched: Vec<Vec<UserId>> = Vec::with_capacity(per_store.len());
+        for (store_stats, store_touched) in per_store {
+            stats.absorb(store_stats);
+            touched.push(store_touched);
         }
+        self.record_memory();
+        (stats, touched)
     }
 
     /// Migrates the sketch to `updated` (whose dynamics are re-frozen) after
@@ -215,17 +266,8 @@ impl SketchOracle {
     pub fn apply_update(&mut self, updated: &Scenario, changed_users: &[UserId]) -> RefreshStats {
         self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
         let heads = affected_heads(&self.frozen, changed_users);
-        let mut stats = RefreshStats::default();
-        for store in &mut self.stores {
-            stats.absorb(store.refresh_observed(
-                &self.frozen,
-                self.config.base_seed,
-                &heads,
-                self.config.threads,
-                &self.metrics,
-            ));
-        }
-        stats
+        let frontiers: Vec<Option<&[UserId]>> = vec![Some(heads.as_slice()); self.stores.len()];
+        self.refresh_all(&frontiers, false).0
     }
 
     /// Migrates the sketch after *preference-only* drift: each `(u, x)`
@@ -247,25 +289,11 @@ impl SketchOracle {
                 by_item[x.index()].push(u);
             }
         }
-        let mut stats = RefreshStats::default();
-        for (store, users) in self.stores.iter_mut().zip(&by_item) {
-            if users.is_empty() {
-                stats.absorb(RefreshStats {
-                    total_sets: store.len(),
-                    stores: 1,
-                    ..RefreshStats::default()
-                });
-                continue;
-            }
-            stats.absorb(store.refresh_observed(
-                &self.frozen,
-                self.config.base_seed,
-                users,
-                self.config.threads,
-                &self.metrics,
-            ));
-        }
-        stats
+        let frontiers: Vec<Option<&[UserId]>> = by_item
+            .iter()
+            .map(|users| (!users.is_empty()).then_some(users.as_slice()))
+            .collect();
+        self.refresh_all(&frontiers, false).0
     }
 
     /// [`SketchOracle::refresh`] that additionally reports, **per item**, the
@@ -305,29 +333,11 @@ impl SketchOracle {
                 by_item[x.index()].push(u);
             }
         }
-        let mut stats = RefreshStats::default();
-        let mut touched: Vec<Vec<UserId>> = Vec::with_capacity(self.stores.len());
-        for (store, users) in self.stores.iter_mut().zip(&by_item) {
-            if users.is_empty() {
-                stats.absorb(RefreshStats {
-                    total_sets: store.len(),
-                    stores: 1,
-                    ..RefreshStats::default()
-                });
-                touched.push(Vec::new());
-                continue;
-            }
-            let (store_stats, store_touched) = store.refresh_tracked_observed(
-                &self.frozen,
-                self.config.base_seed,
-                users,
-                self.config.threads,
-                &self.metrics,
-            );
-            stats.absorb(store_stats);
-            touched.push(store_touched);
-        }
-        (stats, touched)
+        let frontiers: Vec<Option<&[UserId]>> = by_item
+            .iter()
+            .map(|users| (!users.is_empty()).then_some(users.as_slice()))
+            .collect();
+        self.refresh_all(&frontiers, true)
     }
 
     /// Tracked variant of [`SketchOracle::apply_edge_update`]; see
@@ -339,29 +349,9 @@ impl SketchOracle {
     ) -> (RefreshStats, Vec<Vec<UserId>>) {
         let heads = edge_update_frontier(&self.frozen, updates);
         self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
-        let mut stats = RefreshStats::default();
-        let mut touched: Vec<Vec<UserId>> = Vec::with_capacity(self.stores.len());
-        for store in &mut self.stores {
-            if heads.is_empty() {
-                stats.absorb(RefreshStats {
-                    total_sets: store.len(),
-                    stores: 1,
-                    ..RefreshStats::default()
-                });
-                touched.push(Vec::new());
-                continue;
-            }
-            let (store_stats, store_touched) = store.refresh_tracked_observed(
-                &self.frozen,
-                self.config.base_seed,
-                &heads,
-                self.config.threads,
-                &self.metrics,
-            );
-            stats.absorb(store_stats);
-            touched.push(store_touched);
-        }
-        (stats, touched)
+        let frontier = (!heads.is_empty()).then_some(heads.as_slice());
+        let frontiers: Vec<Option<&[UserId]>> = vec![frontier; self.stores.len()];
+        self.refresh_all(&frontiers, true)
     }
 
     /// Migrates the sketch after influence-edge updates (strength changes,
@@ -387,25 +377,9 @@ impl SketchOracle {
     ) -> RefreshStats {
         let heads = edge_update_frontier(&self.frozen, updates);
         self.frozen = updated.with_dynamics(DynamicsConfig::frozen());
-        let mut stats = RefreshStats::default();
-        for store in &mut self.stores {
-            if heads.is_empty() {
-                stats.absorb(RefreshStats {
-                    total_sets: store.len(),
-                    stores: 1,
-                    ..RefreshStats::default()
-                });
-                continue;
-            }
-            stats.absorb(store.refresh_observed(
-                &self.frozen,
-                self.config.base_seed,
-                &heads,
-                self.config.threads,
-                &self.metrics,
-            ));
-        }
-        stats
+        let frontier = (!heads.is_empty()).then_some(heads.as_slice());
+        let frontiers: Vec<Option<&[UserId]>> = vec![frontier; self.stores.len()];
+        self.refresh_all(&frontiers, false).0
     }
 }
 

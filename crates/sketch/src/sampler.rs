@@ -262,6 +262,20 @@ mod tests {
     }
 
     #[test]
+    fn effective_threads_floors_at_one_with_no_work() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // A request exceeding both the core count and the (empty) work
+        // list still floors at 1 — never 0 workers, never a spawn storm.
+        assert_eq!(effective_threads(cores + 5, 0), 1);
+        assert_eq!(effective_threads(usize::MAX, 0), 1);
+        // One work item pins the answer at 1 regardless of the request.
+        assert_eq!(effective_threads(usize::MAX, 1), 1);
+        assert_eq!(effective_threads(cores, 1), 1);
+    }
+
+    #[test]
     fn different_streams_differ_somewhere() {
         let s = toy_scenario();
         let sets = sample_range(&s, ItemId(0), 5, 0, 32, 1);

@@ -38,54 +38,316 @@ use crate::store::{IndexStats, RrStore, SetId};
 use crate::telemetry::SketchMetrics;
 use imdpp_diffusion::Scenario;
 use imdpp_graph::{ItemId, UserId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Runs `job` once per shard, distributing the shards across up to
-/// `workers` scoped threads (shard order is preserved in the returned
-/// results).  `workers` must already be resolved
-/// ([`sampler::effective_threads`]); `workers <= 1` runs inline.
+/// Runs every task through `job` on a dynamic work-queue of up to `workers`
+/// scoped threads, returning the results **in task order**.  `workers` must
+/// already be resolved ([`sampler::effective_threads`]); `workers <= 1`
+/// runs inline.
 ///
-/// Each worker owns a contiguous chunk of shards — sets are dealt to shards
-/// round-robin (`id mod S`), so chunks carry near-identical work and static
-/// partitioning wastes nothing.  Because every job only touches its own
-/// shard's arena and index, workers share no mutable state and the result
-/// is identical to the inline loop by construction.
+/// Workers claim tasks with an atomic ticket counter, so load balances
+/// dynamically no matter how skewed individual tasks are — the property
+/// that lets one queue serve heterogeneous (item × shard) units instead of
+/// one thread per shard.  Each task runs exactly once (tickets are unique),
+/// and because a task owns whatever mutable state it carries (e.g. `&mut
+/// RrStore`), workers share nothing and the result is identical to the
+/// inline loop by construction.
+fn run_queue<S: Send, T: Send>(
+    tasks: Vec<S>,
+    workers: usize,
+    job: impl Fn(usize, S) -> T + Sync,
+) -> Vec<T> {
+    if workers <= 1 || tasks.len() <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, task)| job(i, task))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<S>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = (0..slots.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(slots.len()))
+            .map(|_| {
+                let slots = &slots;
+                let next = &next;
+                let job = &job;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        // lint: allow(atomic-ordering) — work-stealing
+                        // ticket counter: the RMW alone guarantees each task
+                        // index is claimed once; task state is handed over
+                        // through the slot mutex, so no further ordering is
+                        // required.
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let task = slots[i].lock().unwrap_or_else(|e| e.into_inner()).take();
+                        if let Some(task) = task {
+                            local.push((i, job(i, task)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            let local = match handle.join() {
+                Ok(local) => local,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            for (i, result) in local {
+                results[i] = Some(result);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| match slot {
+            Some(result) => result,
+            None => unreachable!("every ticket is claimed exactly once"),
+        })
+        .collect()
+}
+
+/// Runs `job` once per shard on the dynamic work-queue ([`run_queue`]
+/// with one task per shard); results are returned in shard order.
 fn for_each_shard<T: Send>(
     shards: &mut [RrStore],
     workers: usize,
     job: impl Fn(usize, &mut RrStore) -> T + Sync,
 ) -> Vec<T> {
-    if workers <= 1 || shards.len() <= 1 {
-        return shards
-            .iter_mut()
-            .enumerate()
-            .map(|(si, shard)| job(si, shard))
-            .collect();
-    }
-    let chunk = shards.len().div_ceil(workers);
-    // Collect per-chunk results through the join handles themselves: each
-    // worker returns its chunk's results in shard order, so flattening the
-    // handles in spawn order reassembles the full shard order with no
-    // placeholder slots and no "did every job run" bookkeeping to check.
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .chunks_mut(chunk)
-            .enumerate()
-            .map(|(ci, shard_chunk)| {
-                let job = &job;
-                scope.spawn(move || {
-                    shard_chunk
-                        .iter_mut()
-                        .enumerate()
-                        .map(|(off, shard)| job(ci * chunk + off, shard))
-                        .collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("shard worker panicked"))
-            .collect()
+    run_queue(shards.iter_mut().collect(), workers, |si, shard| {
+        job(si, shard)
     })
+}
+
+/// One (item, shard) build task: samples and pushes the streams
+/// `{si, si + stride, …} < count` of the shard's item, then performs the
+/// shard's one full index build.  Pure shard-local work — the unit both
+/// [`ShardedRrStore::build_observed`] and the cross-item
+/// [`build_stores_observed`] queue fan out.
+fn build_shard_task(
+    shard: &mut RrStore,
+    si: usize,
+    stride: usize,
+    scenario: &Scenario,
+    base_seed: u64,
+    count: usize,
+) {
+    let item = shard.item();
+    let mut scratch = sampler::Scratch::new(scenario.user_count());
+    let mut stream = si as u64;
+    while (stream as usize) < count {
+        let set = sampler::sample_set_with(scenario, item, base_seed, stream, &mut scratch);
+        let local = shard.push_set(&set);
+        debug_assert_eq!(local as u64 * stride as u64 + si as u64, stream);
+        stream += stride as u64;
+    }
+    shard.rebuild_index();
+}
+
+/// One (item, shard) refresh task: queries the shard's index with the
+/// prepared frontier, replays every invalidated stream against `updated`,
+/// and patches the shard's own index.  Returns the resampled count, the
+/// index-maintenance delta and (when `track`) the shard's touched users —
+/// the per-shard triple [`merge_refresh`] folds into one store report.
+fn refresh_shard_task(
+    shard: &mut RrStore,
+    si: usize,
+    stride: usize,
+    updated: &Scenario,
+    base_seed: u64,
+    prepared: &[u32],
+    track: bool,
+) -> (usize, IndexStats, Vec<UserId>) {
+    let item = shard.item();
+    let before = shard.index_stats();
+    let invalid = shard.sets_touching_prepared(prepared);
+    let mut scratch = sampler::Scratch::new(updated.user_count());
+    let mut touched: Vec<UserId> = Vec::new();
+    for &local in &invalid {
+        if track {
+            touched.extend(shard.set_members(local).map(UserId));
+        }
+        let stream = local as u64 * stride as u64 + si as u64;
+        let set = sampler::sample_set_with(updated, item, base_seed, stream, &mut scratch);
+        if track {
+            touched.extend_from_slice(&set);
+        }
+        shard.replace_set(local, &set);
+    }
+    (invalid.len(), shard.index_stats().since(before), touched)
+}
+
+/// Folds one store's per-shard refresh triples (in shard order) into the
+/// store-level [`RefreshStats`] and touched-user list, recording the
+/// semantic counters.  The set counters are shard-independent (the frontier
+/// partitions across shards) and the touched list is sorted + deduplicated,
+/// so the merged report is identical for any `(threads, shards)` grid point.
+fn merge_refresh(
+    total_sets: usize,
+    per_shard: Vec<(usize, IndexStats, Vec<UserId>)>,
+    metrics: &SketchMetrics,
+) -> (RefreshStats, Vec<UserId>) {
+    let mut stats = RefreshStats {
+        total_sets,
+        stores: 1,
+        ..RefreshStats::default()
+    };
+    let mut touched: Vec<UserId> = Vec::new();
+    for (resampled, delta, shard_touched) in per_shard {
+        stats.resampled_sets += resampled;
+        stats.index_entries_patched += delta.entries_patched;
+        stats.full_rebuilds += delta.full_rebuilds;
+        touched.extend(shard_touched);
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    metrics.sets_resampled.add(stats.resampled_sets as u64);
+    metrics
+        .sets_reused
+        .add((stats.total_sets - stats.resampled_sets) as u64);
+    metrics
+        .index_entries_patched
+        .add(stats.index_entries_patched);
+    metrics.index_full_rebuilds.add(stats.full_rebuilds);
+    metrics
+        .refresh_resampled_permille
+        .record((1000.0 * stats.resampled_fraction()) as u64);
+    (stats, touched)
+}
+
+/// Builds one [`ShardedRrStore`] per item by fanning **(item × shard)**
+/// tasks onto one dynamic work-queue — the cross-item parallel path
+/// [`crate::oracle::SketchOracle`] builds through.  Each task samples and
+/// indexes one shard of one item ([`build_shard_task`]) and records one
+/// `shard_build_ns` observation, exactly like the per-store builds.
+///
+/// Shard `s` of every item still owns exactly the streams `{s, s + S, …}`
+/// and every stream is its own RNG, so the result is bit-identical to
+/// building the stores one by one — for any `(threads, shards)` combination
+/// and any task interleaving.
+pub(crate) fn build_stores_observed(
+    scenario: &Scenario,
+    items: &[ItemId],
+    shard_count: usize,
+    base_seed: u64,
+    count: usize,
+    threads: usize,
+    metrics: &SketchMetrics,
+) -> Vec<ShardedRrStore> {
+    let mut stores: Vec<ShardedRrStore> = items
+        .iter()
+        .map(|&item| ShardedRrStore::new(item, scenario.user_count(), shard_count))
+        .collect();
+    metrics.sets_sampled.add((count * items.len()) as u64);
+    let stride = stores.first().map_or(1, |s| s.shard_count());
+    let mut tasks: Vec<(usize, &mut RrStore)> = Vec::new();
+    for store in stores.iter_mut() {
+        for (si, shard) in store.shards.iter_mut().enumerate() {
+            tasks.push((si, shard));
+        }
+    }
+    let workers = sampler::effective_threads(threads, tasks.len());
+    run_queue(tasks, workers, |_, (si, shard)| {
+        let _span = metrics.shard_build_ns.start();
+        build_shard_task(shard, si, stride, scenario, base_seed, count);
+    });
+    for store in stores.iter_mut() {
+        store.total = count;
+    }
+    stores
+}
+
+/// Refreshes many stores at once by fanning **(item × shard)** tasks onto
+/// one dynamic work-queue — the cross-item parallel path every
+/// [`crate::oracle::SketchOracle`] refresh goes through.  `frontiers[i]`
+/// is store `i`'s head list: `Some(heads)` refreshes the store (even when
+/// the prepared frontier comes out empty — the refresh is still counted),
+/// `None` skips it entirely, reporting the synthetic "nothing to do" stats
+/// and recording no telemetry, exactly like the sequential per-store loop
+/// this replaces.
+///
+/// Returns one `(stats, touched users)` pair per store, in store order.
+/// Per-store results are merged from the per-shard triples in shard order
+/// ([`merge_refresh`]), so stats, touched lists and every recorded counter
+/// are bit-identical to the store-at-a-time path for any `(threads,
+/// shards)` combination and any task interleaving.
+pub(crate) fn refresh_stores_tracked_observed(
+    stores: &mut [ShardedRrStore],
+    updated: &Scenario,
+    base_seed: u64,
+    frontiers: &[Option<&[UserId]>],
+    threads: usize,
+    metrics: &SketchMetrics,
+    track: bool,
+) -> Vec<(RefreshStats, Vec<UserId>)> {
+    debug_assert_eq!(stores.len(), frontiers.len());
+    // Prepared frontiers and per-store refresh telemetry, in store order.
+    let prepared: Vec<Option<Vec<u32>>> = stores
+        .iter()
+        .zip(frontiers)
+        .map(|(store, frontier)| {
+            frontier.map(|heads| {
+                let prepared = crate::store::prepare_heads(heads, store.user_count());
+                metrics.refreshes.incr();
+                metrics.refresh_frontier_heads.record(prepared.len() as u64);
+                prepared
+            })
+        })
+        .collect();
+    let strides: Vec<usize> = stores.iter().map(|s| s.shard_count()).collect();
+    let mut tasks: Vec<(usize, usize, &mut RrStore)> = Vec::new();
+    for (ii, store) in stores.iter_mut().enumerate() {
+        if prepared[ii].is_none() {
+            continue;
+        }
+        for (si, shard) in store.shards.iter_mut().enumerate() {
+            tasks.push((ii, si, shard));
+        }
+    }
+    let workers = sampler::effective_threads(threads, tasks.len());
+    let results = run_queue(tasks, workers, |_, (ii, si, shard)| {
+        let _span = metrics.shard_refresh_ns.start();
+        let frontier = prepared[ii].as_deref().unwrap_or(&[]);
+        (
+            ii,
+            refresh_shard_task(shard, si, strides[ii], updated, base_seed, frontier, track),
+        )
+    });
+    // Task order is store-major, shard-minor, so regrouping preserves the
+    // shard order merge_refresh expects.
+    let mut per_store: Vec<Vec<(usize, IndexStats, Vec<UserId>)>> =
+        (0..stores.len()).map(|_| Vec::new()).collect();
+    for (ii, triple) in results {
+        per_store[ii].push(triple);
+    }
+    stores
+        .iter()
+        .enumerate()
+        .map(|(ii, store)| {
+            if prepared[ii].is_none() {
+                return (
+                    RefreshStats {
+                        total_sets: store.len(),
+                        stores: 1,
+                        ..RefreshStats::default()
+                    },
+                    Vec::new(),
+                );
+            }
+            debug_assert!(
+                store.index_matches_rebuild(),
+                "patched inverted index diverged from rebuild_index"
+            );
+            merge_refresh(store.len(), std::mem::take(&mut per_store[ii]), metrics)
+        })
+        .collect()
 }
 
 /// RR sets for one item, partitioned across shards by `id mod S`.
@@ -174,15 +436,7 @@ impl ShardedRrStore {
         let workers = sampler::effective_threads(threads, shard_count);
         for_each_shard(&mut store.shards, workers, |si, shard| {
             let _span = metrics.shard_build_ns.start();
-            let mut scratch = sampler::Scratch::new(scenario.user_count());
-            let mut stream = si as u64;
-            while (stream as usize) < count {
-                let set = sampler::sample_set_with(scenario, item, base_seed, stream, &mut scratch);
-                let local = shard.push_set(&set);
-                debug_assert_eq!(local as u64 * shard_count as u64 + si as u64, stream);
-                stream += shard_count as u64;
-            }
-            shard.rebuild_index();
+            build_shard_task(shard, si, shard_count, scenario, base_seed, count);
         });
         store.total = count;
         store
@@ -328,7 +582,7 @@ impl ShardedRrStore {
             let mut touched: Vec<UserId> = Vec::new();
             if track {
                 for &id in &invalid {
-                    touched.extend(shard.set(id).iter().map(|&u| UserId(u)));
+                    touched.extend(shard.set_members(id).map(UserId));
                 }
             }
             let streams: Vec<u64> = invalid.iter().map(|&id| id as u64).collect();
@@ -344,23 +598,7 @@ impl ShardedRrStore {
             let workers = sampler::effective_threads(threads, shard_count);
             for_each_shard(&mut self.shards, workers, |si, shard| {
                 let _span = metrics.shard_refresh_ns.start();
-                let before = shard.index_stats();
-                let invalid = shard.sets_touching_prepared(&prepared);
-                let mut scratch = sampler::Scratch::new(updated.user_count());
-                let mut touched: Vec<UserId> = Vec::new();
-                for &local in &invalid {
-                    if track {
-                        touched.extend(shard.set(local).iter().map(|&u| UserId(u)));
-                    }
-                    let stream = local as u64 * shard_count as u64 + si as u64;
-                    let set =
-                        sampler::sample_set_with(updated, item, base_seed, stream, &mut scratch);
-                    if track {
-                        touched.extend_from_slice(&set);
-                    }
-                    shard.replace_set(local, &set);
-                }
-                (invalid.len(), shard.index_stats().since(before), touched)
+                refresh_shard_task(shard, si, shard_count, updated, base_seed, &prepared, track)
             })
         };
         // The equivalence check the incremental index is specified by: after
@@ -372,32 +610,7 @@ impl ShardedRrStore {
         // Merge the per-shard work into one store-level report.  The set
         // counters are shard-independent (the frontier partitions across
         // shards); only compaction timing — not counted here — may differ.
-        let mut stats = RefreshStats {
-            total_sets: self.total,
-            stores: 1,
-            ..RefreshStats::default()
-        };
-        let mut touched: Vec<UserId> = Vec::new();
-        for (resampled, delta, shard_touched) in per_shard {
-            stats.resampled_sets += resampled;
-            stats.index_entries_patched += delta.entries_patched;
-            stats.full_rebuilds += delta.full_rebuilds;
-            touched.extend(shard_touched);
-        }
-        touched.sort_unstable();
-        touched.dedup();
-        metrics.sets_resampled.add(stats.resampled_sets as u64);
-        metrics
-            .sets_reused
-            .add((stats.total_sets - stats.resampled_sets) as u64);
-        metrics
-            .index_entries_patched
-            .add(stats.index_entries_patched);
-        metrics.index_full_rebuilds.add(stats.full_rebuilds);
-        metrics
-            .refresh_resampled_permille
-            .record((1000.0 * stats.resampled_fraction()) as u64);
-        (stats, touched)
+        merge_refresh(self.total, per_shard, metrics)
     }
 
     /// The item the sets were sampled for.
@@ -433,6 +646,19 @@ impl ShardedRrStore {
     /// Total live arena entries across all shards.
     pub fn live_entries(&self) -> usize {
         self.shards.iter().map(|s| s.live_entries()).sum()
+    }
+
+    /// Encoded bytes of the live spans across all shards — a pure function
+    /// of the set contents, hence shard- and history-independent (garbage
+    /// awaiting compaction is excluded).
+    pub fn live_arena_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.live_arena_bytes()).sum()
+    }
+
+    /// Bytes the live entries would occupy in the uncompressed `u32`-pool
+    /// layout — the baseline the compression ratio is measured against.
+    pub fn uncompressed_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.uncompressed_bytes()).sum()
     }
 
     /// The shard holding global set `id`.
@@ -477,14 +703,21 @@ impl ShardedRrStore {
         self.shards[shard].replace_set(local, users);
     }
 
-    /// The users of global set `id`.
-    pub fn set(&self, id: SetId) -> &[u32] {
+    /// The users of global set `id`, decoded in ascending id order
+    /// (allocates; hot paths should prefer [`ShardedRrStore::set_members`]).
+    pub fn set(&self, id: SetId) -> Vec<u32> {
         self.shards[self.shard_of(id)].set(self.local(id))
+    }
+
+    /// Zero-allocation decoding iterator over the users of global set `id`
+    /// (ascending id order).
+    pub fn set_members(&self, id: SetId) -> crate::arena::SetMembers<'_> {
+        self.shards[self.shard_of(id)].set_members(self.local(id))
     }
 
     /// Iterator over `(global id, users)` pairs in global id order —
     /// independent of the shard count.
-    pub fn iter(&self) -> impl Iterator<Item = (SetId, &[u32])> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, Vec<u32>)> + '_ {
         (0..self.total as SetId).map(move |id| (id, self.set(id)))
     }
 

@@ -1,16 +1,32 @@
 //! The flat, arena-backed RR-set store.
 //!
 //! Replaces the toy `Vec<Vec<UserId>>` layout of `imdpp_diffusion::ris` with
-//! a CSR-style arena: every RR set is a `(start, len)` span into one shared
-//! `Vec<u32>` pool, giving one allocation for the whole sketch and cache-
-//! friendly scans during coverage counting.  An inverted user → set index
-//! (also CSR) answers "which sets does user `u` appear in?" — the query that
+//! a CSR-style arena: every RR set is a span into one shared **compressed
+//! byte arena** (sorted members, delta/varint-encoded — see
+//! [`crate::arena`]), giving one allocation for the whole sketch, cache-
+//! friendly scans during coverage counting, and roughly 2–4× less memory
+//! than a raw `u32` pool at 10⁶-user scale.  An inverted user → set index
+//! (CSR) answers "which sets does user `u` appear in?" — the query that
 //! drives both CELF-style greedy selection and incremental invalidation.
 //!
 //! Sets are identified by a stable `SetId` (their stream id — see
-//! [`crate::sampler`]); replacing a set appends its new span to the pool and
-//! tombstones the old one.  Dead pool entries are tracked and the arena is
+//! [`crate::sampler`]); replacing a set appends its new span to the arena and
+//! tombstones the old one.  Dead arena bytes are tracked and the arena is
 //! compacted automatically once more than half of it is garbage.
+//!
+//! ## Capacity is checked, never wrapped
+//!
+//! Span offsets are `u64`, so the arena cannot overflow its offset type on
+//! any machine that can allocate it.  The insertion paths are nonetheless
+//! *checked*: [`RrStore::try_push_set`] / [`RrStore::try_replace_set`]
+//! return [`ImdppError::CapacityExceeded`] when a configured byte budget
+//! ([`RrStore::with_arena_capacity`]) or the set-id space (ids must stay
+//! below the tombstone bit, `1 << 31`) would be exhausted — no silent
+//! wraparound, which
+//! is what the previous `u32`-offset pool would have done somewhere past
+//! 10⁹ pool entries.  The infallible [`RrStore::push_set`] /
+//! [`RrStore::replace_set`] wrappers panic on those errors (the samplers
+//! never hit them under the default unbounded budget).
 //!
 //! ## Incremental index maintenance
 //!
@@ -26,6 +42,8 @@
 //! maintenance regime, and [`RrStore::index_matches_rebuild`] is the
 //! `debug_assert`-guarded equivalence check the refresh paths use.
 
+use crate::arena::{encode_set, SetMembers};
+use imdpp_diffusion::ImdppError;
 use imdpp_graph::{ItemId, UserId};
 
 /// Identifier of one RR set inside a store.  Stable across replacements and
@@ -39,8 +57,8 @@ pub type SetId = u32;
 /// row stays sorted under the masked comparison and [`RrStore::unindex`]
 /// can binary-search instead of scanning — O(log row) per patched entry
 /// even for hub users appearing in thousands of sets.  Ids with the high
-/// bit set cannot occur: the `u32` arena offsets overflow long before
-/// 2³¹ sets exist.
+/// bit set cannot occur: the checked insertion path refuses to assign them
+/// ([`RrStore::try_push_set`] returns `CapacityExceeded` first).
 const TOMBSTONE_BIT: SetId = 1 << 31;
 
 /// The set id of a base-row entry, dead or alive.
@@ -53,6 +71,15 @@ fn entry_id(entry: SetId) -> SetId {
 #[inline]
 fn entry_live(entry: SetId) -> bool {
     entry & TOMBSTONE_BIT == 0
+}
+
+/// One set's location in the compressed arena: `bytes` encoded bytes at
+/// `offset`, decoding to `members` ascending user ids.
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    offset: u64,
+    members: u32,
+    bytes: u32,
 }
 
 /// Bounds-filters, sorts and deduplicates a head list into the form
@@ -105,17 +132,23 @@ impl IndexStats {
 }
 
 /// A collection of reverse-reachable sets for one item, stored in a shared
-/// arena with an inverted user → set index.
+/// compressed arena with an inverted user → set index.
 #[derive(Clone, Debug)]
 pub struct RrStore {
     item: ItemId,
     user_count: usize,
-    /// Per-set `(start, len)` spans into `pool`.
-    spans: Vec<(u32, u32)>,
-    /// The arena of user ids; live spans point into it.
-    pool: Vec<u32>,
-    /// Number of dead (tombstoned) entries in `pool`.
-    garbage: usize,
+    /// Per-set spans into `arena`.
+    spans: Vec<Span>,
+    /// The compressed arena: delta/varint-encoded sorted member lists.
+    arena: Vec<u8>,
+    /// Dead (tombstoned) bytes in `arena`.
+    garbage_bytes: u64,
+    /// Live member entries across all spans (`Σ span.members`).
+    live_members: usize,
+    /// Checked byte budget of `arena` (`u64::MAX` = unbounded).
+    capacity_bytes: u64,
+    /// Reusable sort buffer of the insertion paths.
+    sort_scratch: Vec<u32>,
     /// CSR offsets of the inverted index (`user_count + 1` entries).
     inv_offsets: Vec<u32>,
     /// Set ids, grouped by user according to `inv_offsets`.  Each row is
@@ -134,15 +167,27 @@ pub struct RrStore {
     index_stats: IndexStats,
 }
 
+/// Cold tail of the infallible insertion wrappers: the checked path found
+/// the arena (or the id space) exhausted under the configured budget.
+#[cold]
+#[inline(never)]
+fn capacity_exhausted(err: ImdppError) -> ! {
+    panic!("{err}")
+}
+
 impl RrStore {
-    /// Creates an empty store for `item` over `user_count` users.
+    /// Creates an empty store for `item` over `user_count` users with an
+    /// unbounded arena budget.
     pub fn new(item: ItemId, user_count: usize) -> Self {
         RrStore {
             item,
             user_count,
             spans: Vec::new(),
-            pool: Vec::new(),
-            garbage: 0,
+            arena: Vec::new(),
+            garbage_bytes: 0,
+            live_members: 0,
+            capacity_bytes: u64::MAX,
+            sort_scratch: Vec::new(),
             inv_offsets: vec![0; user_count + 1],
             inv_sets: Vec::new(),
             inv_extra: Vec::new(),
@@ -150,6 +195,21 @@ impl RrStore {
             inv_built: false,
             index_stats: IndexStats::default(),
         }
+    }
+
+    /// Caps the arena at `bytes` encoded bytes: once an insertion would push
+    /// the arena past the budget, [`RrStore::try_push_set`] /
+    /// [`RrStore::try_replace_set`] return
+    /// [`ImdppError::CapacityExceeded`] and leave the store unchanged.
+    /// Compaction counts against the same budget (it only ever shrinks).
+    pub fn with_arena_capacity(mut self, bytes: u64) -> Self {
+        self.capacity_bytes = bytes;
+        self
+    }
+
+    /// The configured arena byte budget (`u64::MAX` = unbounded).
+    pub fn arena_capacity(&self) -> u64 {
+        self.capacity_bytes
     }
 
     /// The item the sets were sampled for.
@@ -174,15 +234,34 @@ impl RrStore {
 
     /// Total number of live user entries across all sets.
     pub fn live_entries(&self) -> usize {
-        self.pool.len() - self.garbage
+        self.live_members
     }
 
-    /// Fraction of the arena occupied by tombstoned entries.
+    /// Total arena size in bytes, including garbage awaiting compaction.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena.len() as u64
+    }
+
+    /// Encoded bytes of the *live* spans only — a pure function of the set
+    /// contents (shard- and history-independent), which is why the memory
+    /// telemetry reports this figure rather than [`RrStore::arena_bytes`].
+    pub fn live_arena_bytes(&self) -> u64 {
+        self.arena.len() as u64 - self.garbage_bytes
+    }
+
+    /// Bytes the live entries would occupy in the uncompressed `u32`-pool
+    /// layout this arena replaced — the baseline of the compression-ratio
+    /// gate in the scale smoke.
+    pub fn uncompressed_bytes(&self) -> u64 {
+        4 * self.live_members as u64
+    }
+
+    /// Fraction of the arena occupied by tombstoned bytes.
     pub fn garbage_ratio(&self) -> f64 {
-        if self.pool.is_empty() {
+        if self.arena.is_empty() {
             0.0
         } else {
-            self.garbage as f64 / self.pool.len() as f64
+            self.garbage_bytes as f64 / self.arena.len() as f64
         }
     }
 
@@ -191,59 +270,129 @@ impl RrStore {
         self.index_stats
     }
 
+    /// Sorts and deduplicates `users` into the reusable scratch buffer and
+    /// appends the encoded span to the arena, rolling back and reporting
+    /// [`ImdppError::CapacityExceeded`] when the byte budget would be
+    /// blown.  On success the scratch buffer holds the sorted members (for
+    /// index patching) and the new span is *not yet* pushed to `spans`.
+    fn encode_checked(&mut self, users: &[UserId]) -> Result<Span, ImdppError> {
+        let mut members = std::mem::take(&mut self.sort_scratch);
+        members.clear();
+        members.extend(users.iter().map(|u| u.0));
+        members.sort_unstable();
+        members.dedup();
+        let offset = self.arena.len() as u64;
+        let bytes = encode_set(&members, &mut self.arena);
+        if self.arena.len() as u64 > self.capacity_bytes {
+            self.arena.truncate(offset as usize);
+            self.sort_scratch = members;
+            return Err(ImdppError::CapacityExceeded {
+                what: "RR arena bytes",
+                capacity: self.capacity_bytes,
+                needed: offset + bytes as u64,
+            });
+        }
+        let span = Span {
+            offset,
+            members: members.len() as u32,
+            bytes: bytes as u32,
+        };
+        self.sort_scratch = members;
+        Ok(span)
+    }
+
     /// Appends a new set, returning its id (always `len() - 1` afterwards).
     ///
-    /// When the inverted index already exists its entries are patched in
+    /// Checked: fails with [`ImdppError::CapacityExceeded`] — leaving the
+    /// store unchanged — when the arena byte budget or the set-id space
+    /// (ids must stay below the tombstone bit) would be exhausted.  When
+    /// the inverted index already exists its entries are patched in
     /// (append-only — no rebuild).
-    pub fn push_set(&mut self, users: &[UserId]) -> SetId {
-        let id = self.spans.len() as SetId;
-        debug_assert!(
-            id < TOMBSTONE_BIT,
-            "set ids must stay below the tombstone bit"
-        );
-        let start = self.pool.len() as u32;
-        self.pool.extend(users.iter().map(|u| u.0));
-        self.spans.push((start, users.len() as u32));
+    pub fn try_push_set(&mut self, users: &[UserId]) -> Result<SetId, ImdppError> {
+        let id = self.spans.len() as u64;
+        if id >= u64::from(TOMBSTONE_BIT) {
+            return Err(ImdppError::CapacityExceeded {
+                what: "RR set ids",
+                capacity: u64::from(TOMBSTONE_BIT),
+                needed: id + 1,
+            });
+        }
+        let id = id as SetId;
+        let span = self.encode_checked(users)?;
+        self.live_members += span.members as usize;
+        self.spans.push(span);
         if self.inv_built {
-            for u in users {
-                self.inv_extra.push((u.0, id));
+            for i in 0..self.sort_scratch.len() {
+                let u = self.sort_scratch[i];
+                self.inv_extra.push((u, id));
             }
-            self.index_stats.entries_patched += users.len() as u64;
+            self.index_stats.entries_patched += span.members as u64;
             self.maybe_compact_index();
         }
-        id
+        Ok(id)
+    }
+
+    /// Appends a new set, returning its id (always `len() - 1` afterwards).
+    ///
+    /// Infallible form of [`RrStore::try_push_set`]; panics on
+    /// [`ImdppError::CapacityExceeded`] (unreachable under the default
+    /// unbounded budget).
+    pub fn push_set(&mut self, users: &[UserId]) -> SetId {
+        match self.try_push_set(users) {
+            Ok(id) => id,
+            Err(e) => capacity_exhausted(e),
+        }
     }
 
     /// Replaces the contents of set `id`, tombstoning its old span.
     ///
-    /// The inverted index is patched incrementally: the old members' entries
+    /// Checked like [`RrStore::try_push_set`]: a blown arena budget reports
+    /// [`ImdppError::CapacityExceeded`] with the store unchanged.  The
+    /// inverted index is patched incrementally: the old members' entries
     /// are tombstoned and the new members' entries appended to the overflow
     /// log — no counting pass over the corpus.
-    pub fn replace_set(&mut self, id: SetId, users: &[UserId]) {
-        let (old_start, old_len) = self.spans[id as usize];
+    pub fn try_replace_set(&mut self, id: SetId, users: &[UserId]) -> Result<(), ImdppError> {
+        let old = self.spans[id as usize];
+        // Decode the old members up front: the index patch below needs them
+        // and the encode may relocate the arena allocation.
+        let old_members: Vec<u32> = if self.inv_built {
+            self.span_members(&old).collect()
+        } else {
+            Vec::new()
+        };
+        let span = self.encode_checked(users)?;
         if self.inv_built {
-            // The old span is still live in the pool here; take a copy so
-            // the index can be patched while the pool is mutated below.
-            let old_members: Vec<u32> =
-                self.pool[old_start as usize..(old_start + old_len) as usize].to_vec();
             for &u in &old_members {
                 self.unindex(u as usize, id);
             }
-            self.index_stats.entries_patched += old_len as u64;
+            self.index_stats.entries_patched += old.members as u64;
         }
-        self.garbage += old_len as usize;
-        let start = self.pool.len() as u32;
-        self.pool.extend(users.iter().map(|u| u.0));
-        self.spans[id as usize] = (start, users.len() as u32);
+        self.garbage_bytes += u64::from(old.bytes);
+        self.live_members -= old.members as usize;
+        self.live_members += span.members as usize;
+        self.spans[id as usize] = span;
         if self.inv_built {
-            for u in users {
-                self.inv_extra.push((u.0, id));
+            for i in 0..self.sort_scratch.len() {
+                let u = self.sort_scratch[i];
+                self.inv_extra.push((u, id));
             }
-            self.index_stats.entries_patched += users.len() as u64;
+            self.index_stats.entries_patched += span.members as u64;
             self.maybe_compact_index();
         }
         if self.garbage_ratio() > 0.5 {
             self.compact();
+        }
+        Ok(())
+    }
+
+    /// Replaces the contents of set `id`, tombstoning its old span.
+    ///
+    /// Infallible form of [`RrStore::try_replace_set`]; panics on
+    /// [`ImdppError::CapacityExceeded`] (unreachable under the default
+    /// unbounded budget).
+    pub fn replace_set(&mut self, id: SetId, users: &[UserId]) {
+        if let Err(e) = self.try_replace_set(id, users) {
+            capacity_exhausted(e)
         }
     }
 
@@ -272,58 +421,75 @@ impl RrStore {
         }
     }
 
-    /// The users of set `id`.
-    pub fn set(&self, id: SetId) -> &[u32] {
-        let (start, len) = self.spans[id as usize];
-        &self.pool[start as usize..(start + len) as usize]
+    /// The decoding iterator of one span.
+    #[inline]
+    fn span_members(&self, span: &Span) -> SetMembers<'_> {
+        let lo = span.offset as usize;
+        let hi = lo + span.bytes as usize;
+        SetMembers::new(&self.arena[lo..hi], span.members)
+    }
+
+    /// The users of set `id`, decoded in ascending id order (allocates; hot
+    /// paths should prefer the zero-copy [`RrStore::set_members`]).
+    pub fn set(&self, id: SetId) -> Vec<u32> {
+        self.set_members(id).collect()
+    }
+
+    /// Zero-allocation decoding iterator over the users of set `id`
+    /// (ascending id order).
+    pub fn set_members(&self, id: SetId) -> SetMembers<'_> {
+        self.span_members(&self.spans[id as usize])
     }
 
     /// Iterator over `(id, users)` pairs of all sets.
-    pub fn iter(&self) -> impl Iterator<Item = (SetId, &[u32])> + '_ {
-        self.spans.iter().enumerate().map(|(i, &(start, len))| {
-            (
-                i as SetId,
-                &self.pool[start as usize..(start + len) as usize],
-            )
-        })
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, Vec<u32>)> + '_ {
+        (0..self.spans.len() as SetId).map(move |id| (id, self.set(id)))
     }
 
-    /// Rewrites the arena without tombstones (spans keep their ids).
+    /// Rewrites the arena without tombstoned bytes (spans keep their ids;
+    /// encoded spans are copied verbatim, never re-encoded).
     pub fn compact(&mut self) {
-        if self.garbage == 0 {
+        if self.garbage_bytes == 0 {
             return;
         }
-        let mut pool = Vec::with_capacity(self.live_entries());
-        for (start, len) in self.spans.iter_mut() {
-            let old = *start as usize..(*start + *len) as usize;
-            *start = pool.len() as u32;
-            pool.extend_from_slice(&self.pool[old]);
+        let live = (self.arena.len() as u64 - self.garbage_bytes) as usize;
+        let mut arena = Vec::with_capacity(live);
+        for span in self.spans.iter_mut() {
+            let lo = span.offset as usize;
+            let hi = lo + span.bytes as usize;
+            span.offset = arena.len() as u64;
+            arena.extend_from_slice(&self.arena[lo..hi]);
         }
-        self.pool = pool;
-        self.garbage = 0;
+        self.arena = arena;
+        self.garbage_bytes = 0;
     }
 
     /// One counting-sort CSR pass over the spans, producing a clean base
     /// index with no tombstones and an empty overflow log.
     fn build_index_from_spans(&mut self) {
         let mut counts = vec![0u32; self.user_count + 1];
-        for &(start, len) in &self.spans {
-            for &u in &self.pool[start as usize..(start + len) as usize] {
+        for span in &self.spans {
+            let lo = span.offset as usize;
+            let hi = lo + span.bytes as usize;
+            for u in SetMembers::new(&self.arena[lo..hi], span.members) {
                 counts[u as usize + 1] += 1;
             }
         }
         for i in 1..counts.len() {
             counts[i] += counts[i - 1];
         }
-        self.inv_offsets = counts;
-        let mut cursors = self.inv_offsets.clone();
-        self.inv_sets = vec![0; *self.inv_offsets.last().unwrap() as usize];
-        for (id, &(start, len)) in self.spans.iter().enumerate() {
-            for &u in &self.pool[start as usize..(start + len) as usize] {
-                self.inv_sets[cursors[u as usize] as usize] = id as SetId;
+        let mut cursors = counts.clone();
+        let mut inv_sets = vec![0; *counts.last().unwrap() as usize];
+        for (id, span) in self.spans.iter().enumerate() {
+            let lo = span.offset as usize;
+            let hi = lo + span.bytes as usize;
+            for u in SetMembers::new(&self.arena[lo..hi], span.members) {
+                inv_sets[cursors[u as usize] as usize] = id as SetId;
                 cursors[u as usize] += 1;
             }
         }
+        self.inv_offsets = counts;
+        self.inv_sets = inv_sets;
         self.inv_extra.clear();
         self.inv_dead = 0;
     }
@@ -429,9 +595,9 @@ impl RrStore {
             return true;
         }
         let mut reference: Vec<Vec<SetId>> = vec![Vec::new(); self.user_count];
-        for (id, set) in self.iter() {
-            for &u in set {
-                reference[u as usize].push(id);
+        for (id, span) in self.spans.iter().enumerate() {
+            for u in self.span_members(span) {
+                reference[u as usize].push(id as SetId);
             }
         }
         for (user, expected) in reference.iter().enumerate() {
@@ -449,7 +615,7 @@ impl RrStore {
                     .map(|&(_, s)| s),
             );
             got.sort_unstable();
-            // `expected` is already sorted: `iter` ascends by id.
+            // `expected` is already sorted: spans ascend by id.
             if &got != expected {
                 return false;
             }
@@ -473,15 +639,12 @@ impl RrStore {
 
     /// Number of sets containing at least one marked user (`marked` is a
     /// dense user bitmap).  Lets callers — per-shard aggregation in
-    /// particular — share one bitmap across several stores.
+    /// particular — share one bitmap across several stores.  Decodes each
+    /// span with early exit on the first marked member.
     pub fn coverage_count_marked(&self, marked: &[bool]) -> usize {
         self.spans
             .iter()
-            .filter(|&&(start, len)| {
-                self.pool[start as usize..(start + len) as usize]
-                    .iter()
-                    .any(|&u| marked[u as usize])
-            })
+            .filter(|span| self.span_members(span).any(|u| marked[u as usize]))
             .count()
     }
 
@@ -531,6 +694,17 @@ mod tests {
         assert_eq!(s.set(2), &[3, 4, 5]);
         assert_eq!(s.live_entries(), 6);
         assert_eq!(s.iter().count(), 3);
+    }
+
+    #[test]
+    fn members_are_stored_sorted_and_deduplicated() {
+        // Insertion order does not survive: the compressed arena encodes
+        // sorted members (every consumer is order-independent over the
+        // member multiset).
+        let mut s = RrStore::new(ItemId(0), 6);
+        s.push_set(&users(&[5, 0, 3]));
+        assert_eq!(s.set(0), &[0, 3, 5]);
+        assert_eq!(s.set_members(0).collect::<Vec<_>>(), vec![0, 3, 5]);
     }
 
     #[test]
@@ -599,6 +773,78 @@ mod tests {
         assert_eq!(s.set(0), &[5]);
         assert_eq!(s.set(1), &[0]);
         assert_eq!(s.live_entries(), 2);
+    }
+
+    #[test]
+    fn arena_accounting_tracks_live_and_garbage_bytes() {
+        let mut s = store_with(&[&[0, 1, 2, 3, 4, 5]]);
+        let live = s.live_arena_bytes();
+        assert!(live > 0);
+        assert_eq!(s.arena_bytes(), live);
+        assert_eq!(s.uncompressed_bytes(), 4 * 6);
+        // Consecutive ids delta-encode to one byte per member.
+        assert_eq!(live, 6);
+        // A replacement leaves the old span as garbage until compaction.
+        s.replace_set(0, &users(&[2]));
+        assert_eq!(s.live_arena_bytes(), 1);
+        assert_eq!(s.uncompressed_bytes(), 4);
+    }
+
+    #[test]
+    fn checked_push_reports_capacity_instead_of_wrapping() {
+        // A near-limit store: a 4-byte budget fits the first set (3 one-byte
+        // gaps... actually 3 bytes) but not the next push.
+        let mut s = RrStore::new(ItemId(0), 6).with_arena_capacity(4);
+        assert_eq!(s.arena_capacity(), 4);
+        let id = match s.try_push_set(&users(&[0, 1, 2])) {
+            Ok(id) => id,
+            Err(e) => unreachable!("3 encoded bytes fit a 4-byte budget: {e}"),
+        };
+        assert_eq!(id, 0);
+        let err = match s.try_push_set(&users(&[3, 4, 5])) {
+            Err(e) => e,
+            Ok(_) => unreachable!("push past the budget must fail"),
+        };
+        assert!(matches!(
+            err,
+            ImdppError::CapacityExceeded {
+                what: "RR arena bytes",
+                capacity: 4,
+                ..
+            }
+        ));
+        // The failed push left the store untouched...
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.set(0), &[0, 1, 2]);
+        assert_eq!(s.arena_bytes(), 3);
+        // ...and a small set still fits the remaining byte.
+        assert_eq!(s.try_push_set(&users(&[4])).ok(), Some(1));
+    }
+
+    #[test]
+    fn checked_replace_reports_capacity_and_leaves_the_set_alone() {
+        let mut s = RrStore::new(ItemId(0), 6).with_arena_capacity(5);
+        s.push_set(&users(&[0, 1, 2]));
+        s.rebuild_index();
+        // Replacing with a wide-gap pair needs more than the 2 free bytes.
+        let err = match s.try_replace_set(0, &users(&[1, 2, 3])) {
+            Err(e) => e,
+            Ok(()) => unreachable!("replacement past the budget must fail"),
+        };
+        assert!(matches!(err, ImdppError::CapacityExceeded { .. }));
+        assert_eq!(s.set(0), &[0, 1, 2], "failed replace must not mutate");
+        assert!(s.index_matches_rebuild());
+        // A replacement that fits goes through and stays index-consistent.
+        assert!(s.try_replace_set(0, &users(&[4, 5])).is_ok());
+        assert_eq!(s.set(0), &[4, 5]);
+        assert!(s.index_matches_rebuild());
+    }
+
+    #[test]
+    #[should_panic(expected = "RR arena bytes capacity exceeded")]
+    fn infallible_push_panics_on_a_blown_budget() {
+        let mut s = RrStore::new(ItemId(0), 6).with_arena_capacity(1);
+        s.push_set(&users(&[0, 1, 2]));
     }
 
     #[test]

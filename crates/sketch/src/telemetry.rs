@@ -19,7 +19,7 @@
 //! `tests/parallel_determinism.rs` asserts across the whole grid.  Only the
 //! timing histograms (`*_ns`) differ between runs.
 
-use imdpp_obs::{Counter, Histogram, Telemetry};
+use imdpp_obs::{Counter, Gauge, Histogram, Telemetry};
 
 /// Every metric the sketch records, as pre-resolved handles.
 ///
@@ -61,6 +61,12 @@ pub struct SketchMetrics {
     /// 0; construction-time builds are deliberately *not* counted so the
     /// value is shard-count-independent.
     pub index_full_rebuilds: Counter,
+    /// Live compressed-arena bytes across every item store and shard
+    /// (`sketch.arena_live_bytes`), overwritten after builds, extends and
+    /// refreshes.  Counts *live* encoded spans only — a pure function of
+    /// the set contents — because garbage and compaction timing vary with
+    /// the shard count, and gauges must stay grid-bit-identical.
+    pub arena_live_bytes: Gauge,
 }
 
 impl SketchMetrics {
@@ -79,6 +85,7 @@ impl SketchMetrics {
             refreshes: telemetry.counter("sketch.refreshes"),
             index_entries_patched: telemetry.counter("sketch.index_entries_patched"),
             index_full_rebuilds: telemetry.counter("sketch.index_full_rebuilds"),
+            arena_live_bytes: telemetry.gauge("sketch.arena_live_bytes"),
         }
     }
 
