@@ -40,6 +40,25 @@
 //! the `engine.maintain.*` telemetry aggregates it.  See
 //! `docs/ARCHITECTURE.md` ("Maintained solutions and the repair bound").
 //!
+//! ## Serving tier
+//!
+//! Three facilities turn the engine from a session into a server (see
+//! `docs/ARCHITECTURE.md`, "Serving tier"):
+//!
+//! * [`SpreadBatch`] / [`Engine::static_spread_batch`] — many static-spread
+//!   queries pinned to one epoch and answered in a single pass over the
+//!   sharded RR store, decoding each arena once per batch instead of once
+//!   per query; every answer is bit-identical to the single-query path,
+//! * [`TenantOverlay`] / [`Engine::tenant`] — copy-on-write per-user
+//!   perception overlays: N tenants share one base snapshot and each holds
+//!   only the RR sets its preference deltas invalidated, yet every
+//!   tenant-scoped estimate and solve is bit-identical to running N
+//!   independent engines,
+//! * [`Engine::persist`] / [`EngineBuilder::restore`] — warm restart: the
+//!   sampled sketch, epoch counter and maintained solution round-trip
+//!   through disk so a restarted process serves immediately, re-sampling
+//!   zero RR sets.
+//!
 //! ## Observability
 //!
 //! Every engine carries an `imdpp-obs` [`Telemetry`] registry (live by
@@ -84,6 +103,8 @@
 //! }]);
 //! let applied = engine.apply(&update).unwrap();
 //! assert_eq!(applied.epoch, 1);
+//! assert!(!applied.was_empty); // a real update, so the fraction below is
+//!                              // reuse at work, not a vacuous zero
 //! assert!(applied.refresh_fraction < 1.0); // sample reuse, not a rebuild
 //! assert_eq!(applied.refresh.full_rebuilds, 0); // index patched, not rebuilt
 //! ```
@@ -103,6 +124,11 @@ use imdpp_obs::{Counter, Gauge, Histogram};
 use imdpp_sketch::maintain::repair_nominees;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+mod persist;
+mod serve;
+
+pub use serve::{SpreadBatch, TenantOverlay};
 
 pub use imdpp_core::adaptive::AdaptiveReport;
 pub use imdpp_core::dysim::{DysimConfig, DysimReport};
@@ -177,6 +203,16 @@ impl EngineSnapshot {
     pub fn static_spread(&self, nominees: &[Nominee]) -> f64 {
         self.oracle.static_spread(nominees)
     }
+
+    /// Answers many static-spread queries in one pass over this epoch's
+    /// oracle: `results[q]` is bit-identical to
+    /// `self.static_spread(queries[q])`, but sketch-backed snapshots decode
+    /// each RR-set arena once for the whole batch instead of once per query
+    /// (see [`crate::SpreadBatch`] for the engine-level API and the
+    /// throughput gate in `benches/engine_concurrency.rs`).
+    pub fn static_spread_batch(&self, queries: &[&[Nominee]]) -> Vec<f64> {
+        self.oracle.static_spread_batch(queries)
+    }
 }
 
 /// Outcome of one [`Engine::apply`] call.
@@ -185,9 +221,17 @@ impl EngineSnapshot {
 pub struct ApplyReport {
     /// The epoch of the snapshot the update produced.
     pub epoch: u64,
+    /// Whether the applied update was empty (no preference changes, no edge
+    /// updates).  An empty update publishes a new epoch without touching the
+    /// estimator, so it also reports `refresh_fraction == 0.0` — this flag
+    /// disambiguates that vacuous zero from a non-empty batch whose refresh
+    /// genuinely resampled nothing (e.g. no-op edge reweights).
+    pub was_empty: bool,
     /// Fraction of the estimator's internal state that had to be recomputed
     /// (`0.0` = everything reused, `1.0` = a full rebuild; sketch-backed
-    /// engines report their RR-set resample fraction).
+    /// engines report their RR-set resample fraction).  Always `0.0` when
+    /// [`ApplyReport::was_empty`] is set — check that flag before reading a
+    /// zero as "every sample was reused".
     pub refresh_fraction: f64,
     /// The full refresh instrumentation: resampled-set counters plus the
     /// inverted-index maintenance work (`index_entries_patched`,
@@ -219,6 +263,8 @@ struct EngineMetrics {
     solve_ns: Histogram,
     spread_ns: Histogram,
     static_spread_ns: Histogram,
+    batch_ns: Histogram,
+    batch_size: Histogram,
     apply_ns: Histogram,
     refresh_ns: Histogram,
     swap_ns: Histogram,
@@ -227,6 +273,11 @@ struct EngineMetrics {
     solves: Counter,
     spreads: Counter,
     static_spreads: Counter,
+    batches: Counter,
+    batch_queries: Counter,
+    tenants: Counter,
+    tenant_solves: Counter,
+    tenant_spreads: Counter,
     applies: Counter,
     refresh_sets_total: Counter,
     refresh_sets_resampled: Counter,
@@ -244,6 +295,8 @@ impl EngineMetrics {
             solve_ns: telemetry.histogram("engine.solve_ns"),
             spread_ns: telemetry.histogram("engine.spread_ns"),
             static_spread_ns: telemetry.histogram("engine.static_spread_ns"),
+            batch_ns: telemetry.histogram("engine.batch_ns"),
+            batch_size: telemetry.histogram("engine.batch.size"),
             apply_ns: telemetry.histogram("engine.apply_ns"),
             refresh_ns: telemetry.histogram("engine.refresh_ns"),
             swap_ns: telemetry.histogram("engine.swap_ns"),
@@ -252,6 +305,11 @@ impl EngineMetrics {
             solves: telemetry.counter("engine.solves"),
             spreads: telemetry.counter("engine.spreads"),
             static_spreads: telemetry.counter("engine.static_spreads"),
+            batches: telemetry.counter("engine.batches"),
+            batch_queries: telemetry.counter("engine.batch.queries"),
+            tenants: telemetry.counter("engine.tenants"),
+            tenant_solves: telemetry.counter("engine.tenant.solves"),
+            tenant_spreads: telemetry.counter("engine.tenant.spreads"),
             applies: telemetry.counter("engine.applies"),
             refresh_sets_total: telemetry.counter("engine.refresh.sets_total"),
             refresh_sets_resampled: telemetry.counter("engine.refresh.sets_resampled"),
@@ -338,13 +396,36 @@ impl Engine {
         self.read_snapshot()
     }
 
+    /// [`Engine::snapshot`] with poisoning surfaced as a typed error
+    /// instead of silently recovered: returns [`ImdppError::Poisoned`] when
+    /// a writer died holding the snapshot lock.  The engine's own read
+    /// paths keep serving through a poisoned lock (every published value is
+    /// whole — see the internal `read_snapshot`); use this variant when the
+    /// caller wants to *know* a writer crashed, e.g. to quarantine the
+    /// session instead of serving its last good epoch.
+    pub fn try_snapshot(&self) -> Result<Arc<EngineSnapshot>, ImdppError> {
+        let guard = self.current.read().map_err(|_| ImdppError::Poisoned {
+            what: "snapshot lock",
+        })?;
+        self.metrics.snapshot_pins.incr();
+        Ok(guard.clone())
+    }
+
     /// The snapshot read every query path shares, off the pin counter's
     /// books (one lock round-trip + one `Arc` bump, nothing else).
+    ///
+    /// Recovers from a poisoned lock instead of panicking: the write guard
+    /// only ever performs a whole-value `Arc` assignment (no user code runs
+    /// while it is held), so even if a writer thread died the stored
+    /// snapshot is a complete, internally consistent epoch — either the old
+    /// pointer or the new one, never a torn value.  Readers must not
+    /// propagate a panic they did not cause (`tests::
+    /// poisoned_snapshot_lock_does_not_take_down_readers`).
     fn read_snapshot(&self) -> Arc<EngineSnapshot> {
-        // Genuinely infallible: the write guard below only performs a
-        // whole-value `Arc` assignment (no user code runs while it is
-        // held), so the lock cannot be poisoned in practice.
-        self.current.read().expect("snapshot lock poisoned").clone()
+        self.current
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
     }
 
     /// A point-in-time copy of every metric the engine (and, for
@@ -395,13 +476,15 @@ impl Engine {
         if !self.maintenance_enabled(&snap) {
             return snap.solve_report();
         }
-        // Genuinely infallible: every holder of this mutex (here and in
-        // `apply`) only reads or whole-value-assigns the Option slot, so a
-        // panic cannot leave it mid-mutation.
+        // Recover rather than panic on poisoning: every holder of this
+        // mutex (here and in `apply`) only reads or whole-value-assigns the
+        // Option slot, so a panicked holder cannot have left it
+        // mid-mutation — the cached entry is either intact or absent, and
+        // both are safe to serve from.
         if let Some(m) = self
             .maintained
             .lock()
-            .expect("maintained lock poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .as_ref()
         {
             if m.epoch == snap.epoch {
@@ -410,8 +493,11 @@ impl Engine {
         }
         let report = snap.solve_report();
         if !report.nominees.is_empty() {
-            // Infallible for the same reason as the read above.
-            let mut slot = self.maintained.lock().expect("maintained lock poisoned");
+            // Same whole-value recovery argument as the read above.
+            let mut slot = self
+                .maintained
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             // Never clobber an entry a concurrent `apply` repaired forward
             // to a newer epoch while this pipeline run was in flight.
             if slot.as_ref().is_none_or(|m| m.epoch <= snap.epoch) {
@@ -526,6 +612,7 @@ impl Engine {
             self.metrics.swap_ns.record_duration(swap_wall);
             ApplyReport {
                 epoch,
+                was_empty: true,
                 refresh_fraction: 0.0,
                 refresh: RefreshStats::default(),
                 refresh_wall: Duration::ZERO,
@@ -607,6 +694,7 @@ impl Engine {
                 .add(refresh.full_rebuilds);
             ApplyReport {
                 epoch,
+                was_empty: false,
                 refresh_fraction: refresh.resampled_fraction(),
                 refresh,
                 refresh_wall,
@@ -893,6 +981,34 @@ impl EngineBuilder {
     /// Linear Threshold scenario (the sketch encodes the Independent
     /// Cascade triggering distribution).
     pub fn build(self) -> Result<Engine, ImdppError> {
+        let (instance, config, telemetry) = self.prepare()?;
+        let oracle = ConfiguredOracle::build_with_telemetry(
+            instance.scenario(),
+            config.oracle,
+            config.mc_samples,
+            config.base_seed,
+            &telemetry,
+        );
+        let metrics = EngineMetrics::new(&telemetry);
+        Ok(Engine {
+            current: RwLock::new(Arc::new(EngineSnapshot {
+                epoch: 0,
+                instance,
+                oracle,
+                config,
+            })),
+            writer: Mutex::new(()),
+            maintained: Mutex::new(None),
+            telemetry,
+            metrics,
+        })
+    }
+
+    /// The validation prelude [`EngineBuilder::build`] and
+    /// [`EngineBuilder::restore`] share: resolves costs and budget into an
+    /// instance, rejects the sketch-on-LT combination, and takes the
+    /// telemetry registry out of the builder.
+    fn prepare(self) -> Result<(ImdppInstance, DysimConfig, Telemetry), ImdppError> {
         let budget = self
             .budget
             .ok_or(ImdppError::MissingComponent { what: "budget" })?;
@@ -909,26 +1025,7 @@ impl EngineBuilder {
             ));
         }
         let telemetry = self.telemetry.unwrap_or_default();
-        let oracle = ConfiguredOracle::build_with_telemetry(
-            instance.scenario(),
-            self.config.oracle,
-            self.config.mc_samples,
-            self.config.base_seed,
-            &telemetry,
-        );
-        let metrics = EngineMetrics::new(&telemetry);
-        Ok(Engine {
-            current: RwLock::new(Arc::new(EngineSnapshot {
-                epoch: 0,
-                instance,
-                oracle,
-                config: self.config,
-            })),
-            writer: Mutex::new(()),
-            maintained: Mutex::new(None),
-            telemetry,
-            metrics,
-        })
+        Ok((instance, self.config, telemetry))
     }
 }
 
@@ -1061,6 +1158,7 @@ mod tests {
         let before = engine.snapshot();
         let applied = engine.apply(&update).unwrap();
         assert_eq!(applied.epoch, 1);
+        assert!(!applied.was_empty);
         assert!(applied.refresh_fraction > 0.0 && applied.refresh_fraction < 1.0);
         // The refresh instrumentation: some sets re-sampled (index patched
         // accordingly), zero full index rebuilds.
@@ -1136,8 +1234,116 @@ mod tests {
         let engine = engine(OracleKind::MonteCarlo);
         let applied = engine.apply(&ScenarioUpdate::Edges(Vec::new())).unwrap();
         assert_eq!(applied.epoch, 1);
+        assert!(applied.was_empty);
         assert_eq!(applied.refresh_fraction, 0.0);
         assert_eq!(applied.refresh, RefreshStats::default());
+    }
+
+    #[test]
+    fn was_empty_disambiguates_the_two_zero_fraction_cases() {
+        let engine = engine(OracleKind::RrSketch {
+            sets_per_item: 128,
+            shards: 2,
+            threads: 0,
+        });
+        // An empty batch: zero fraction because there was nothing to do.
+        let empty = engine
+            .apply(&ScenarioUpdate::Preferences(Vec::new()))
+            .unwrap();
+        assert!(empty.was_empty);
+        assert_eq!(empty.refresh_fraction, 0.0);
+        // A non-empty batch that resamples nothing: re-setting the current
+        // influence strength is a real update whose frontier is empty, so
+        // the fraction is *also* 0.0 — only the flag tells them apart.
+        let current = engine
+            .snapshot()
+            .scenario()
+            .social()
+            .influence(UserId(0), UserId(1));
+        let noop = ScenarioUpdate::Edges(vec![EdgeUpdate::Reweight {
+            src: UserId(0),
+            dst: UserId(1),
+            weight: current,
+        }]);
+        let applied = engine.apply(&noop).unwrap();
+        assert!(!applied.was_empty);
+        assert_eq!(applied.refresh_fraction, 0.0);
+        assert_eq!(applied.refresh.resampled_sets, 0);
+        assert!(applied.refresh.total_sets > 0);
+    }
+
+    #[test]
+    fn poisoned_snapshot_lock_does_not_take_down_readers() {
+        let engine = engine(OracleKind::RrSketch {
+            sets_per_item: 128,
+            shards: 1,
+            threads: 0,
+        });
+        let seeds = engine.solve();
+        let sigma = engine.spread(&seeds);
+        // Poison the snapshot lock: a writer dies while holding the write
+        // guard.
+        // lint: allow(spawn) — the regression needs a thread to panic
+        // while holding the lock; determinism is not at stake.
+        std::thread::scope(|s| {
+            let poisoner = s.spawn(|| {
+                let _guard = engine.current.write();
+                panic!("simulated writer crash while holding the snapshot lock");
+            });
+            assert!(poisoner.join().is_err(), "the poisoner must have panicked");
+        });
+        assert!(engine.current.is_poisoned());
+
+        // Readers recover: the stored snapshot is whole (the guard only
+        // ever sees whole-value assignments), so queries keep serving the
+        // last published epoch with identical answers.
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.solve(), seeds);
+        assert_eq!(engine.spread(&seeds), sigma);
+
+        // The typed-error surfaces report it instead of panicking: pinning
+        // via try_snapshot and the writer path both refuse.
+        assert!(matches!(
+            engine.try_snapshot().unwrap_err(),
+            ImdppError::Poisoned {
+                what: "snapshot lock"
+            }
+        ));
+        let update = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]);
+        assert!(matches!(
+            engine.apply(&update).unwrap_err(),
+            ImdppError::Poisoned { .. }
+        ));
+        assert_eq!(engine.epoch(), 0, "a refused apply publishes nothing");
+    }
+
+    #[test]
+    fn poisoned_maintained_lock_recovers_on_the_solve_path() {
+        let engine = engine(OracleKind::RrSketch {
+            sets_per_item: 128,
+            shards: 1,
+            threads: 0,
+        });
+        let first = engine.solve_report();
+        // lint: allow(spawn) — see the snapshot-lock regression above.
+        std::thread::scope(|s| {
+            let poisoner = s.spawn(|| {
+                let _guard = engine.maintained.lock();
+                panic!("simulated crash while holding the maintained lock");
+            });
+            assert!(poisoner.join().is_err());
+        });
+        // The cached entry is whole (holders only read or whole-value
+        // assign), so the solve path recovers and keeps serving it.
+        let served = engine.solve_report();
+        assert_eq!(served.seeds, first.seeds);
+        assert_eq!(served.nominees, first.nominees);
+        // The writer path stays conservative: it reports the poisoning.
+        let update = ScenarioUpdate::Preferences(vec![(UserId(1), ItemId(2), 0.9)]);
+        assert!(matches!(
+            engine.apply(&update).unwrap_err(),
+            ImdppError::Poisoned { .. }
+        ));
     }
 
     #[test]

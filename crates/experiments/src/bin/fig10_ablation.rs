@@ -50,7 +50,8 @@ fn main() {
                 .with_budget(budget)
                 .with_promotions(promotions);
             for variant in variants {
-                let r = run_algorithm(variant, &instance, &config);
+                let r = run_algorithm(variant, &instance, &config)
+                    .expect("metrics/persist side channel");
                 println!(
                     "{} {label} {:<12} sigma={:.1} ({} seeds, {:.1}s)",
                     kind.name(),

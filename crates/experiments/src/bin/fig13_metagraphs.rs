@@ -30,7 +30,8 @@ fn main() {
                 .expect("truncated scenario must remain valid")
                 .with_budget(100.0)
                 .with_promotions(3);
-            let r = run_algorithm(AlgorithmKind::Dysim, &instance, &config);
+            let r = run_algorithm(AlgorithmKind::Dysim, &instance, &config)
+                .expect("metrics/persist side channel");
             println!(
                 "{} m={metagraphs} sigma={:.1} ({} seeds, {:.1}s)",
                 kind.name(),

@@ -26,7 +26,8 @@ fn main() {
             for kind in DatasetKind::large() {
                 let dataset = generate(&kind.config().scaled(config.scale));
                 let instance = dataset.instance.with_budget(500.0).with_promotions(10);
-                let r = run_algorithm(AlgorithmKind::Dysim, &instance, &config);
+                let r = run_algorithm(AlgorithmKind::Dysim, &instance, &config)
+                    .expect("metrics/persist side channel");
                 println!(
                     "{} Dysim {:.2}s sigma={:.1}",
                     kind.name(),
@@ -52,7 +53,8 @@ fn main() {
             for &t in &sweep {
                 let instance = dataset.instance.with_budget(500.0).with_promotions(t);
                 for algo in algorithms() {
-                    let r = run_algorithm(algo, &instance, &config);
+                    let r = run_algorithm(algo, &instance, &config)
+                        .expect("metrics/persist side channel");
                     println!("amazon T={t} {:<6} {:.2}s", r.algorithm, r.seconds);
                     table.push_row(vec![
                         "amazon".to_string(),
@@ -74,7 +76,8 @@ fn main() {
             for &b in &sweep {
                 let instance = dataset.instance.with_budget(b).with_promotions(10);
                 for algo in algorithms() {
-                    let r = run_algorithm(algo, &instance, &config);
+                    let r = run_algorithm(algo, &instance, &config)
+                        .expect("metrics/persist side channel");
                     println!("amazon b={b} {:<6} {:.2}s", r.algorithm, r.seconds);
                     table.push_row(vec![
                         "amazon".to_string(),

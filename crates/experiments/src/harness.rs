@@ -2,7 +2,9 @@
 //! binaries.
 
 use imdpp_baselines::{Algorithm, BaselineConfig, Bgrd, Drhga, Hag, Opt, PathScore};
-use imdpp_core::{DysimConfig, Evaluator, ImdppInstance, MarketOrdering, OracleKind, SeedGroup};
+use imdpp_core::{
+    DysimConfig, Evaluator, ImdppError, ImdppInstance, MarketOrdering, OracleKind, SeedGroup,
+};
 use imdpp_engine::Engine;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -29,6 +31,13 @@ pub struct HarnessConfig {
     /// after a multi-algorithm sweep the file holds the *last* Dysim run's
     /// telemetry — pass a distinct path per invocation to keep them all.
     pub metrics_out: Option<PathBuf>,
+    /// Where to persist the engine state after a solve (`IMDPP_PERSIST`).
+    ///
+    /// `None` (the default) disables persistence.  When set, every
+    /// engine-backed run rewrites the file via [`Engine::persist`], so a
+    /// later process can warm-restart from it with
+    /// `Engine::for_instance(..).restore(path)` without resampling.
+    pub persist_path: Option<PathBuf>,
     /// Maintained-solution repair bound (`IMDPP_MAINTAIN`): `off` disables
     /// maintenance, a float in `(0, 1]` replaces the default bound.
     pub maintain_bound: Option<f64>,
@@ -44,6 +53,7 @@ impl Default for HarnessConfig {
             out_dir: "results".to_string(),
             oracle: OracleKind::MonteCarlo,
             metrics_out: None,
+            persist_path: None,
             maintain_bound: DysimConfig::default().maintain_bound,
         }
     }
@@ -152,6 +162,11 @@ impl HarnessConfig {
             }
         }
         cfg.metrics_out = imdpp_obs::metrics_env_path();
+        if let Ok(v) = std::env::var("IMDPP_PERSIST") {
+            if !v.trim().is_empty() {
+                cfg.persist_path = Some(PathBuf::from(v));
+            }
+        }
         cfg
     }
 
@@ -239,11 +254,15 @@ pub struct RunResult {
 
 /// Runs one algorithm on an instance and evaluates the resulting seed group
 /// with the harness's evaluation sample count.
+///
+/// Fails only on side-channel I/O: an unwritable `IMDPP_METRICS` or
+/// `IMDPP_PERSIST` path surfaces as [`ImdppError::Io`] with the offending
+/// path in the message, instead of silently dropping the artifact.
 pub fn run_algorithm(
     kind: AlgorithmKind,
     instance: &ImdppInstance,
     config: &HarnessConfig,
-) -> RunResult {
+) -> Result<RunResult, ImdppError> {
     // Session setup (engine construction: instance clone + oracle build) is
     // excluded from the timed window so the Dysim kinds stay comparable to
     // the baselines, which are timed on `&instance` directly — in a serving
@@ -274,27 +293,44 @@ pub fn run_algorithm(
     };
     let seconds = start.elapsed().as_secs_f64();
     if let Some(engine) = &engine {
-        dump_metrics(engine, config);
+        dump_artifacts(engine, config)?;
     }
     let spread = evaluate_spread(instance, &seeds, config);
-    RunResult {
+    Ok(RunResult {
         algorithm: kind.name(),
         seeds,
         spread,
         seconds,
-    }
+    })
 }
 
 /// Writes `engine`'s telemetry snapshot to [`HarnessConfig::metrics_out`]
-/// (the `IMDPP_METRICS` knob); a no-op when the knob is unset.  Failures
-/// are reported on stderr, never fatal — metrics must not sink a run.
-pub fn dump_metrics(engine: &Engine, config: &HarnessConfig) {
-    let Some(path) = &config.metrics_out else {
-        return;
-    };
-    if let Err(e) = engine.telemetry().write_to(path) {
-        eprintln!("IMDPP_METRICS: failed to write {}: {e}", path.display());
+/// (the `IMDPP_METRICS` knob) and persists the engine state to
+/// [`HarnessConfig::persist_path`] (the `IMDPP_PERSIST` knob); a no-op for
+/// whichever knob is unset.
+///
+/// An unwritable path is an error, not a stderr note: the caller asked for
+/// the artifact by setting the knob, so losing it must sink the run.  The
+/// returned [`ImdppError::Io`] names the path that failed.
+pub fn dump_artifacts(engine: &Engine, config: &HarnessConfig) -> Result<(), ImdppError> {
+    if let Some(path) = &config.metrics_out {
+        engine.telemetry().write_to(path).map_err(|e| {
+            ImdppError::Io(std::io::Error::new(
+                e.kind(),
+                format!("IMDPP_METRICS: cannot write {}: {e}", path.display()),
+            ))
+        })?;
     }
+    if let Some(path) = &config.persist_path {
+        engine.persist(path).map_err(|e| match e {
+            ImdppError::Io(io) => ImdppError::Io(std::io::Error::new(
+                io.kind(),
+                format!("IMDPP_PERSIST: cannot write {}: {io}", path.display()),
+            )),
+            other => other,
+        })?;
+    }
+    Ok(())
 }
 
 /// Builds an `imdpp-engine` session on an experiment instance, honouring
@@ -320,11 +356,13 @@ pub fn evaluate_spread(instance: &ImdppInstance, seeds: &SeedGroup, config: &Har
 }
 
 /// Runs Dysim with a specific market ordering (the Fig. 11 comparison).
+/// Shares [`run_algorithm`]'s error contract for the `IMDPP_METRICS` /
+/// `IMDPP_PERSIST` side channels.
 pub fn run_dysim_with_ordering(
     instance: &ImdppInstance,
     config: &HarnessConfig,
     ordering: MarketOrdering,
-) -> RunResult {
+) -> Result<RunResult, ImdppError> {
     let dysim_config = DysimConfig {
         ordering,
         ..config.dysim_config()
@@ -335,14 +373,14 @@ pub fn run_dysim_with_ordering(
     let start = Instant::now();
     let seeds = engine.solve();
     let seconds = start.elapsed().as_secs_f64();
-    dump_metrics(&engine, config);
+    dump_artifacts(&engine, config)?;
     let spread = evaluate_spread(instance, &seeds, config);
-    RunResult {
+    Ok(RunResult {
         algorithm: ordering.name(),
         seeds,
         spread,
         seconds,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -366,6 +404,7 @@ mod tests {
             out_dir: "/tmp/imdpp-test-results".to_string(),
             oracle: OracleKind::MonteCarlo,
             metrics_out: None,
+            persist_path: None,
             maintain_bound: Some(0.95),
         }
     }
@@ -383,7 +422,7 @@ mod tests {
             AlgorithmKind::Ps,
             AlgorithmKind::Drhga,
         ] {
-            let result = run_algorithm(kind, &inst, &cfg);
+            let result = run_algorithm(kind, &inst, &cfg).unwrap();
             assert!(inst.is_feasible(&result.seeds), "{}", kind.name());
             assert!(result.spread >= 0.0);
             assert!(result.seconds >= 0.0);
@@ -489,7 +528,7 @@ mod tests {
             },
             ..tiny_config()
         };
-        let result = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg);
+        let result = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg).unwrap();
         assert!(inst.is_feasible(&result.seeds));
         assert!(!result.seeds.is_empty());
     }
@@ -503,7 +542,7 @@ mod tests {
             metrics_out: Some(path.clone()),
             ..tiny_config()
         };
-        let result = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg);
+        let result = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg).unwrap();
         assert!(inst.is_feasible(&result.seeds));
         let json = std::fs::read_to_string(&path).expect("metrics file written");
         assert!(json.contains("\"engine.solves\": 1"));
@@ -516,8 +555,74 @@ mod tests {
             metrics_out: Some(missing.clone()),
             ..tiny_config()
         };
-        let _ = run_algorithm(AlgorithmKind::Bgrd, &inst, &cfg);
+        let _ = run_algorithm(AlgorithmKind::Bgrd, &inst, &cfg).unwrap();
         assert!(!missing.exists());
+    }
+
+    #[test]
+    fn unwritable_metrics_path_is_a_typed_error_not_a_silent_drop() {
+        let inst = tiny_instance();
+        // A regular file used as a directory component: `write_to`'s
+        // create_dir_all on the parent fails, which is the closest portable
+        // stand-in for "unwritable directory" without chmod games.
+        let blocker = std::env::temp_dir().join("imdpp-harness-metrics-blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let cfg = HarnessConfig {
+            metrics_out: Some(blocker.join("metrics.json")),
+            ..tiny_config()
+        };
+        let err = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg).unwrap_err();
+        match err {
+            ImdppError::Io(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("IMDPP_METRICS"), "{msg}");
+                assert!(msg.contains("metrics.json"), "{msg}");
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::remove_file(&blocker).unwrap();
+    }
+
+    #[test]
+    fn unwritable_persist_path_is_a_typed_error_too() {
+        let inst = tiny_instance();
+        // `Engine::persist` uses fs::write, which never creates parent
+        // directories — a missing nested directory is enough to fail.
+        let cfg = HarnessConfig {
+            persist_path: Some(
+                std::env::temp_dir()
+                    .join("imdpp-harness-no-such-dir")
+                    .join("engine.bin"),
+            ),
+            ..tiny_config()
+        };
+        let err = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg).unwrap_err();
+        match err {
+            ImdppError::Io(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("IMDPP_PERSIST"), "{msg}");
+                assert!(msg.contains("engine.bin"), "{msg}");
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn persist_knob_writes_a_restorable_engine_image() {
+        let inst = tiny_instance();
+        let path = std::env::temp_dir().join("imdpp-harness-persist-test.bin");
+        let _ = std::fs::remove_file(&path);
+        let cfg = HarnessConfig {
+            persist_path: Some(path.clone()),
+            ..tiny_config()
+        };
+        let result = run_algorithm(AlgorithmKind::Dysim, &inst, &cfg).unwrap();
+        let restored = Engine::for_instance(&inst)
+            .config(cfg.dysim_config())
+            .restore(&path)
+            .unwrap();
+        assert_eq!(restored.solve(), result.seeds);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -530,7 +635,7 @@ mod tests {
     fn ordering_runs_produce_feasible_seeds() {
         let inst = tiny_instance();
         let cfg = tiny_config();
-        let result = run_dysim_with_ordering(&inst, &cfg, MarketOrdering::Profitability);
+        let result = run_dysim_with_ordering(&inst, &cfg, MarketOrdering::Profitability).unwrap();
         assert!(inst.is_feasible(&result.seeds));
         assert_eq!(result.algorithm, "PF");
     }

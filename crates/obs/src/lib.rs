@@ -55,7 +55,7 @@ use std::time::{Duration, Instant};
 
 use hist::HistCell;
 
-pub use rss::peak_rss_bytes;
+pub use rss::{current_rss_bytes, peak_rss_bytes};
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
 
 /// The environment variable naming a file path to dump a

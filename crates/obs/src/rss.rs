@@ -1,20 +1,30 @@
-//! Process peak-RSS readout for the bench summaries.
+//! Process RSS readouts (peak and current) for the bench summaries and the
+//! serving tier's memory gates.
 
 /// The peak resident set size (`VmHWM`) of the current process in bytes,
 /// read from `/proc/self/status`.  Returns `None` off Linux (the procfs
 /// read simply fails) or when the field is missing or malformed.
 pub fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    parse_vm_hwm(&status)
+    parse_kb_field(&status, "VmHWM:")
 }
 
-/// Extracts `VmHWM` from a `/proc/<pid>/status` document.  The kernel
-/// reports the value in kibibytes (`VmHWM:   123456 kB`) and the unit is
-/// parsed explicitly: a unitless value or an unexpected unit yields `None`
-/// rather than a silently misscaled byte count.
-fn parse_vm_hwm(status: &str) -> Option<u64> {
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let mut fields = line.trim_start_matches("VmHWM:").split_whitespace();
+/// The *current* resident set size (`VmRSS`) of the process in bytes, from
+/// the same procfs document.  Unlike [`peak_rss_bytes`] this can go down
+/// again, which is what before/after deltas (e.g. "N tenants cost O(deltas)
+/// memory") need; same `None` semantics off Linux.
+pub fn current_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_kb_field(&status, "VmRSS:")
+}
+
+/// Extracts a kB-denominated field from a `/proc/<pid>/status` document.
+/// The kernel reports values in kibibytes (`VmHWM:   123456 kB`) and the
+/// unit is parsed explicitly: a unitless value or an unexpected unit yields
+/// `None` rather than a silently misscaled byte count.
+fn parse_kb_field(status: &str, field: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let mut fields = line.trim_start_matches(field).split_whitespace();
     let value: u64 = fields.next()?.parse().ok()?;
     let unit = fields.next()?;
     if fields.next().is_some() || unit != "kB" {
@@ -30,32 +40,43 @@ mod tests {
     #[test]
     fn parses_the_kernel_format() {
         let status = "Name:\tbench\nVmPeak:\t  999 kB\nVmHWM:\t  123456 kB\nThreads:\t1\n";
-        assert_eq!(parse_vm_hwm(status), Some(123456 * 1024));
+        assert_eq!(parse_kb_field(status, "VmHWM:"), Some(123456 * 1024));
+    }
+
+    #[test]
+    fn fields_are_selected_independently() {
+        let status = "VmHWM:\t  2048 kB\nVmRSS:\t  1024 kB\n";
+        assert_eq!(parse_kb_field(status, "VmHWM:"), Some(2048 * 1024));
+        assert_eq!(parse_kb_field(status, "VmRSS:"), Some(1024 * 1024));
     }
 
     #[test]
     fn missing_or_malformed_fields_yield_none() {
-        assert_eq!(parse_vm_hwm(""), None);
-        assert_eq!(parse_vm_hwm("VmPeak:\t 1 kB\n"), None);
-        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+        assert_eq!(parse_kb_field("", "VmHWM:"), None);
+        assert_eq!(parse_kb_field("VmPeak:\t 1 kB\n", "VmHWM:"), None);
+        assert_eq!(parse_kb_field("VmHWM:\tnot-a-number kB\n", "VmHWM:"), None);
+        assert_eq!(parse_kb_field("VmHWM:\t 1 kB\n", "VmRSS:"), None);
     }
 
     #[test]
     fn unitless_values_are_rejected_not_misscaled() {
-        assert_eq!(parse_vm_hwm("VmHWM:\t  123456\n"), None);
+        assert_eq!(parse_kb_field("VmHWM:\t  123456\n", "VmHWM:"), None);
     }
 
     #[test]
     fn unknown_units_are_rejected() {
-        assert_eq!(parse_vm_hwm("VmHWM:\t  123456 MB\n"), None);
-        assert_eq!(parse_vm_hwm("VmHWM:\t  123456 KiB\n"), None);
-        assert_eq!(parse_vm_hwm("VmHWM:\t  123456 kB extra\n"), None);
+        assert_eq!(parse_kb_field("VmHWM:\t  123456 MB\n", "VmHWM:"), None);
+        assert_eq!(parse_kb_field("VmHWM:\t  123456 KiB\n", "VmHWM:"), None);
+        assert_eq!(
+            parse_kb_field("VmHWM:\t  123456 kB extra\n", "VmHWM:"),
+            None
+        );
     }
 
     #[test]
     fn overflowing_values_are_rejected_not_wrapped() {
         let status = format!("VmHWM:\t  {} kB\n", u64::MAX);
-        assert_eq!(parse_vm_hwm(&status), None);
+        assert_eq!(parse_kb_field(&status, "VmHWM:"), None);
     }
 
     #[cfg(target_os = "linux")]
@@ -63,5 +84,14 @@ mod tests {
     fn live_readout_reports_a_positive_peak() {
         let peak = peak_rss_bytes().expect("Linux exposes /proc/self/status");
         assert!(peak > 0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_readout_reports_a_current_rss_no_larger_than_the_peak() {
+        let current = current_rss_bytes().expect("Linux exposes /proc/self/status");
+        let peak = peak_rss_bytes().expect("Linux exposes /proc/self/status");
+        assert!(current > 0);
+        assert!(current <= peak);
     }
 }

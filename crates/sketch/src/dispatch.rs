@@ -153,6 +153,18 @@ impl ConfiguredOracle {
         }
     }
 
+    /// Answers many static-spread queries against this oracle's frozen
+    /// scenario: the RR-sketch variant amortizes arena decoding across the
+    /// batch ([`SketchOracle::static_spread_batch`]); the Monte-Carlo
+    /// variant has no shared pass to amortize, so it loops.  Either way
+    /// `results[q]` is bit-identical to `self.static_spread(queries[q])`.
+    pub fn static_spread_batch(&self, queries: &[&[Nominee]]) -> Vec<f64> {
+        match self {
+            ConfiguredOracle::MonteCarlo(o) => queries.iter().map(|q| o.static_spread(q)).collect(),
+            ConfiguredOracle::RrSketch(o) => o.static_spread_batch(queries),
+        }
+    }
+
     /// [`RefreshableOracle::refresh`] that additionally reports the per-item
     /// touched users of a sketch-backed refresh
     /// ([`SketchOracle::refresh_tracked`]) — the input of the engine's
@@ -318,6 +330,35 @@ mod tests {
             sk.marginal_gain(&nominees[..1], nominees[1]),
             direct_sk.marginal_gain(&nominees[..1], nominees[1])
         );
+    }
+
+    #[test]
+    fn batched_dispatch_matches_per_query_calls_for_both_kinds() {
+        let s = toy_scenario();
+        let owned: Vec<Vec<(UserId, ItemId)>> = vec![
+            vec![(UserId(0), ItemId(0))],
+            vec![(UserId(2), ItemId(1)), (UserId(1), ItemId(2))],
+            vec![],
+        ];
+        let queries: Vec<&[(UserId, ItemId)]> = owned.iter().map(|q| q.as_slice()).collect();
+        for kind in [
+            OracleKind::MonteCarlo,
+            OracleKind::RrSketch {
+                sets_per_item: 128,
+                shards: 2,
+                threads: 0,
+            },
+        ] {
+            let oracle = ConfiguredOracle::build(&s, kind, 8, 13);
+            let batched = oracle.static_spread_batch(&queries);
+            for (q, nominees) in queries.iter().enumerate() {
+                assert_eq!(
+                    batched[q].to_bits(),
+                    oracle.static_spread(nominees).to_bits(),
+                    "{kind:?}, query {q}"
+                );
+            }
+        }
     }
 
     #[test]

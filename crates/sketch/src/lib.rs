@@ -91,6 +91,8 @@ pub mod greedy;
 pub mod incremental;
 pub mod maintain;
 pub mod oracle;
+pub mod overlay;
+pub mod persist;
 pub mod sampler;
 pub mod sharded;
 pub mod store;
@@ -103,6 +105,7 @@ pub use greedy::{greedy_max_coverage, greedy_max_coverage_sharded, GreedySelecti
 pub use incremental::{affected_heads, edge_update_frontier, RefreshStats};
 pub use maintain::{first_invalidated_position, repair_nominees, RepairOutcome, RepairStats};
 pub use oracle::SketchOracle;
+pub use overlay::{PatchedSketch, SketchPatch};
 pub use sampler::effective_threads;
 pub use sharded::ShardedRrStore;
 pub use store::{IndexStats, RrStore, SetId};

@@ -4,6 +4,7 @@
 use crate::adaptive::{AdaptiveReport, StoppingRule};
 use crate::greedy::{greedy_max_coverage_sharded, GreedySelection};
 use crate::incremental::{affected_heads, edge_update_frontier, RefreshStats};
+use crate::persist;
 use crate::sharded::ShardedRrStore;
 use crate::store::IndexStats;
 use crate::telemetry::SketchMetrics;
@@ -11,7 +12,7 @@ use crate::SketchConfig;
 use imdpp_core::nominees::Nominee;
 use imdpp_core::oracle::{RefreshableOracle, ScenarioUpdate};
 use imdpp_core::SpreadOracle;
-use imdpp_diffusion::{DynamicsConfig, Scenario};
+use imdpp_diffusion::{DynamicsConfig, ImdppError, Scenario};
 use imdpp_graph::{EdgeUpdate, ItemId, UserId};
 use imdpp_obs::Telemetry;
 
@@ -352,6 +353,142 @@ impl SketchOracle {
         let frontier = (!heads.is_empty()).then_some(heads.as_slice());
         let frontiers: Vec<Option<&[UserId]>> = vec![frontier; self.stores.len()];
         self.refresh_all(&frontiers, true)
+    }
+
+    /// Answers a whole batch of static-spread queries in one pass over the
+    /// RR stores: queries are processed in chunks of up to 64, each chunk
+    /// carrying one `u64` query-membership mask per user, so every
+    /// compressed span is decoded **once per chunk** instead of once per
+    /// query ([`ShardedRrStore::coverage_counts_masked`]) — the decode
+    /// amortization the serving tier's `SpreadBatch` is built on.
+    ///
+    /// `results[q]` is **bit-identical** to `self.static_spread(queries[q])`:
+    /// both sum `importance(x) · n · coverage / total` over items in
+    /// ascending id order, the batched coverage counters equal the
+    /// single-query ones by construction, and the only terms the batch
+    /// elides are exact zeros (items a query does not seed), which cannot
+    /// change a non-negative IEEE-754 sum.
+    pub fn static_spread_batch(&self, queries: &[&[Nominee]]) -> Vec<f64> {
+        let user_count = self.frozen.user_count();
+        let mut results = vec![0.0f64; queries.len()];
+        // One mask word per user, shared across chunks; entries are cleared
+        // through the per-item touch lists, never by reallocating.
+        let mut masks = vec![0u64; user_count];
+        for (ci, chunk) in queries.chunks(64).enumerate() {
+            let chunk_start = ci * 64;
+            // Bucket the chunk's nominees per item: (user, query-bit) pairs.
+            // Out-of-range users and items are dropped here, exactly where
+            // the single-query path's coverage counting drops them.
+            let mut by_item: Vec<Vec<(u32, usize)>> = vec![Vec::new(); self.stores.len()];
+            for (qi, nominees) in chunk.iter().enumerate() {
+                for &(u, x) in *nominees {
+                    if x.index() < by_item.len() && u.index() < user_count {
+                        by_item[x.index()].push((u.0, qi));
+                    }
+                }
+            }
+            let mut counts = vec![0usize; chunk.len()];
+            for (x, entries) in by_item.iter().enumerate() {
+                if entries.is_empty() {
+                    continue;
+                }
+                let mut full = 0u64;
+                for &(u, qi) in entries {
+                    masks[u as usize] |= 1 << qi;
+                    full |= 1 << qi;
+                }
+                counts.fill(0);
+                let store = &self.stores[x];
+                store.coverage_counts_masked(&masks, full, &mut counts);
+                let total = store.len();
+                if total > 0 {
+                    let importance = self.frozen.catalog().importance(ItemId(x as u32));
+                    let mut live = full;
+                    while live != 0 {
+                        let qi = live.trailing_zeros() as usize;
+                        live &= live - 1;
+                        results[chunk_start + qi] +=
+                            importance * (user_count as f64 * counts[qi] as f64 / total as f64);
+                    }
+                }
+                for &(u, _) in entries {
+                    masks[u as usize] = 0;
+                }
+            }
+        }
+        results
+    }
+
+    /// Writes the sketch's persistent form: the per-item stores in item
+    /// order, each span byte-for-byte as the arena holds it (see
+    /// [`crate::persist`] for the codec).  Everything else an oracle needs —
+    /// scenario, configuration, telemetry — is reconstructed by the caller
+    /// and validated by [`SketchOracle::deserialize`], so the payload stays
+    /// a pure function of the sampled set contents.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        persist::write_varint(self.stores.len() as u32, &mut out);
+        for store in &self.stores {
+            store.serialize_into(&mut out);
+        }
+        out
+    }
+
+    /// Rebuilds an oracle from [`SketchOracle::serialize`] output against
+    /// the same scenario and configuration — decoding spans, validating
+    /// every member, and rebuilding the inverted indexes, but re-sampling
+    /// **zero** RR sets (the `sketch.sets_sampled` counter stays untouched,
+    /// which is how the warm-restart tests prove no resampling happened).
+    ///
+    /// # Errors
+    /// [`ImdppError::InvalidConfig`] when the scenario is not Independent
+    /// Cascade, the payload is truncated or corrupt, or the recorded
+    /// item/shard layout disagrees with `scenario`/`config`.
+    pub fn deserialize(
+        scenario: &Scenario,
+        config: SketchConfig,
+        telemetry: &Telemetry,
+        bytes: &[u8],
+    ) -> Result<Self, ImdppError> {
+        if scenario.model() != imdpp_diffusion::DiffusionModel::IndependentCascade {
+            return Err(ImdppError::invalid(
+                "SketchOracle snapshots only exist for Independent Cascade scenarios",
+            ));
+        }
+        let frozen = scenario.with_dynamics(DynamicsConfig::frozen());
+        let mut input = bytes;
+        let store_count = persist::read_varint(&mut input)? as usize;
+        if store_count != frozen.item_count() {
+            return Err(persist::corrupt(
+                "persisted item count disagrees with the scenario catalogue",
+            ));
+        }
+        let expected_shards = config.shards.max(1);
+        let mut stores = Vec::with_capacity(store_count);
+        for x in 0..store_count {
+            let store = ShardedRrStore::deserialize_from(
+                ItemId(x as u32),
+                frozen.user_count(),
+                &mut input,
+            )?;
+            if store.shard_count() != expected_shards {
+                return Err(persist::corrupt(
+                    "persisted shard count disagrees with the configuration",
+                ));
+            }
+            stores.push(store);
+        }
+        if !input.is_empty() {
+            return Err(persist::corrupt("trailing bytes after the last store"));
+        }
+        let oracle = SketchOracle {
+            frozen,
+            config,
+            stores,
+            metrics: SketchMetrics::new(telemetry),
+        };
+        oracle.record_memory();
+        Ok(oracle)
     }
 
     /// Migrates the sketch after influence-edge updates (strength changes,
@@ -713,6 +850,108 @@ mod tests {
             assert_eq!(grid_stats, plain_stats, "{shards}x{threads}");
             assert_eq!(grid_touched, touched, "{shards}x{threads}");
         }
+    }
+
+    #[test]
+    fn batched_spread_is_bit_identical_to_single_queries() {
+        let s = toy_scenario();
+        for shards in [1usize, 3] {
+            let o = SketchOracle::build(
+                &s,
+                SketchConfig::fixed(256)
+                    .with_base_seed(13)
+                    .with_shards(shards),
+            );
+            // More than 64 queries forces a second chunk; include empty,
+            // multi-item, duplicate-user and out-of-range queries.
+            let mut owned: Vec<Vec<Nominee>> = Vec::new();
+            for i in 0..70u32 {
+                owned.push(match i % 5 {
+                    0 => vec![(UserId(i % 6), ItemId(0))],
+                    1 => vec![(UserId(0), ItemId(0)), (UserId(i % 6), ItemId(1))],
+                    2 => vec![],
+                    3 => vec![(UserId(999), ItemId(0)), (UserId(1), ItemId(2))],
+                    _ => vec![(UserId(2), ItemId(1)), (UserId(2), ItemId(1))],
+                });
+            }
+            let queries: Vec<&[Nominee]> = owned.iter().map(|q| q.as_slice()).collect();
+            let batched = o.static_spread_batch(&queries);
+            assert_eq!(batched.len(), queries.len());
+            for (q, nominees) in queries.iter().enumerate() {
+                assert_eq!(
+                    batched[q].to_bits(),
+                    o.static_spread(nominees).to_bits(),
+                    "{shards} shards, query {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_restores_an_identical_oracle_without_resampling() {
+        let s = toy_scenario();
+        for shards in [1usize, 2, 4] {
+            let config = SketchConfig::fixed(128)
+                .with_base_seed(13)
+                .with_shards(shards);
+            let mut original = SketchOracle::build(&s, config);
+            // Drift once so the payload is not just the construction state.
+            let drifted = s.with_base_preference(UserId(1), ItemId(2), 0.9);
+            let _ = original.apply_preference_update(&drifted, &[(UserId(1), ItemId(2))]);
+
+            let bytes = original.serialize();
+            let telemetry = Telemetry::new();
+            let restored = SketchOracle::deserialize(&drifted, config, &telemetry, &bytes).unwrap();
+            assert!(restored.stores_equal(&original), "{shards} shards");
+            assert_eq!(restored.shard_count(), original.shard_count());
+            assert_eq!(restored.live_arena_bytes(), original.live_arena_bytes());
+            let probe = [(UserId(0), ItemId(0)), (UserId(3), ItemId(2))];
+            assert_eq!(
+                restored.static_spread(&probe).to_bits(),
+                original.static_spread(&probe).to_bits()
+            );
+            // Zero sets sampled: the restore decoded, never replayed RNG.
+            let snap = telemetry.snapshot();
+            assert_eq!(snap.counter("sketch.sets_sampled"), Some(0));
+            // The restored index answers refreshes like the original.
+            let mut a = original.clone();
+            let mut b = restored;
+            let further = drifted.with_base_preference(UserId(2), ItemId(0), 0.8);
+            let sa = a.apply_preference_update(&further, &[(UserId(2), ItemId(0))]);
+            let sb = b.apply_preference_update(&further, &[(UserId(2), ItemId(0))]);
+            assert_eq!(sa, sb);
+            assert!(a.stores_equal(&b));
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_mismatched_worlds() {
+        let s = toy_scenario();
+        let config = SketchConfig::fixed(64).with_base_seed(13).with_shards(2);
+        let bytes = SketchOracle::build(&s, config).serialize();
+        // Wrong shard count.
+        let wrong_shards = SketchConfig {
+            shards: 3,
+            ..config
+        };
+        assert!(
+            SketchOracle::deserialize(&s, wrong_shards, &Telemetry::disabled(), &bytes).is_err()
+        );
+        // Wrong model.
+        let lt = s.with_model(imdpp_diffusion::DiffusionModel::LinearThreshold);
+        assert!(SketchOracle::deserialize(&lt, config, &Telemetry::disabled(), &bytes).is_err());
+        // Truncated payload.
+        assert!(SketchOracle::deserialize(
+            &s,
+            config,
+            &Telemetry::disabled(),
+            &bytes[..bytes.len() - 1]
+        )
+        .is_err());
+        // Trailing bytes.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(SketchOracle::deserialize(&s, config, &Telemetry::disabled(), &padded).is_err());
     }
 
     #[test]

@@ -33,10 +33,11 @@
 //! [`IndexStats`] for the counters proving no post-build rebuilds happen.
 
 use crate::incremental::RefreshStats;
+use crate::persist;
 use crate::sampler;
 use crate::store::{IndexStats, RrStore, SetId};
 use crate::telemetry::SketchMetrics;
-use imdpp_diffusion::Scenario;
+use imdpp_diffusion::{ImdppError, Scenario};
 use imdpp_graph::{ItemId, UserId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -751,6 +752,117 @@ impl ShardedRrStore {
         ids
     }
 
+    /// The sorted *global* ids of all sets containing any of `users`,
+    /// answered through a **shared** (`&self`) borrow — the serving-tier
+    /// variant of [`ShardedRrStore::sets_touching`] tenant-overlay
+    /// construction uses against a pinned snapshot.  Identical output to
+    /// the `&mut` path: shards partition the id space, so mapping each
+    /// shard-local hit back to `local · S + shard` and sorting reproduces
+    /// the global id order with no duplicates.
+    pub fn sets_touching_shared(&self, users: &[UserId]) -> Vec<SetId> {
+        let shard_count = self.shards.len();
+        let mut ids = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            ids.extend(
+                shard
+                    .sets_touching_shared(users)
+                    .into_iter()
+                    .map(|local| local * shard_count as SetId + si as SetId),
+            );
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Answers up to 64 coverage queries in one pass over every shard's
+    /// arena: `masks[u]` carries one bit per query seeding user `u`, `full`
+    /// is the union of all live query bits, and `counts[q]` is incremented
+    /// by the number of sets query `q` covers — accumulated across shards,
+    /// exactly like [`ShardedRrStore::coverage_count`] sums its per-shard
+    /// partial counters.  See [`RrStore::coverage_counts_masked`] for the
+    /// per-span semantics; the batched counts equal 64 independent
+    /// single-query passes by construction.
+    pub fn coverage_counts_masked(&self, masks: &[u64], full: u64, counts: &mut [usize]) {
+        for shard in &self.shards {
+            shard.coverage_counts_masked(masks, full, counts);
+        }
+    }
+
+    /// Number of sets hit by the marked users, **excluding** the sorted
+    /// *global* set ids in `skip` — the base-store side of a tenant
+    /// overlay's coverage count, where the skipped sets are answered from
+    /// the overlay's patch instead.  Global ids split by residue class
+    /// (`shard = id mod S`, `local = id div S`); ascending globals of one
+    /// residue class map to ascending locals, so the per-shard skip lists
+    /// stay sorted for the flat store's binary search.
+    pub fn coverage_count_marked_excluding(&self, marked: &[bool], skip: &[SetId]) -> usize {
+        debug_assert!(
+            skip.windows(2).all(|w| w[0] < w[1]),
+            "skip ids must be sorted"
+        );
+        let shard_count = self.shards.len();
+        if skip.is_empty() {
+            return self
+                .shards
+                .iter()
+                .map(|s| s.coverage_count_marked(marked))
+                .sum();
+        }
+        let mut local_skips: Vec<Vec<SetId>> = vec![Vec::new(); shard_count];
+        for &id in skip {
+            local_skips[id as usize % shard_count].push(id / shard_count as SetId);
+        }
+        self.shards
+            .iter()
+            .zip(&local_skips)
+            .map(|(shard, skip)| shard.coverage_count_marked_excluding(marked, skip))
+            .sum()
+    }
+
+    /// Writes the store's persistent form: shard count, global set count,
+    /// then each shard's spans in shard order ([`RrStore::serialize_into`]).
+    pub(crate) fn serialize_into(&self, out: &mut Vec<u8>) {
+        persist::write_varint(self.shards.len() as u32, out);
+        persist::write_varint64(self.total as u64, out);
+        for shard in &self.shards {
+            shard.serialize_into(out);
+        }
+    }
+
+    /// Reads a store back from its persistent form, validating every span
+    /// and rebuilding each shard's inverted index from the decoded contents
+    /// — **zero** RR sets are re-sampled.  The shard count is part of the
+    /// payload, so a snapshot restores only into an engine configured with
+    /// the same sharding (the engine's fingerprint check enforces this
+    /// before any store payload is read).
+    ///
+    /// # Errors
+    /// [`ImdppError::InvalidConfig`] on truncation, span corruption, or a
+    /// shard layout inconsistent with the recorded set count.
+    pub(crate) fn deserialize_from(
+        item: ItemId,
+        user_count: usize,
+        input: &mut &[u8],
+    ) -> Result<Self, ImdppError> {
+        let shard_count = persist::read_varint(input)? as usize;
+        if shard_count == 0 {
+            return Err(persist::corrupt("store has zero shards"));
+        }
+        let total = persist::read_varint64(input)? as usize;
+        let mut shards = Vec::with_capacity(shard_count);
+        for s in 0..shard_count {
+            let shard = RrStore::deserialize_from(item, user_count, input)?;
+            let expected = total / shard_count + usize::from(s < total % shard_count);
+            if shard.len() != expected {
+                return Err(persist::corrupt(
+                    "shard length inconsistent with the recorded set count",
+                ));
+            }
+            shards.push(shard);
+        }
+        Ok(ShardedRrStore { shards, total })
+    }
+
     /// Equivalence of every shard's incrementally maintained index with a
     /// fresh rebuild (`debug_assert`ed by the refresh paths).
     pub fn index_matches_rebuild(&self) -> bool {
@@ -1081,6 +1193,111 @@ mod tests {
                 assert_eq!(touched, expected, "{shards}x{threads}");
             }
         }
+    }
+
+    #[test]
+    fn shared_frontier_and_batched_coverage_match_the_single_query_paths() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            let (_, mut sharded) = stores_with(shards, SETS);
+            let queries: &[&[u32]] = &[&[1], &[0, 6], &[7], &[2, 3, 4], &[]];
+            // Shared-borrow frontier == exclusive-borrow frontier.
+            for seeds in queries {
+                assert_eq!(
+                    sharded.sets_touching_shared(&users(seeds)),
+                    sharded.sets_touching(&users(seeds)),
+                    "{shards} shards, seeds {seeds:?}"
+                );
+            }
+            // Batched masked coverage == one coverage_count per query.
+            let mut masks = vec![0u64; sharded.user_count()];
+            let mut full = 0u64;
+            for (q, seeds) in queries.iter().enumerate() {
+                for &u in *seeds {
+                    masks[u as usize] |= 1 << q;
+                    full |= 1 << q;
+                }
+            }
+            let mut counts = vec![0usize; queries.len()];
+            sharded.coverage_counts_masked(&masks, full, &mut counts);
+            for (q, seeds) in queries.iter().enumerate() {
+                assert_eq!(
+                    counts[q],
+                    sharded.coverage_count(&users(seeds)),
+                    "{shards} shards, query {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn excluding_coverage_splits_global_skip_ids_correctly() {
+        for shards in [1usize, 2, 3, 4] {
+            let (_, sharded) = stores_with(shards, SETS);
+            let mut marked = vec![false; 8];
+            for u in [1usize, 6] {
+                marked[u] = true;
+            }
+            let all: usize = (0..shards)
+                .map(|s| sharded.shard(s).coverage_count_marked(&marked))
+                .sum();
+            assert_eq!(sharded.coverage_count_marked_excluding(&marked, &[]), all);
+            // Sets 0, 1, 3, 4 cover {1, 6}; skipping two of them drops two.
+            assert_eq!(
+                sharded.coverage_count_marked_excluding(&marked, &[0, 4]),
+                all - 2,
+                "{shards} shards"
+            );
+            // Skipping every covering set reaches zero.
+            assert_eq!(
+                sharded.coverage_count_marked_excluding(&marked, &[0, 1, 3, 4]),
+                0,
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips_across_the_shard_grid() {
+        let scenario = imdpp_diffusion::scenario::toy_scenario();
+        for shards in [1usize, 2, 4, 7] {
+            let mut store = ShardedRrStore::build(&scenario, ItemId(0), shards, 77, 96, 2);
+            // Churn so the payload proves garbage is skipped.
+            let _ = store.refresh(
+                &scenario.with_base_preference(UserId(1), ItemId(0), 0.9),
+                77,
+                &[UserId(1)],
+                2,
+            );
+            let mut out = Vec::new();
+            store.serialize_into(&mut out);
+            let mut cursor = out.as_slice();
+            let restored =
+                ShardedRrStore::deserialize_from(ItemId(0), scenario.user_count(), &mut cursor)
+                    .unwrap();
+            assert!(cursor.is_empty());
+            assert_eq!(restored.shard_count(), shards);
+            assert_stores_identical(&restored, &store, &format!("{shards} shards"));
+            assert!(restored.index_matches_rebuild());
+            assert_eq!(restored.live_arena_bytes(), store.live_arena_bytes());
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_inconsistent_shard_layouts() {
+        let (_, sharded) = stores_with(3, SETS);
+        let mut out = Vec::new();
+        sharded.serialize_into(&mut out);
+        // A truncated payload fails at every cut point.
+        for cut in [0, 1, out.len() / 2, out.len() - 1] {
+            let mut cursor = &out[..cut];
+            assert!(ShardedRrStore::deserialize_from(ItemId(0), 8, &mut cursor).is_err());
+        }
+        // Zero shards is rejected before any span is read.
+        let mut zero = Vec::new();
+        persist::write_varint(0, &mut zero);
+        persist::write_varint64(0, &mut zero);
+        let mut cursor = zero.as_slice();
+        assert!(ShardedRrStore::deserialize_from(ItemId(0), 8, &mut cursor).is_err());
     }
 
     #[test]

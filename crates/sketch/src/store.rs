@@ -43,6 +43,7 @@
 //! `debug_assert`-guarded equivalence check the refresh paths use.
 
 use crate::arena::{encode_set, SetMembers};
+use crate::persist;
 use imdpp_diffusion::ImdppError;
 use imdpp_graph::{ItemId, UserId};
 
@@ -648,6 +649,151 @@ impl RrStore {
             .count()
     }
 
+    /// Multi-query coverage in **one pass over the arena**: `masks` is a
+    /// dense per-user bitmask (bit `q` set on user `u` = query `q` seeds
+    /// `u`), and `counts[q]` is incremented once per span containing at
+    /// least one user with bit `q` set.  Each span is decoded exactly once
+    /// for up to 64 queries — the amortization behind the serving tier's
+    /// batched spread path — with early exit once the accumulated mask
+    /// reaches `full` (the union of bits any query could still contribute).
+    ///
+    /// Per query `q`, the increment happens iff some member has bit `q`
+    /// marked — exactly the predicate of [`RrStore::coverage_count_marked`]
+    /// with that query's seed bitmap — so the batched counts are equal (not
+    /// just close) to 64 independent single-query passes.
+    pub fn coverage_counts_masked(&self, masks: &[u64], full: u64, counts: &mut [usize]) {
+        debug_assert_eq!(masks.len(), self.user_count);
+        if full == 0 {
+            return;
+        }
+        for span in &self.spans {
+            let mut acc = 0u64;
+            for u in self.span_members(span) {
+                acc |= masks[u as usize];
+                if acc == full {
+                    break;
+                }
+            }
+            let mut hit = acc;
+            while hit != 0 {
+                let q = hit.trailing_zeros() as usize;
+                counts[q] += 1;
+                hit &= hit - 1;
+            }
+        }
+    }
+
+    /// [`RrStore::coverage_count_marked`] skipping the (sorted, shard-local)
+    /// set ids in `skip` — the base-store half of copy-on-write overlay
+    /// coverage, where the skipped sets are answered from the tenant's
+    /// replacement spans instead.
+    pub fn coverage_count_marked_excluding(&self, marked: &[bool], skip: &[SetId]) -> usize {
+        debug_assert!(skip.windows(2).all(|w| w[0] < w[1]), "skip must be sorted");
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(|&(id, span)| {
+                skip.binary_search(&(id as SetId)).is_err()
+                    && self.span_members(span).any(|u| marked[u as usize])
+            })
+            .count()
+    }
+
+    /// [`RrStore::sets_touching`] through a shared reference: answers from
+    /// the existing inverted index when one is built (every sampled store
+    /// builds its index at construction), falling back to a full span scan
+    /// otherwise.  Lets read-only consumers — the copy-on-write overlay
+    /// builder in particular — compute invalidation frontiers against a
+    /// store other readers are concurrently querying.
+    pub fn sets_touching_shared(&self, users: &[UserId]) -> Vec<SetId> {
+        let heads = prepare_heads(users, self.user_count);
+        if !self.inv_built {
+            let mut marked = vec![false; self.user_count];
+            for &u in &heads {
+                marked[u as usize] = true;
+            }
+            return self
+                .spans
+                .iter()
+                .enumerate()
+                .filter(|(_, span)| self.span_members(span).any(|u| marked[u as usize]))
+                .map(|(id, _)| id as SetId)
+                .collect();
+        }
+        let mut ids = Vec::new();
+        for &u in &heads {
+            let lo = self.inv_offsets[u as usize] as usize;
+            let hi = self.inv_offsets[u as usize + 1] as usize;
+            ids.extend(
+                self.inv_sets[lo..hi]
+                    .iter()
+                    .copied()
+                    .filter(|&e| entry_live(e)),
+            );
+        }
+        ids.extend(
+            self.inv_extra
+                .iter()
+                .filter(|&&(u, _)| heads.binary_search(&u).is_ok())
+                .map(|&(_, s)| s),
+        );
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Serializes the live spans: set count, then per set the member count,
+    /// encoded byte length and the raw arena bytes (copied verbatim —
+    /// tombstoned garbage is skipped naturally because only live spans are
+    /// walked).  The inverted index is *not* persisted; it is rebuilt once
+    /// on restore, exactly like at construction.
+    pub(crate) fn serialize_into(&self, out: &mut Vec<u8>) {
+        persist::write_varint(self.spans.len() as u32, out);
+        for span in &self.spans {
+            let lo = span.offset as usize;
+            let hi = lo + span.bytes as usize;
+            persist::write_varint(span.members, out);
+            persist::write_varint(span.bytes, out);
+            out.extend_from_slice(&self.arena[lo..hi]);
+        }
+    }
+
+    /// Restores a store serialized by [`RrStore::serialize_into`], advancing
+    /// `input` past the consumed bytes.  Every span is validated
+    /// ([`persist::validate_span`]) before it is appended, and the index is
+    /// rebuilt with one counting pass per store — the same one-build-per-
+    /// shard regime construction establishes, with **zero sets re-sampled**.
+    ///
+    /// # Errors
+    /// [`ImdppError::InvalidConfig`] on truncated or corrupt span data.
+    pub(crate) fn deserialize_from(
+        item: ItemId,
+        user_count: usize,
+        input: &mut &[u8],
+    ) -> Result<Self, ImdppError> {
+        let mut store = RrStore::new(item, user_count);
+        let sets = persist::read_varint(input)?;
+        if u64::from(sets) >= u64::from(TOMBSTONE_BIT) {
+            return Err(persist::corrupt("set count exceeds the id space"));
+        }
+        for _ in 0..sets {
+            let members = persist::read_varint(input)?;
+            let bytes = persist::read_varint(input)?;
+            let encoded = persist::take(input, bytes as usize)?;
+            persist::validate_span(encoded, members, user_count)?;
+            let offset = store.arena.len() as u64;
+            store.arena.extend_from_slice(encoded);
+            store.spans.push(Span {
+                offset,
+                members,
+                bytes,
+            });
+            store.live_members += members as usize;
+        }
+        store.rebuild_index();
+        Ok(store)
+    }
+
     /// Unbiased estimate of the expected number of adopters of the store's
     /// item when `seeds` are seeded in the first promotion:
     /// `n · (fraction of RR sets hit)`.
@@ -866,6 +1012,106 @@ mod tests {
     fn out_of_range_seed_users_are_ignored() {
         let s = store_with(&[&[0]]);
         assert_eq!(s.coverage_count(&users(&[99])), 0);
+    }
+
+    #[test]
+    fn masked_coverage_matches_per_query_passes() {
+        let s = store_with(&[&[0, 1], &[1, 2], &[3], &[4, 5], &[0, 5]]);
+        let queries: &[&[u32]] = &[&[1], &[1, 3], &[5], &[], &[0, 2, 4]];
+        let mut masks = vec![0u64; s.user_count()];
+        let mut full = 0u64;
+        for (q, seeds) in queries.iter().enumerate() {
+            for &u in *seeds {
+                masks[u as usize] |= 1 << q;
+                full |= 1 << q;
+            }
+        }
+        let mut counts = vec![0usize; queries.len()];
+        s.coverage_counts_masked(&masks, full, &mut counts);
+        for (q, seeds) in queries.iter().enumerate() {
+            assert_eq!(
+                counts[q],
+                s.coverage_count(&users(seeds)),
+                "query {q} diverged from the single-query pass"
+            );
+        }
+        // A zero full-mask is a no-op.
+        let mut untouched = vec![7usize; queries.len()];
+        s.coverage_counts_masked(&vec![0; s.user_count()], 0, &mut untouched);
+        assert!(untouched.iter().all(|&c| c == 7));
+    }
+
+    #[test]
+    fn excluding_coverage_subtracts_exactly_the_skipped_sets() {
+        let s = store_with(&[&[0, 1], &[1, 2], &[3], &[4, 5], &[0, 5]]);
+        let mut marked = vec![false; 6];
+        marked[1] = true;
+        marked[5] = true;
+        assert_eq!(s.coverage_count_marked(&marked), 4);
+        assert_eq!(s.coverage_count_marked_excluding(&marked, &[]), 4);
+        // Skipping a covered set drops it; skipping an uncovered one is free.
+        assert_eq!(s.coverage_count_marked_excluding(&marked, &[0, 2]), 3);
+        assert_eq!(s.coverage_count_marked_excluding(&marked, &[0, 1, 3, 4]), 0);
+    }
+
+    #[test]
+    fn shared_frontier_query_matches_the_indexed_one() {
+        let mut s = store_with(&[&[0, 1], &[1, 2], &[3], &[4, 5], &[0, 5]]);
+        // Before any index exists the span-scan fallback answers.
+        assert_eq!(s.sets_touching_shared(&users(&[1, 5])), vec![0, 1, 3, 4]);
+        let indexed = s.sets_touching(&users(&[1, 5]));
+        assert_eq!(s.sets_touching_shared(&users(&[1, 5])), indexed);
+        // Replacements keep the shared view consistent (patched index path).
+        s.replace_set(1, &users(&[5]));
+        assert_eq!(
+            s.sets_touching_shared(&users(&[2])),
+            s.sets_touching(&users(&[2]))
+        );
+        assert_eq!(
+            s.sets_touching_shared(&users(&[5])),
+            s.sets_touching(&users(&[5]))
+        );
+        assert_eq!(s.sets_touching_shared(&users(&[99])), Vec::<SetId>::new());
+    }
+
+    #[test]
+    fn serialization_round_trips_spans_and_rebuilds_the_index() {
+        let mut s = store_with(&[&[0, 1], &[1, 2], &[3], &[4, 5], &[0, 5]]);
+        s.rebuild_index();
+        // Churn creates garbage so the writer proves it skips dead bytes.
+        s.replace_set(1, &users(&[0, 3]));
+        let mut out = Vec::new();
+        s.serialize_into(&mut out);
+        let mut cursor = out.as_slice();
+        let restored = RrStore::deserialize_from(ItemId(0), 6, &mut cursor).unwrap();
+        assert!(cursor.is_empty(), "reader must consume exactly the payload");
+        assert_eq!(restored.len(), s.len());
+        assert_eq!(restored.live_entries(), s.live_entries());
+        for (id, set) in s.iter() {
+            assert_eq!(restored.set(id), set, "set {id}");
+        }
+        assert!(restored.index_matches_rebuild());
+        assert_eq!(restored.index_stats().full_rebuilds, 1);
+        // The restored arena is garbage-free.
+        assert_eq!(restored.garbage_ratio(), 0.0);
+    }
+
+    #[test]
+    fn deserialization_rejects_corrupt_payloads() {
+        let s = store_with(&[&[0, 1], &[4, 5]]);
+        let mut out = Vec::new();
+        s.serialize_into(&mut out);
+        // Truncation anywhere inside the payload fails cleanly.
+        for cut in 0..out.len() {
+            let mut cursor = &out[..cut];
+            assert!(
+                RrStore::deserialize_from(ItemId(0), 6, &mut cursor).is_err(),
+                "truncation at byte {cut} must be detected"
+            );
+        }
+        // A member id past the user count fails validation.
+        let mut cursor = out.as_slice();
+        assert!(RrStore::deserialize_from(ItemId(0), 4, &mut cursor).is_err());
     }
 
     #[test]

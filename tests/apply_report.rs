@@ -63,14 +63,22 @@ fn apply_report_fields_keep_their_semantics() {
         // with maintenance enabled.
         assert_eq!(report.solve_repair, RepairStats::default());
 
+        // `was_empty` disambiguates the two ways `refresh_fraction` can be
+        // zero: a vacuous no-op batch versus a genuine zero-resample update.
+        assert_eq!(report.was_empty, update.is_empty());
+
         if update.is_empty() {
             // An empty batch refreshes nothing and says so.
             assert_eq!(report.refresh_wall, Duration::ZERO);
             assert_eq!(report.refresh.total_sets, 0);
             assert_eq!(report.refresh.resampled_sets, 0);
+            assert_eq!(report.refresh_fraction, 0.0);
         } else {
             // A real batch accounts for the whole corpus and its refresh
-            // wall-clock is measured, not defaulted.
+            // wall-clock is measured, not defaulted.  Its fraction may
+            // still be zero (nothing invalidated) — but never because the
+            // batch was vacuous.
+            assert!(!report.was_empty);
             assert!(report.refresh_wall > Duration::ZERO, "batch {i}");
             assert_eq!(report.refresh.total_sets, SETS_PER_ITEM * items);
         }

@@ -245,3 +245,128 @@ fn pinned_snapshots_survive_later_updates() {
     assert_eq!(pinned.spread(&probe), before);
     assert_eq!(engine.epoch(), 4);
 }
+
+/// Warm restart equivalence: persist an engine mid-churn, restore it into a
+/// fresh process-worth of state, keep applying the same update stream to
+/// both, and the restored engine must stay bit-identical to the engine that
+/// never restarted — estimates, greedy seeds, and the telemetry epoch gauge
+/// — across a shards × threads grid, with zero RR sets resampled on
+/// restore.
+#[test]
+fn persist_restore_apply_matches_a_never_restarted_engine() {
+    let instance = instance();
+    let probe: SeedGroup = (0..4)
+        .map(|u| {
+            Seed::new(
+                UserId(u),
+                ItemId(u % instance.scenario().item_count() as u32),
+                1,
+            )
+        })
+        .collect();
+
+    for (grid, (shards, threads)) in [(1, 1), (2, 2), (3, 1)].into_iter().enumerate() {
+        let cfg = DysimConfig {
+            mc_samples: 6,
+            candidate_users: Some(8),
+            max_nominees: Some(3),
+            ..DysimConfig::default()
+        }
+        .with_oracle(OracleKind::RrSketch {
+            sets_per_item: SETS_PER_ITEM,
+            shards,
+            threads,
+        });
+        let batches = randomized_batches(&instance, 0xC0FFEE, 6);
+
+        let live = Engine::for_instance(&instance)
+            .config(cfg.clone())
+            .build()
+            .expect("valid engine");
+        for update in &batches[..3] {
+            let _ = live.apply(update).expect("in-range updates");
+        }
+        // Solve *before* persisting so the maintained solution travels too.
+        let seeds_mid = live.solve();
+        let path = std::env::temp_dir().join(format!(
+            "imdpp-warm-restart-{}-grid{grid}.bin",
+            std::process::id()
+        ));
+        live.persist(&path).expect("persist succeeds");
+
+        // The restore contract: the caller supplies the drifted scenario
+        // (state is the caller's; the image carries sketch + epoch +
+        // solution), so replay the applied updates on the bare instance.
+        let mut drifted = instance.clone();
+        for update in &batches[..3] {
+            if !update.is_empty() {
+                drifted = drifted
+                    .with_scenario(update.apply(drifted.scenario()))
+                    .expect("updates preserve dimensions");
+            }
+        }
+        let restored = Engine::for_instance(&drifted)
+            .config(cfg.clone())
+            .restore(&path)
+            .expect("restore succeeds");
+        std::fs::remove_file(&path).expect("cleanup");
+
+        // Bit-identical at the restore point: epoch (and its telemetry
+        // gauge), spread estimates, greedy seeds — and the oracle came back
+        // from disk, not from resampling.
+        assert_eq!(restored.epoch(), 3, "grid {grid}");
+        assert_eq!(
+            restored.telemetry().gauge("engine.epoch"),
+            Some(3),
+            "grid {grid}"
+        );
+        assert_eq!(
+            restored.telemetry().counter("sketch.sets_sampled"),
+            Some(0),
+            "restore must not resample (grid {grid})"
+        );
+        assert_eq!(
+            live.spread(&probe).to_bits(),
+            restored.spread(&probe).to_bits(),
+            "grid {grid}"
+        );
+        assert_eq!(live.solve(), restored.solve(), "grid {grid}");
+        assert_eq!(restored.solve(), seeds_mid, "grid {grid}");
+
+        // Keep churning both engines in lockstep: the restarted world must
+        // remain indistinguishable from the uninterrupted one.
+        for (i, update) in batches[3..].iter().enumerate() {
+            let a = live.apply(update).expect("in-range updates");
+            let b = restored.apply(update).expect("in-range updates");
+            assert_eq!(a.epoch, b.epoch, "grid {grid} batch {i}");
+            assert_eq!(a.was_empty, b.was_empty, "grid {grid} batch {i}");
+            assert_eq!(
+                a.refresh_fraction.to_bits(),
+                b.refresh_fraction.to_bits(),
+                "grid {grid} batch {i}"
+            );
+            assert_eq!(
+                live.spread(&probe).to_bits(),
+                restored.spread(&probe).to_bits(),
+                "grid {grid} batch {i}"
+            );
+        }
+        assert_eq!(live.solve(), restored.solve(), "grid {grid}");
+        assert_eq!(
+            live.telemetry().gauge("engine.epoch"),
+            restored.telemetry().gauge("engine.epoch"),
+            "grid {grid}"
+        );
+
+        // And the two final sketches are the same store, bit for bit.
+        let a = live.snapshot();
+        let b = restored.snapshot();
+        assert!(
+            a.oracle()
+                .as_sketch()
+                .expect("sketch-backed")
+                .stores_equal(b.oracle().as_sketch().expect("sketch-backed")),
+            "grid {grid}"
+        );
+    }
+}
